@@ -1,0 +1,21 @@
+"""Ablation A3 — borderline-only sampling vs sampling every ball."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import ablations
+
+
+def test_ablation_borderline(benchmark, cfg, save_report):
+    result = run_once(benchmark, ablations.ablation_borderline, cfg)
+    save_report("ablation_borderline", ablations.format_ablation(result))
+
+    rows = result["rows"]
+    # Borderline-only selection never keeps more than the all-balls variant.
+    for row in rows:
+        assert row["borderline_ratio"] <= row["all_balls_ratio"] + 1e-9, row
+
+    # Accuracy is preserved within a small margin despite the compression.
+    acc_border = np.mean([r["borderline_accuracy"] for r in rows])
+    acc_all = np.mean([r["all_balls_accuracy"] for r in rows])
+    assert acc_border >= acc_all - 0.05, (acc_border, acc_all)

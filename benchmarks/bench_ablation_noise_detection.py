@@ -1,0 +1,25 @@
+"""Ablation A2 — RD-GBG's noise-detection rules under 20% label noise."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import ablations
+
+
+def test_ablation_noise_detection(benchmark, cfg, save_report):
+    result = run_once(benchmark, ablations.ablation_noise_detection, cfg, 0.2)
+    save_report("ablation_noise_detection", ablations.format_ablation(result))
+
+    rows = result["rows"]
+    # Noise detection actually removes samples; the no-detect variant never
+    # does.
+    assert all(r["no_detect_noise_removed"] == 0 for r in rows)
+    assert any(r["detect_noise_removed"] > 0 for r in rows)
+    # Detection compresses more (it also prunes flipped-label boundaries).
+    mean_detect = np.mean([r["detect_ratio"] for r in rows])
+    mean_plain = np.mean([r["no_detect_ratio"] for r in rows])
+    assert mean_detect <= mean_plain + 0.02
+    # And is at least as accurate on average.
+    acc_detect = np.mean([r["detect_accuracy"] for r in rows])
+    acc_plain = np.mean([r["no_detect_accuracy"] for r in rows])
+    assert acc_detect >= acc_plain - 0.01, (acc_detect, acc_plain)

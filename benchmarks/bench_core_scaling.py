@@ -1,0 +1,49 @@
+"""Microbenchmarks of the core algorithms (timed over multiple rounds).
+
+These complement the table/figure regenerators: they time RD-GBG and GBABS
+themselves (the paper claims linear-ish scaling, §IV-B3) and the sampling
+baselines on a common workload.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import GBABS, RDGBG
+from repro.datasets import load_dataset
+from repro.sampling import make_sampler
+
+
+@pytest.fixture(scope="module")
+def workload():
+    x, y = load_dataset("S10", size_factor=0.1, random_state=0)
+    return x, y
+
+
+def test_bench_rdgbg_generate(benchmark, workload):
+    x, y = workload
+    result = benchmark(lambda: RDGBG(rho=5, random_state=0).generate(x, y))
+    assert result.ball_set.is_partition()
+
+
+def test_bench_gbabs_fit_resample(benchmark, workload):
+    x, y = workload
+    xs, _ = benchmark(lambda: GBABS(rho=5, random_state=0).fit_resample(x, y))
+    assert 0 < xs.shape[0] <= x.shape[0]
+
+
+@pytest.mark.parametrize("method", ["ggbs", "tomek", "sm"])
+def test_bench_baseline_samplers(benchmark, workload, method):
+    x, y = workload
+    sampler_kwargs = {"random_state": 0} if method != "tomek" else {}
+    xs, _ = benchmark(
+        lambda: make_sampler(method, **sampler_kwargs).fit_resample(x, y)
+    )
+    assert xs.shape[0] > 0
+
+
+@pytest.mark.parametrize("factor", [0.025, 0.05, 0.1])
+def test_bench_rdgbg_scaling(benchmark, factor):
+    """RD-GBG runtime across dataset sizes (linearity check, §IV-B3)."""
+    x, y = load_dataset("S10", size_factor=factor, random_state=0)
+    result = benchmark(lambda: RDGBG(rho=5, random_state=0).generate(x, y))
+    assert result.ball_set.coverage() > 0.8

@@ -1,0 +1,27 @@
+"""Figs. 10–11 — sensitivity of GBABS to the density tolerance ρ.
+
+Paper's shape: both the sampling ratio and the downstream DT accuracy are
+flat in ρ (the method needs no threshold search).
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import figures
+
+
+def test_fig10_fig11_density_tolerance(benchmark, cfg, save_report):
+    result = run_once(benchmark, figures.fig10_fig11, cfg)
+    save_report("fig10_fig11", figures.format_fig10_fig11(result))
+
+    rho_grid = result["rho_grid"]
+    for code, ratios in result["sampling_ratio"].items():
+        assert ratios.shape == (len(rho_grid),)
+        assert np.all((ratios > 0) & (ratios <= 1.0)), code
+        # Insensitivity: the ratio varies by < 0.25 across the whole sweep.
+        assert ratios.max() - ratios.min() < 0.25, (code, ratios)
+
+    for code, accs in result["accuracy"].items():
+        assert np.all((accs >= 0) & (accs <= 1.0)), code
+        # Accuracy stays within a 12-point band over the sweep.
+        assert accs.max() - accs.min() < 0.12, (code, accs)

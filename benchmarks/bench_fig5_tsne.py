@@ -1,0 +1,18 @@
+"""Fig. 5 — t-SNE visualisation of the S5 / S1 / S3 / S6 surrogates."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import figures
+
+
+def test_fig5_tsne(benchmark, cfg, save_report):
+    result = run_once(benchmark, figures.fig5, cfg, 200, 250)
+    save_report("fig5", figures.format_fig5(result))
+
+    for code, data in result["embeddings"].items():
+        emb = data["embedding"]
+        assert emb.shape[1] == 2
+        assert np.all(np.isfinite(emb)), code
+        # The embedding must actually spread the points (not collapse).
+        assert emb.std(axis=0).min() > 1e-3, code

@@ -1,0 +1,29 @@
+"""Fig. 6 — GBABS vs GGBS sampling ratio per dataset at each noise level.
+
+Paper's shape: GBABS compresses everywhere; under label noise GGBS's ratio
+saturates toward 1.0 while GBABS's stays low, with the gap widening as the
+noise ratio grows.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import figures
+
+
+def test_fig6_sampling_ratio(benchmark, cfg, save_report):
+    result = run_once(benchmark, figures.fig6, cfg)
+    save_report("fig6", figures.format_fig6(result))
+
+    ratios = result["ratios"]
+    for noise, series in ratios.items():
+        for name, values in series.items():
+            assert np.all((values > 0.0) & (values <= 1.0)), (noise, name)
+
+    # At high noise GBABS's mean ratio must undercut GGBS's decisively.
+    high = max(ratios)
+    gb = float(np.mean(ratios[high]["GBABS"]))
+    gg = float(np.mean(ratios[high]["GGBS"]))
+    assert gb < gg, (gb, gg)
+    # GGBS saturates: most datasets end at ratio ~1 under heavy noise.
+    assert float(np.median(ratios[high]["GGBS"])) > 0.9

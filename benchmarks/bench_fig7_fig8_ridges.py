@@ -1,0 +1,32 @@
+"""Figs. 7–8 — accuracy distributions (ridge plots) for XGBoost at 10/30%
+noise and RF at 20/40% noise."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import figures, tables
+
+
+def test_fig7_fig8_ridges(benchmark, cfg, save_report):
+    t4 = tables.table4(cfg)
+    result = run_once(benchmark, figures.fig7_fig8, cfg, t4)
+    save_report("fig7_fig8", figures.format_fig7_fig8(result))
+
+    panels = result["panels"]
+    assert len(panels) == 4
+    n_datasets = len(result["datasets"])
+    for key, series in panels.items():
+        for method, values in series.items():
+            assert values.shape == (n_datasets,), (key, method)
+            assert np.all((values >= 0.0) & (values <= 1.0))
+
+    # Shape: GBABS's distribution sits at, or within statistical noise of,
+    # the rightmost position in every panel, and strictly wins at least one.
+    # The 2-point tolerance absorbs fold variance on the reduced quick
+    # profile; the strict paper claim is recovered on the full profile.
+    wins = 0
+    for key, series in panels.items():
+        means = {m: float(v.mean()) for m, v in series.items()}
+        assert means["gbabs"] >= max(means.values()) - 0.02, (key, means)
+        wins += means["gbabs"] == max(means.values())
+    assert wins >= 1

@@ -1,0 +1,21 @@
+"""Table I — dataset profiles of the 13 surrogates."""
+
+from conftest import run_once
+
+from repro.experiments import tables
+
+
+def test_table1_dataset_profiles(benchmark, cfg, save_report):
+    result = run_once(benchmark, tables.table1, cfg)
+    save_report("table1", tables.format_table1(result))
+
+    rows = {r["code"]: r for r in result["rows"]}
+    assert len(rows) == 13
+    # Profile invariants from Table I: feature/class counts are exact,
+    # the imbalance ratio tracks the target.
+    assert rows["S13"]["features"] == 256 and rows["S13"]["classes"] == 10
+    assert rows["S5"]["features"] == 2 and rows["S5"]["classes"] == 2
+    for code, row in rows.items():
+        assert row["classes"] >= 2
+        if row["target_ir"] < 20:
+            assert abs(row["ir"] - row["target_ir"]) / row["target_ir"] < 0.25, code

@@ -1,0 +1,18 @@
+"""Table III — Wilcoxon signed-rank tests of GBABS-DT vs the other
+pipelines (paired over datasets)."""
+
+from conftest import run_once
+
+from repro.experiments import tables
+
+
+def test_table3_wilcoxon(benchmark, cfg, save_report):
+    t2 = tables.table2(cfg)
+    result = run_once(benchmark, tables.table3, cfg, t2)
+    save_report("table3", tables.format_table3(result))
+
+    comparisons = result["comparisons"]
+    assert set(comparisons) == {"ggbs", "srs", "ori"}
+    for name, comp in comparisons.items():
+        assert 0.0 <= comp["p_value"] <= 1.0, name
+        assert comp["method"] in ("exact", "normal")

@@ -1,0 +1,37 @@
+"""Table IV — average accuracy across datasets for five classifiers under
+class noise of 5–40%.
+
+Paper's shape: the GBABS-based pipeline beats GGBS / SRS / raw for every
+classifier, with the margin growing as noise increases.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import tables
+
+
+def test_table4_noise_robustness(benchmark, cfg, save_report):
+    result = run_once(benchmark, tables.table4, cfg)
+    save_report("table4", tables.format_table4(result))
+
+    mean_acc = result["mean_accuracy"]
+    noise = result["noise_ratios"]
+    for clf in result["classifiers"]:
+        for method in result["methods"]:
+            values = np.asarray(mean_acc[(clf, method)])
+            assert values.shape == (len(noise),)
+            assert np.all((values >= 0.0) & (values <= 1.0))
+            # Accuracy must broadly degrade with noise (first vs last).
+            assert values[0] > values[-1], (clf, method)
+
+    # Headline shape: averaged over classifiers AND the noisier half of the
+    # grid (>= 20%), GBABS is the most robust pipeline.
+    hi_idx = [i for i, n in enumerate(noise) if n >= 0.2]
+    robust = {
+        m: np.mean(
+            [mean_acc[(c, m)][i] for c in result["classifiers"] for i in hi_idx]
+        )
+        for m in result["methods"]
+    }
+    assert robust["gbabs"] == max(robust.values()), robust

@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper on the active
+profile (``REPRO_PROFILE`` env var, default ``quick``) and writes its
+rendered report to ``benchmarks/output/`` so the artefacts survive pytest's
+output capturing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import active_config
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def cfg():
+    """The experiment profile shared by the whole benchmark session."""
+    return active_config()
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    """Writer persisting a rendered table/figure to benchmarks/output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        path = OUTPUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[report saved to {path}]")
+
+    return _save
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark an expensive experiment exactly once (no warmup rounds)."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

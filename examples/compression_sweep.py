@@ -1,0 +1,92 @@
+"""Scenario: how much can you compress before accuracy degrades?
+
+Sweeps the class-noise ratio on one dataset and reports, for GBABS and
+GGBS: the sampling ratio (Fig. 6's question) and the downstream decision
+tree accuracy (Table IV's question) — then sweeps the density tolerance ρ
+to show GBABS needs no threshold tuning (Figs. 10–11's question).
+
+Run:  python examples/compression_sweep.py
+"""
+
+import numpy as np
+
+from repro.classifiers import DecisionTreeClassifier
+from repro.core import GBABS
+from repro.datasets import inject_class_noise, load_dataset
+from repro.evaluation import evaluate_pipeline
+from repro.experiments.reporting import format_table
+from repro.sampling import GGBS
+from repro.viz import line_chart
+
+
+def cv_accuracy(x, y, sampler_builder):
+    result = evaluate_pipeline(
+        x, y,
+        classifier_factory=lambda s: DecisionTreeClassifier(),
+        sampler_factory=sampler_builder,
+        n_splits=3, n_repeats=2, random_state=0,
+    )
+    return result.means["accuracy"]
+
+
+def main() -> None:
+    x, y_clean = load_dataset("S10", size_factor=0.15, random_state=0)
+    print(f"dataset: magic surrogate, {x.shape[0]} samples\n")
+
+    # --- noise sweep ------------------------------------------------------
+    noise_grid = (0.0, 0.1, 0.2, 0.3, 0.4)
+    rows = []
+    gbabs_curve, ggbs_curve = [], []
+    for noise in noise_grid:
+        if noise > 0:
+            y, _ = inject_class_noise(y_clean, noise, random_state=2)
+        else:
+            y = y_clean
+        gbabs = GBABS(rho=5, random_state=0)
+        gbabs.fit_resample(x, y)
+        ggbs = GGBS(random_state=0)
+        ggbs.fit_resample(x, y)
+        gbabs_ratio = gbabs.report_.sampling_ratio
+        ggbs_ratio = ggbs.sampling_ratio(x.shape[0])
+        gbabs_curve.append(gbabs_ratio)
+        ggbs_curve.append(ggbs_ratio)
+        rows.append([
+            f"{noise:.0%}",
+            gbabs_ratio,
+            ggbs_ratio,
+            cv_accuracy(x, y, lambda s: GBABS(rho=5, random_state=s)),
+            cv_accuracy(x, y, lambda s: GGBS(random_state=s)),
+            cv_accuracy(x, y, None),
+        ])
+
+    print(format_table(
+        ["noise", "GBABS ratio", "GGBS ratio",
+         "GBABS-DT acc", "GGBS-DT acc", "DT acc"],
+        rows, float_format="{:.3f}",
+    ))
+    print("\nsampling ratio vs noise (o=GBABS, x=GGBS):")
+    print(line_chart(
+        np.asarray(noise_grid),
+        {"GBABS": np.asarray(gbabs_curve), "GGBS": np.asarray(ggbs_curve)},
+        height=10,
+    ))
+
+    # --- density-tolerance sweep ------------------------------------------
+    print("\ndensity tolerance sweep (clean labels):")
+    rho_rows = []
+    for rho in (3, 5, 9, 13, 19):
+        sampler = GBABS(rho=rho, random_state=0)
+        sampler.fit_resample(x, y_clean)
+        rho_rows.append([
+            rho,
+            sampler.report_.sampling_ratio,
+            cv_accuracy(x, y_clean, lambda s, r=rho: GBABS(rho=r, random_state=s)),
+        ])
+    print(format_table(["rho", "ratio", "GBABS-DT acc"], rho_rows,
+                       float_format="{:.3f}"))
+    print("\nBoth columns barely move: GBABS is insensitive to ρ "
+          "(the paper's Figs. 10–11).")
+
+
+if __name__ == "__main__":
+    main()

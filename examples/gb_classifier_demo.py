@@ -1,0 +1,53 @@
+"""Scenario: classify with granular balls directly (GBC, related-work §III-A).
+
+Granular-ball computing's promise is that ``m`` balls can stand in for ``n``
+samples: train once, persist the ball set, and classify by
+nearest-ball-surface.  This example trains the GB classifier on a noisy
+dataset, compares it to kNN (its per-sample analogue), and round-trips the
+model through the ``.npz`` persistence layer.
+
+Run:  python examples/gb_classifier_demo.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.classifiers import GranularBallClassifier, KNeighborsClassifier
+from repro.core.granular_ball import GranularBallSet
+from repro.datasets import inject_class_noise, load_dataset
+
+
+def main() -> None:
+    x, y_clean = load_dataset("S10", size_factor=0.15, random_state=0)
+    y, _ = inject_class_noise(y_clean, 0.15, random_state=1)
+    n = x.shape[0]
+    split = int(0.8 * n)
+    x_train, y_train = x[:split], y[:split]
+    x_test, y_test = x[split:], y_clean[split:]  # score against clean labels
+
+    print(f"train: {split} samples (15% label noise), test: {n - split} clean\n")
+
+    gb = GranularBallClassifier(rho=5, random_state=0).fit(x_train, y_train)
+    knn = KNeighborsClassifier(n_neighbors=5).fit(x_train, y_train)
+
+    print(f"GB classifier : {gb.n_balls_} balls "
+          f"({gb.compression_ratio():.1%} of training samples), "
+          f"clean-test accuracy {gb.score(x_test, y_test):.3f}")
+    print(f"kNN (k=5)     : {split} stored samples, "
+          f"clean-test accuracy {knn.score(x_test, y_test):.3f}")
+
+    # Persist the fitted geometry and reload it elsewhere.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "balls.npz"
+        gb.ball_set_.save(path)
+        restored = GranularBallSet.load(path)
+        agree = np.mean(restored.predict(x_test) == gb.predict(x_test))
+        size_kb = path.stat().st_size / 1024
+        print(f"\npersisted model: {size_kb:.1f} KiB on disk, "
+              f"reload prediction agreement {agree:.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Scenario: cleaning a label-noise-ridden training set before training.
+
+The paper's headline use-case: a medical-diagnosis-style dataset whose
+labels are 20% wrong.  We compare four pipelines — no sampling, simple
+random sampling, the GGBS baseline, and GBABS — across several classifiers,
+reproducing the structure of Table IV on one dataset.
+
+Run:  python examples/noisy_labels.py
+"""
+
+import numpy as np
+
+from repro.classifiers import make_classifier
+from repro.core import GBABS
+from repro.datasets import inject_class_noise, load_dataset
+from repro.evaluation import evaluate_pipeline
+from repro.experiments.reporting import format_table
+from repro.sampling import make_sampler
+
+NOISE_RATIO = 0.2
+CLASSIFIERS = ("dt", "knn", "rf")
+
+
+def sampler_factory(method: str, gbabs_ratio: float):
+    """Seedable sampler factory for each pipeline of the comparison."""
+    if method == "none":
+        return None
+    if method == "srs":
+        # Paper protocol: SRS mirrors GBABS's sampling ratio.
+        return lambda seed: make_sampler("srs", ratio=gbabs_ratio, random_state=seed)
+    return lambda seed: make_sampler(method, random_state=seed)
+
+
+def main() -> None:
+    # "Diabetes"-profile surrogate with 20% of labels flipped.
+    x, y_clean = load_dataset("S2", size_factor=0.6, random_state=0)
+    y, flipped = inject_class_noise(y_clean, NOISE_RATIO, random_state=1)
+    print(f"dataset: {x.shape[0]} samples, {x.shape[1]} features, "
+          f"{flipped.size} labels flipped ({NOISE_RATIO:.0%})")
+
+    # Reference ratio so SRS is a fair comparison.
+    probe = GBABS(rho=5, random_state=0)
+    probe.fit_resample(x, y)
+    gbabs_ratio = probe.report_.sampling_ratio
+    print(f"GBABS keeps {gbabs_ratio:.0%} of the noisy dataset "
+          f"({probe.report_.n_noise_removed} samples removed as noise)\n")
+
+    rows = []
+    for clf_name in CLASSIFIERS:
+        row = [clf_name.upper()]
+        for method in ("gbabs", "ggbs", "srs", "none"):
+            def clf_factory(seed, name=clf_name):
+                if name == "rf":
+                    return make_classifier("rf", n_estimators=30, random_state=seed)
+                return make_classifier(name)
+
+            result = evaluate_pipeline(
+                x, y,
+                classifier_factory=clf_factory,
+                sampler_factory=sampler_factory(method, gbabs_ratio),
+                n_splits=5, n_repeats=2, random_state=0,
+            )
+            row.append(result.means["accuracy"])
+        rows.append(row)
+
+    print(format_table(
+        ["Classifier", "GBABS", "GGBS", "SRS", "no sampling"], rows
+    ))
+    print("\nGBABS should lead most rows: RD-GBG removed flipped labels and "
+          "GBABS kept only the class-boundary samples. (Ensembles like RF "
+          "are natively noise-robust, so their margin is the smallest.)")
+
+
+if __name__ == "__main__":
+    main()

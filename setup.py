@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline build environment lacks the ``wheel`` package, so PEP 517
+editable installs fail; this file lets ``pip install -e .`` fall back to the
+classic ``setup.py develop`` code path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""repro — reproduction of "Approximate Borderline Sampling using
+Granular-Ball for Classification Tasks" (Xie, Zhang & Xia, ICDE 2025).
+
+The package splits into the paper's contribution and its substrates:
+
+* :mod:`repro.core` — RD-GBG granular-ball generation and GBABS sampling.
+* :mod:`repro.sampling` — every baseline sampler of the evaluation.
+* :mod:`repro.classifiers` — from-scratch stand-ins for the five
+  scikit-learn / XGBoost / LightGBM classifiers.
+* :mod:`repro.datasets` — synthetic surrogates of the 13 Table I datasets.
+* :mod:`repro.evaluation` — metrics, cross-validation, Wilcoxon, ranking.
+* :mod:`repro.viz` — exact t-SNE and ASCII figure renderers.
+* :mod:`repro.experiments` — regenerators for every table and figure.
+
+Quickstart::
+
+    from repro import GBABS
+    sampler = GBABS(rho=5, random_state=0)
+    x_border, y_border = sampler.fit_resample(x, y)
+"""
+
+from repro.core import GBABS, RDGBG, GranularBall, GranularBallSet
+from repro.pipeline import SamplingPipeline
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GBABS",
+    "RDGBG",
+    "GranularBall",
+    "GranularBallSet",
+    "SamplingPipeline",
+    "__version__",
+]

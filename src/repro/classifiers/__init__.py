@@ -1,0 +1,50 @@
+"""From-scratch classifiers standing in for the paper's scikit-learn /
+XGBoost / LightGBM models.
+
+:func:`make_classifier` builds any of the five evaluation classifiers by the
+names used in Tables II–IV: ``dt``, ``knn``, ``rf``, ``xgboost``,
+``lightgbm``.
+"""
+
+from __future__ import annotations
+
+from repro.classifiers.base import BaseClassifier, clone
+from repro.classifiers.boosting import LightGBMClassifier, XGBoostClassifier
+from repro.classifiers.forest import RandomForestClassifier
+from repro.classifiers.gb_classifier import GranularBallClassifier
+from repro.classifiers.knn import KNeighborsClassifier
+from repro.classifiers.tree import DecisionTreeClassifier
+
+__all__ = [
+    "BaseClassifier",
+    "clone",
+    "DecisionTreeClassifier",
+    "KNeighborsClassifier",
+    "RandomForestClassifier",
+    "XGBoostClassifier",
+    "LightGBMClassifier",
+    "GranularBallClassifier",
+    "CLASSIFIER_NAMES",
+    "make_classifier",
+]
+
+_FACTORIES = {
+    "dt": DecisionTreeClassifier,
+    "knn": KNeighborsClassifier,
+    "rf": RandomForestClassifier,
+    "xgboost": XGBoostClassifier,
+    "lightgbm": LightGBMClassifier,
+    "gb": GranularBallClassifier,
+}
+
+CLASSIFIER_NAMES = tuple(_FACTORIES)
+
+
+def make_classifier(name: str, **kwargs) -> BaseClassifier:
+    """Instantiate an evaluation classifier by its paper name."""
+    key = name.lower()
+    if key not in _FACTORIES:
+        raise ValueError(
+            f"unknown classifier {name!r}; available: {', '.join(sorted(_FACTORIES))}"
+        )
+    return _FACTORIES[key](**kwargs)

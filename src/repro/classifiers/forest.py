@@ -1,0 +1,99 @@
+"""Random forest classifier (Breiman, 2001).
+
+Bootstrap-aggregated CART trees with per-node random feature subsets
+(``sqrt(p)`` by default) and soft voting (averaged leaf class
+distributions), matching scikit-learn's ``RandomForestClassifier``
+behaviour used by the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classifiers.base import BaseClassifier, check_fit_inputs, validate_fitted
+from repro.classifiers.tree import DecisionTreeClassifier
+
+__all__ = ["RandomForestClassifier"]
+
+
+class RandomForestClassifier(BaseClassifier):
+    """Ensemble of randomised CART trees.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees (scikit-learn default: 100).
+    max_depth, min_samples_split, min_samples_leaf:
+        Forwarded to each tree.
+    max_features:
+        Per-node feature subset size; default ``"sqrt"``.
+    bootstrap:
+        Draw each tree's training set with replacement.
+    random_state:
+        Seed for bootstrap draws and per-tree feature subsampling.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = "sqrt",
+        bootstrap: bool = True,
+        random_state: int | None = None,
+    ):
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = int(n_estimators)
+        self.max_depth = max_depth
+        self.min_samples_split = int(min_samples_split)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.max_features = max_features
+        self.bootstrap = bool(bootstrap)
+        self.random_state = random_state
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        x, y = check_fit_inputs(x, y)
+        self._encode_labels(y)
+        n = x.shape[0]
+        rng = np.random.default_rng(self.random_state)
+
+        self.estimators_: list[DecisionTreeClassifier] = []
+        for _ in range(self.n_estimators):
+            if self.bootstrap:
+                sample = rng.integers(0, n, size=n)
+            else:
+                sample = np.arange(n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                random_state=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(x[sample], y[sample])
+            self.estimators_.append(tree)
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Averaged per-tree leaf class distributions (soft voting).
+
+        Trees fitted on bootstrap folds may have seen fewer classes than the
+        forest; their probabilities are re-aligned onto ``classes_``.
+        """
+        validate_fitted(self)
+        x = np.asarray(x, dtype=np.float64)
+        n_classes = self.classes_.size
+        agg = np.zeros((x.shape[0], n_classes), dtype=np.float64)
+        class_pos = {int(c): i for i, c in enumerate(self.classes_)}
+        for tree in self.estimators_:
+            proba = tree.predict_proba(x)
+            cols = [class_pos[int(c)] for c in tree.classes_]
+            agg[:, cols] += proba
+        agg /= len(self.estimators_)
+        return agg
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        proba = self.predict_proba(x)
+        return self.classes_[np.argmax(proba, axis=1)]

@@ -1,0 +1,61 @@
+"""k-nearest-neighbour classifier (Cover & Hart, 1967).
+
+Matches scikit-learn's ``KNeighborsClassifier`` defaults used by the paper:
+``k = 5``, uniform weights, Euclidean metric, ties broken toward the
+smallest class label (the argmax of the vote count vector).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classifiers.base import BaseClassifier, check_fit_inputs, validate_fitted
+from repro.core.neighbors import NearestNeighbors
+
+__all__ = ["KNeighborsClassifier"]
+
+
+class KNeighborsClassifier(BaseClassifier):
+    """Majority-vote nearest-neighbour classifier.
+
+    Parameters
+    ----------
+    n_neighbors:
+        Vote neighbourhood size; clipped to the training-set size at fit
+        time so small resampled folds never crash.
+    """
+
+    def __init__(self, n_neighbors: int = 5):
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        self.n_neighbors = int(n_neighbors)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        x, y = check_fit_inputs(x, y)
+        self._y_encoded = self._encode_labels(y)
+        self._k = min(self.n_neighbors, x.shape[0])
+        self._nn = NearestNeighbors(n_neighbors=self._k).fit(x)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        validate_fitted(self)
+        x = np.asarray(x, dtype=np.float64)
+        _, idx = self._nn.kneighbors(x, n_neighbors=self._k)
+        votes = self._y_encoded[idx]
+        n_classes = self.classes_.size
+        counts = np.apply_along_axis(
+            lambda row: np.bincount(row, minlength=n_classes), 1, votes
+        )
+        return self.classes_[np.argmax(counts, axis=1)]
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Vote shares per class, ordered as ``classes_``."""
+        validate_fitted(self)
+        x = np.asarray(x, dtype=np.float64)
+        _, idx = self._nn.kneighbors(x, n_neighbors=self._k)
+        votes = self._y_encoded[idx]
+        n_classes = self.classes_.size
+        counts = np.apply_along_axis(
+            lambda row: np.bincount(row, minlength=n_classes), 1, votes
+        )
+        return counts / counts.sum(axis=1, keepdims=True)

@@ -1,0 +1,24 @@
+"""Dataset surrogates for the paper's Table I benchmarks plus noise tools."""
+
+from repro.datasets.noise import NOISE_RATIOS, inject_class_noise
+from repro.datasets.registry import (
+    DATASET_CODES,
+    DATASETS,
+    DatasetSpec,
+    dataset_table,
+    get_spec,
+    imbalance_ratio,
+    load_dataset,
+)
+
+__all__ = [
+    "DATASET_CODES",
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_table",
+    "get_spec",
+    "imbalance_ratio",
+    "load_dataset",
+    "NOISE_RATIOS",
+    "inject_class_noise",
+]

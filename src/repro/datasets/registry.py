@@ -1,0 +1,291 @@
+"""Registry of the 13 benchmark dataset surrogates (Table I).
+
+Each entry mirrors a row of the paper's Table I: same sample count, feature
+count, class count and imbalance ratio (IR), with a synthetic geometry
+chosen to match the paper's qualitative description of the dataset (see
+DESIGN.md §1.3 and :mod:`repro.datasets.synthetic`).
+
+The registry supports *size scaling*: ``load_dataset("S8",
+size_factor=0.1)`` builds a 10% surrogate with identical geometry, which is
+how the benchmark suite keeps full-grid runs laptop-sized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.datasets import synthetic
+
+__all__ = [
+    "DatasetSpec",
+    "DATASETS",
+    "DATASET_CODES",
+    "get_spec",
+    "load_dataset",
+    "dataset_table",
+    "imbalance_ratio",
+]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Profile of one benchmark dataset surrogate.
+
+    Attributes
+    ----------
+    code:
+        Paper alias (``S1`` … ``S13``).
+    name:
+        Original dataset name from Table I.
+    n_samples, n_features, n_classes, ir:
+        The Table I profile being matched.
+    builder:
+        ``builder(n_samples, rng) -> (x, y)``.
+    categorical_features:
+        Column indices treated as categorical (for SMOTENC); empty tuple
+        for purely continuous surrogates.
+    source:
+        Repository the original dataset came from.
+    """
+
+    code: str
+    name: str
+    n_samples: int
+    n_features: int
+    n_classes: int
+    ir: float
+    builder: Callable[[int, np.random.Generator], tuple[np.ndarray, np.ndarray]]
+    categorical_features: tuple[int, ...] = field(default=())
+    source: str = "UCI"
+
+
+def _binary_weights(ir: float) -> np.ndarray:
+    """Two-class weights realising majority/minority ratio ``ir``."""
+    return np.array([ir, 1.0]) / (ir + 1.0)
+
+
+def _geometric_weights(n_classes: int, ir: float) -> np.ndarray:
+    """Multi-class weights with max/min ratio exactly ``ir``.
+
+    Class frequencies interpolate geometrically between the majority and
+    minority class, a reasonable stand-in for the long-tailed distributions
+    of page-blocks / shuttle-like datasets.
+    """
+    if n_classes == 2:
+        return _binary_weights(ir)
+    exponents = 1.0 - np.arange(n_classes) / (n_classes - 1)
+    weights = ir**exponents
+    return weights / weights.sum()
+
+
+def _quantize_columns(
+    x: np.ndarray, columns: tuple[int, ...], n_levels: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Convert selected continuous columns to small integer levels.
+
+    Used to give surrogates of mixed-type datasets (Credit Approval,
+    coil2000) genuine categorical columns for SMOTENC.
+    """
+    if not columns:
+        return x
+    x = x.copy()
+    for col in columns:
+        edges = np.quantile(x[:, col], np.linspace(0, 1, n_levels + 1)[1:-1])
+        x[:, col] = np.searchsorted(edges, x[:, col]).astype(np.float64)
+    return x
+
+
+# --- per-dataset builders -------------------------------------------------
+
+
+def _build_credit_approval(n: int, rng: np.random.Generator):
+    x, y = synthetic.gaussian_mixture(
+        n, 15, _binary_weights(1.25), rng,
+        class_sep=2.6, cluster_std=1.0, clusters_per_class=3,
+        informative_fraction=0.6,
+    )
+    return _quantize_columns(x, tuple(range(9, 15)), 3, rng), y
+
+
+def _build_diabetes(n: int, rng: np.random.Generator):
+    return synthetic.gaussian_mixture(
+        n, 8, _binary_weights(1.87), rng,
+        class_sep=1.3, cluster_std=1.0, clusters_per_class=2,
+    )
+
+
+def _build_car_evaluation(n: int, rng: np.random.Generator):
+    return synthetic.grid_categorical(
+        n, 6, _geometric_weights(4, 18.62), rng, n_levels=4, rule_noise=0.08
+    )
+
+
+def _build_pumpkin_seeds(n: int, rng: np.random.Generator):
+    return synthetic.gaussian_mixture(
+        n, 12, _binary_weights(1.08), rng,
+        class_sep=2.6, cluster_std=1.0, clusters_per_class=1,
+    )
+
+
+def _build_banana(n: int, rng: np.random.Generator):
+    return synthetic.banana(n, _binary_weights(1.23), rng, noise=0.30)
+
+
+def _build_page_blocks(n: int, rng: np.random.Generator):
+    return synthetic.gaussian_mixture(
+        n, 11, _geometric_weights(5, 175.46), rng,
+        class_sep=4.0, cluster_std=1.0, clusters_per_class=1,
+    )
+
+
+def _build_coil2000(n: int, rng: np.random.Generator):
+    x, y = synthetic.gaussian_mixture(
+        n, 85, _binary_weights(15.76), rng,
+        class_sep=1.3, cluster_std=1.0, clusters_per_class=2,
+        informative_fraction=0.3,
+    )
+    return _quantize_columns(x, tuple(range(65, 85)), 4, rng), y
+
+
+def _build_dry_bean(n: int, rng: np.random.Generator):
+    return synthetic.gaussian_mixture(
+        n, 16, _geometric_weights(7, 6.79), rng,
+        class_sep=4.5, cluster_std=1.0, clusters_per_class=1,
+    )
+
+
+def _build_htru2(n: int, rng: np.random.Generator):
+    return synthetic.gaussian_mixture(
+        n, 8, _binary_weights(9.92), rng,
+        class_sep=2.8, cluster_std=1.0, clusters_per_class=1,
+    )
+
+
+def _build_magic(n: int, rng: np.random.Generator):
+    return synthetic.gaussian_mixture(
+        n, 10, _binary_weights(1.84), rng,
+        class_sep=2.3, cluster_std=1.0, clusters_per_class=3,
+    )
+
+
+def _build_shuttle(n: int, rng: np.random.Generator):
+    return synthetic.gaussian_mixture(
+        n, 9, _geometric_weights(7, 4558.6), rng,
+        class_sep=6.0, cluster_std=0.7, clusters_per_class=1,
+    )
+
+
+def _build_gas_sensor(n: int, rng: np.random.Generator):
+    return synthetic.gaussian_mixture(
+        n, 128, _geometric_weights(6, 1.83), rng,
+        class_sep=8.0, cluster_std=1.0, clusters_per_class=1,
+        informative_fraction=0.25,
+    )
+
+
+def _build_usps(n: int, rng: np.random.Generator):
+    return synthetic.gaussian_mixture(
+        n, 256, _geometric_weights(10, 2.19), rng,
+        class_sep=10.0, cluster_std=1.0, clusters_per_class=1,
+        informative_fraction=0.2,
+    )
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    spec.code: spec
+    for spec in [
+        DatasetSpec("S1", "Credit Approval", 690, 15, 2, 1.25,
+                    _build_credit_approval, tuple(range(9, 15)), "UCI"),
+        DatasetSpec("S2", "Diabetes", 768, 8, 2, 1.87, _build_diabetes),
+        DatasetSpec("S3", "Car Evaluation", 1728, 6, 4, 18.62,
+                    _build_car_evaluation, tuple(range(6)), "UCI"),
+        DatasetSpec("S4", "Pumpkin Seeds", 2500, 12, 2, 1.08,
+                    _build_pumpkin_seeds, (), "Kaggle"),
+        DatasetSpec("S5", "banana", 5300, 2, 2, 1.23, _build_banana, (), "KEEL"),
+        DatasetSpec("S6", "page-blocks", 5473, 11, 5, 175.46, _build_page_blocks),
+        DatasetSpec("S7", "coil2000", 9822, 85, 2, 15.76,
+                    _build_coil2000, tuple(range(65, 85)), "KEEL"),
+        DatasetSpec("S8", "Dry Bean", 13611, 16, 7, 6.79, _build_dry_bean),
+        DatasetSpec("S9", "HTRU2", 17898, 8, 2, 9.92, _build_htru2),
+        DatasetSpec("S10", "magic", 19020, 10, 2, 1.84, _build_magic, (), "KEEL"),
+        DatasetSpec("S11", "shuttle", 58000, 9, 7, 4558.6, _build_shuttle, (), "KEEL"),
+        DatasetSpec("S12", "Gas Sensor", 13910, 128, 6, 1.83, _build_gas_sensor),
+        DatasetSpec("S13", "USPS", 9298, 256, 10, 2.19, _build_usps, (), "VLDB"),
+    ]
+}
+
+DATASET_CODES = tuple(DATASETS)
+
+
+def get_spec(code: str) -> DatasetSpec:
+    """Spec by paper alias (``"S5"``) or by original name (``"banana"``)."""
+    key = code.strip()
+    if key in DATASETS:
+        return DATASETS[key]
+    for spec in DATASETS.values():
+        if spec.name.lower() == key.lower():
+            return spec
+    raise KeyError(f"unknown dataset {code!r}; known codes: {DATASET_CODES}")
+
+
+def load_dataset(
+    code: str,
+    size_factor: float = 1.0,
+    random_state: int | None = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Build the surrogate for a Table I dataset.
+
+    Parameters
+    ----------
+    code:
+        Dataset alias (``S1`` … ``S13``) or original name.
+    size_factor:
+        Multiplier on the sample count, clipped below so each class keeps a
+        workable minimum (30 samples per class or the scaled size,
+        whichever is larger).
+    random_state:
+        Seed; surrogates are fully deterministic given (code, factor, seed).
+    """
+    if size_factor <= 0:
+        raise ValueError("size_factor must be positive")
+    spec = get_spec(code)
+    n = int(round(spec.n_samples * size_factor))
+    n = max(n, 30 * spec.n_classes)
+    rng = np.random.default_rng(random_state)
+    x, y = spec.builder(n, rng)
+    if x.shape[1] != spec.n_features:
+        raise RuntimeError(
+            f"builder for {spec.code} produced {x.shape[1]} features, "
+            f"expected {spec.n_features}"
+        )
+    return x, y
+
+
+def imbalance_ratio(y: np.ndarray) -> float:
+    """Majority count over minority count (the IR of Table I)."""
+    _, counts = np.unique(y, return_counts=True)
+    return float(counts.max() / counts.min())
+
+
+def dataset_table(size_factor: float = 1.0, random_state: int = 0) -> list[dict]:
+    """Realised Table I: one row per surrogate with target vs actual stats."""
+    rows = []
+    for spec in DATASETS.values():
+        x, y = load_dataset(spec.code, size_factor, random_state)
+        rows.append(
+            {
+                "code": spec.code,
+                "name": spec.name,
+                "target_samples": spec.n_samples,
+                "samples": x.shape[0],
+                "features": x.shape[1],
+                "classes": int(np.unique(y).size),
+                "target_ir": spec.ir,
+                "ir": imbalance_ratio(y),
+                "source": spec.source,
+            }
+        )
+    return rows

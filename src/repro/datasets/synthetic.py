@@ -1,0 +1,204 @@
+"""Synthetic dataset geometries used to build the Table I surrogates.
+
+The offline environment cannot download the paper's UCI / KEEL / Kaggle
+datasets, so each of the 13 benchmark datasets is replaced by a synthetic
+surrogate with matching size, dimensionality, class count and imbalance
+ratio (see DESIGN.md §1.3).  This module provides the geometric building
+blocks; :mod:`repro.datasets.registry` wires them to the dataset profiles.
+
+All generators take an explicit ``numpy.random.Generator`` and are fully
+deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "class_sizes_from_weights",
+    "gaussian_mixture",
+    "banana",
+    "concentric_rings",
+    "grid_categorical",
+    "shuffled",
+]
+
+
+def class_sizes_from_weights(
+    n_samples: int, weights: np.ndarray | list[float]
+) -> np.ndarray:
+    """Integer class sizes summing exactly to ``n_samples``.
+
+    Fractional parts are resolved largest-remainder-first so the realised
+    imbalance ratio tracks the requested weights as closely as possible,
+    and every class gets at least one sample.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 1 or weights.size == 0:
+        raise ValueError("weights must be a non-empty 1-D array")
+    if (weights <= 0).any():
+        raise ValueError("weights must be positive")
+    weights = weights / weights.sum()
+    raw = weights * n_samples
+    sizes = np.floor(raw).astype(np.intp)
+    sizes = np.maximum(sizes, 1)
+    deficit = n_samples - int(sizes.sum())
+    if deficit > 0:
+        order = np.argsort(-(raw - np.floor(raw)), kind="stable")
+        for i in range(deficit):
+            sizes[order[i % sizes.size]] += 1
+    elif deficit < 0:
+        order = np.argsort(raw - np.floor(raw), kind="stable")
+        i = 0
+        while deficit < 0:
+            j = order[i % sizes.size]
+            if sizes[j] > 1:
+                sizes[j] -= 1
+                deficit += 1
+            i += 1
+    return sizes
+
+
+def gaussian_mixture(
+    n_samples: int,
+    n_features: int,
+    weights: np.ndarray | list[float],
+    rng: np.random.Generator,
+    class_sep: float = 2.0,
+    cluster_std: float = 1.0,
+    clusters_per_class: int = 1,
+    informative_fraction: float = 1.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gaussian mixture classification data with controllable overlap.
+
+    Class centres are drawn on a hypersphere of radius ``class_sep`` in the
+    informative subspace; the remaining features are pure noise, which is
+    how the high-dimensional surrogates (coil2000, Gas Sensor, USPS) emulate
+    their redundant-feature structure.
+
+    Parameters
+    ----------
+    n_samples, n_features:
+        Output shape.
+    weights:
+        Relative class frequencies (defines the imbalance ratio).
+    rng:
+        Random generator.
+    class_sep:
+        Radius of the centre sphere; larger = cleaner boundaries.
+    cluster_std:
+        Isotropic standard deviation of each cluster.
+    clusters_per_class:
+        Multi-modal classes (>1 makes boundaries non-convex).
+    informative_fraction:
+        Fraction of features that carry class signal.
+    """
+    sizes = class_sizes_from_weights(n_samples, weights)
+    n_classes = sizes.size
+    n_informative = max(2, int(round(informative_fraction * n_features)))
+    n_informative = min(n_informative, n_features)
+
+    xs = []
+    ys = []
+    for cls, size in enumerate(sizes):
+        per_cluster = class_sizes_from_weights(
+            int(size), np.ones(clusters_per_class)
+        )
+        for c_size in per_cluster:
+            direction = rng.normal(size=n_informative)
+            direction /= np.linalg.norm(direction) + 1e-12
+            center = direction * class_sep * (1.0 + 0.15 * rng.normal())
+            block = rng.normal(
+                loc=0.0, scale=cluster_std, size=(int(c_size), n_features)
+            )
+            block[:, :n_informative] += center
+            xs.append(block)
+            ys.append(np.full(int(c_size), cls, dtype=np.intp))
+    return shuffled(np.vstack(xs), np.concatenate(ys), rng)
+
+
+def banana(
+    n_samples: int,
+    weights: np.ndarray | list[float],
+    rng: np.random.Generator,
+    noise: float = 0.18,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Two interleaved crescents in 2-D — the classic "banana" shape (S5)."""
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.size != 2:
+        raise ValueError("banana is a binary dataset")
+    sizes = class_sizes_from_weights(n_samples, weights)
+
+    t0 = rng.uniform(0.0, np.pi, int(sizes[0]))
+    x0 = np.column_stack([np.cos(t0), np.sin(t0)])
+    t1 = rng.uniform(0.0, np.pi, int(sizes[1]))
+    x1 = np.column_stack([1.0 - np.cos(t1), 0.5 - np.sin(t1)])
+
+    x = np.vstack([x0, x1]) + rng.normal(scale=noise, size=(n_samples, 2))
+    y = np.concatenate(
+        [np.zeros(int(sizes[0]), dtype=np.intp), np.ones(int(sizes[1]), dtype=np.intp)]
+    )
+    return shuffled(x, y, rng)
+
+
+def concentric_rings(
+    n_samples: int,
+    weights: np.ndarray | list[float],
+    rng: np.random.Generator,
+    n_features: int = 2,
+    ring_gap: float = 1.5,
+    noise: float = 0.25,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Classes as concentric hyperspherical shells (non-linear boundaries)."""
+    sizes = class_sizes_from_weights(n_samples, weights)
+    xs = []
+    ys = []
+    for cls, size in enumerate(sizes):
+        direction = rng.normal(size=(int(size), n_features))
+        direction /= np.linalg.norm(direction, axis=1, keepdims=True) + 1e-12
+        radius = (cls + 1) * ring_gap + rng.normal(scale=noise, size=(int(size), 1))
+        xs.append(direction * radius)
+        ys.append(np.full(int(size), cls, dtype=np.intp))
+    return shuffled(np.vstack(xs), np.concatenate(ys), rng)
+
+
+def grid_categorical(
+    n_samples: int,
+    n_features: int,
+    weights: np.ndarray | list[float],
+    rng: np.random.Generator,
+    n_levels: int = 4,
+    rule_noise: float = 0.35,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Low-cardinality integer features with a noisy scoring rule (S3-like).
+
+    Features take values ``0..n_levels-1``; a random linear scoring rule
+    plus Gaussian noise is quantile-split into classes of the requested
+    sizes.  With few levels and a noisy rule, samples of different classes
+    share identical feature cells — reproducing the heavily overlapping
+    class structure the paper observes for Car Evaluation (Fig. 5(c)).
+    """
+    sizes = class_sizes_from_weights(n_samples, weights)
+    x = rng.integers(0, n_levels, size=(n_samples, n_features)).astype(np.float64)
+    rule = rng.normal(size=n_features)
+    score = x @ rule + rng.normal(scale=rule_noise * np.abs(rule).sum(), size=n_samples)
+
+    order = np.argsort(score, kind="stable")
+    y = np.empty(n_samples, dtype=np.intp)
+    # Largest class occupies the lowest-score band, etc.; band order is
+    # randomised so the label-score relationship is not monotone in cls id.
+    band_order = rng.permutation(sizes.size)
+    start = 0
+    for cls in band_order:
+        stop = start + int(sizes[cls])
+        y[order[start:stop]] = cls
+        start = stop
+    return shuffled(x, y, rng)
+
+
+def shuffled(
+    x: np.ndarray, y: np.ndarray, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Consistent random permutation of a dataset."""
+    perm = rng.permutation(x.shape[0])
+    return x[perm], y[perm]

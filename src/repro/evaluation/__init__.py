@@ -1,0 +1,48 @@
+"""Evaluation harness: metrics, cross-validation, statistics and ranking."""
+
+from repro.evaluation.cross_validation import (
+    CVResult,
+    evaluate_pipeline,
+    stratified_kfold_indices,
+)
+from repro.evaluation.metrics import (
+    METRICS,
+    accuracy_score,
+    compute_metric,
+    confusion_matrix,
+    g_mean_score,
+    per_class_recall,
+    precision_recall_f1,
+)
+from repro.evaluation.posthoc import (
+    FriedmanResult,
+    friedman_test,
+    nemenyi_critical_difference,
+)
+from repro.evaluation.ranking import average_ranks, rank_methods
+from repro.evaluation.stats import (
+    WilcoxonResult,
+    rankdata_average,
+    wilcoxon_signed_rank,
+)
+
+__all__ = [
+    "CVResult",
+    "evaluate_pipeline",
+    "stratified_kfold_indices",
+    "METRICS",
+    "accuracy_score",
+    "compute_metric",
+    "confusion_matrix",
+    "g_mean_score",
+    "per_class_recall",
+    "precision_recall_f1",
+    "average_ranks",
+    "rank_methods",
+    "WilcoxonResult",
+    "rankdata_average",
+    "wilcoxon_signed_rank",
+    "FriedmanResult",
+    "friedman_test",
+    "nemenyi_critical_difference",
+]

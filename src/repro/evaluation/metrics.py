@@ -1,0 +1,118 @@
+"""Classification metrics used by the paper's evaluation.
+
+``Accuracy`` drives Tables II–IV; ``G-mean`` (the geometric mean of
+per-class recalls, reducing to ``sqrt(sensitivity * specificity)`` for two
+classes) drives the imbalanced comparison of Fig. 9.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "accuracy_score",
+    "confusion_matrix",
+    "per_class_recall",
+    "g_mean_score",
+    "precision_recall_f1",
+    "METRICS",
+    "compute_metric",
+]
+
+
+def _check_pair(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape or y_true.ndim != 1:
+        raise ValueError("y_true and y_pred must be 1-D arrays of equal length")
+    if y_true.size == 0:
+        raise ValueError("metrics are undefined for empty inputs")
+    return y_true, y_pred
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exactly matching labels."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    labels: np.ndarray | None = None,
+) -> np.ndarray:
+    """Counts matrix ``C[i, j]`` = true class ``labels[i]`` predicted ``labels[j]``.
+
+    ``labels`` defaults to the sorted union of true and predicted labels, so
+    predictions of classes absent from ``y_true`` still land in a column.
+    """
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    labels = np.asarray(labels)
+    index = {int(lab): i for i, lab in enumerate(labels)}
+    k = labels.size
+    out = np.zeros((k, k), dtype=np.intp)
+    for t, p in zip(y_true, y_pred):
+        out[index[int(t)], index[int(p)]] += 1
+    return out
+
+
+def per_class_recall(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+    """Recall of every class present in ``y_true`` (sorted by label)."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    classes = np.unique(y_true)
+    recalls = np.empty(classes.size, dtype=np.float64)
+    for i, cls in enumerate(classes):
+        mask = y_true == cls
+        recalls[i] = float(np.mean(y_pred[mask] == cls))
+    return recalls
+
+
+def g_mean_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Geometric mean of per-class recalls (0 if any class is fully missed)."""
+    recalls = per_class_recall(y_true, y_pred)
+    if np.any(recalls == 0.0):
+        return 0.0
+    return float(np.exp(np.mean(np.log(recalls))))
+
+
+def precision_recall_f1(
+    y_true: np.ndarray, y_pred: np.ndarray
+) -> dict[str, np.ndarray | float]:
+    """Per-class precision/recall/F1 plus macro averages."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    classes = np.unique(y_true)
+    precision = np.empty(classes.size)
+    recall = np.empty(classes.size)
+    for i, cls in enumerate(classes):
+        predicted = y_pred == cls
+        actual = y_true == cls
+        precision[i] = (
+            float(np.mean(y_true[predicted] == cls)) if predicted.any() else 0.0
+        )
+        recall[i] = float(np.mean(y_pred[actual] == cls))
+    denom = precision + recall
+    f1 = np.where(denom > 0, 2 * precision * recall / np.where(denom > 0, denom, 1), 0.0)
+    return {
+        "classes": classes,
+        "precision": precision,
+        "recall": recall,
+        "f1": f1,
+        "macro_precision": float(precision.mean()),
+        "macro_recall": float(recall.mean()),
+        "macro_f1": float(f1.mean()),
+    }
+
+
+METRICS = {
+    "accuracy": accuracy_score,
+    "g_mean": g_mean_score,
+}
+
+
+def compute_metric(name: str, y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Metric dispatch by name (``accuracy`` or ``g_mean``)."""
+    if name not in METRICS:
+        raise ValueError(f"unknown metric {name!r}; available: {tuple(METRICS)}")
+    return METRICS[name](y_true, y_pred)

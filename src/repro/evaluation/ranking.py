@@ -1,0 +1,71 @@
+"""Per-dataset method ranking, the presentation device of Fig. 9.
+
+The paper ranks the eight sampling methods on every dataset by testing
+G-mean (1 = best).  :func:`rank_methods` produces that rank matrix from a
+``method -> scores-over-datasets`` mapping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rank_methods", "average_ranks"]
+
+
+def rank_methods(
+    scores: dict[str, np.ndarray],
+    higher_is_better: bool = True,
+    method: str = "competition",
+) -> dict[str, np.ndarray]:
+    """Rank methods per dataset.
+
+    Parameters
+    ----------
+    scores:
+        Mapping ``method name -> scores`` where each array covers the same
+        datasets in the same order.
+    higher_is_better:
+        G-mean and accuracy are maximised.
+    method:
+        ``"competition"`` ("1224"-style, ties share the best rank — this
+        yields the integer ranks shown in Fig. 9) or ``"average"``.
+
+    Returns
+    -------
+    dict
+        ``method name -> ranks`` (same shape as the inputs, 1 = best).
+    """
+    if method not in ("competition", "average"):
+        raise ValueError("method must be 'competition' or 'average'")
+    names = list(scores)
+    if not names:
+        raise ValueError("scores must contain at least one method")
+    matrix = np.vstack([np.asarray(scores[n], dtype=np.float64) for n in names])
+    if matrix.ndim != 2:
+        raise ValueError("each method needs a 1-D score array")
+    signed = -matrix if higher_is_better else matrix
+
+    n_methods, n_datasets = matrix.shape
+    ranks = np.empty_like(signed)
+    for j in range(n_datasets):
+        col = signed[:, j]
+        order = np.argsort(col, kind="stable")
+        r = np.empty(n_methods, dtype=np.float64)
+        i = 0
+        while i < n_methods:
+            k = i
+            while k + 1 < n_methods and col[order[k + 1]] == col[order[i]]:
+                k += 1
+            if method == "competition":
+                value = i + 1.0
+            else:
+                value = 0.5 * (i + k) + 1.0
+            r[order[i : k + 1]] = value
+            i = k + 1
+        ranks[:, j] = r
+    return {name: ranks[i] for i, name in enumerate(names)}
+
+
+def average_ranks(ranks: dict[str, np.ndarray]) -> dict[str, float]:
+    """Mean rank of every method across datasets (lower is better)."""
+    return {name: float(np.mean(r)) for name, r in ranks.items()}

@@ -1,0 +1,14 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from repro.experiments.config import FULL, MEDIUM, QUICK, ExperimentConfig, active_config
+from repro.experiments.runner import clear_cache, run_cell
+
+__all__ = [
+    "ExperimentConfig",
+    "QUICK",
+    "MEDIUM",
+    "FULL",
+    "active_config",
+    "run_cell",
+    "clear_cache",
+]

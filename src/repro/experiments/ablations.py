@@ -1,0 +1,147 @@
+"""Ablation studies for the design choices the paper motivates.
+
+A1 — the non-overlap constraint (conflict radius clipping, §IV-B2): the
+paper argues GB overlap blurs or shrinks class boundaries.  We generate
+balls with and without the constraint and compare overlap depth, ball count
+and downstream GBABS-DT accuracy.
+
+A2 — the noise-detection rules (§IV-B1): the paper credits them for the
+robustness at high class-noise ratios.  We compare GBABS with and without
+noise removal at a fixed noise level.
+
+A3 — borderline-only sampling (§IV-C): the paper contrasts GBABS with
+GGBS's sample-every-ball strategy.  We compare borderline-only selection
+against the ``sample_all_balls`` variant on the same RD-GBG balls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classifiers import DecisionTreeClassifier
+from repro.core.gbabs import GBABS
+from repro.core.rdgbg import RDGBG
+from repro.evaluation.cross_validation import evaluate_pipeline
+from repro.experiments.config import ExperimentConfig, active_config
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import dataset_with_noise
+
+__all__ = [
+    "ablation_overlap",
+    "ablation_noise_detection",
+    "ablation_borderline",
+    "format_ablation",
+]
+
+
+def _gbabs_dt_accuracy(
+    x: np.ndarray, y: np.ndarray, cfg: ExperimentConfig, **gbabs_kwargs
+) -> float:
+    """CV accuracy of a DT trained on a configurable GBABS variant."""
+    result = evaluate_pipeline(
+        x,
+        y,
+        classifier_factory=lambda seed: DecisionTreeClassifier(),
+        sampler_factory=lambda seed: GBABS(random_state=seed, **gbabs_kwargs),
+        n_splits=cfg.n_splits,
+        n_repeats=cfg.n_repeats,
+        random_state=cfg.random_state,
+    )
+    return result.means["accuracy"]
+
+
+def ablation_overlap(cfg: ExperimentConfig | None = None) -> dict:
+    """A1: RD-GBG with vs without the conflict-radius constraint."""
+    cfg = cfg or active_config()
+    rows = []
+    for code in cfg.datasets:
+        x, y = dataset_with_noise(code, cfg, 0.0)
+        row = {"dataset": code}
+        for label, enforce in (("no_overlap", True), ("overlap_allowed", False)):
+            gen = RDGBG(
+                rho=cfg.rho,
+                random_state=cfg.random_state,
+                enforce_no_overlap=enforce,
+            )
+            result = gen.generate(x, y)
+            row[f"{label}_balls"] = len(result.ball_set)
+            row[f"{label}_max_overlap"] = result.ball_set.max_overlap()
+            row[f"{label}_accuracy"] = _gbabs_dt_accuracy(
+                x, y, cfg,
+                generator=RDGBG(
+                    rho=cfg.rho,
+                    random_state=cfg.random_state,
+                    enforce_no_overlap=enforce,
+                ),
+            )
+        rows.append(row)
+    return {"rows": rows, "ablation": "A1-overlap", "profile": cfg.name}
+
+
+def ablation_noise_detection(
+    cfg: ExperimentConfig | None = None, noise_ratio: float = 0.2
+) -> dict:
+    """A2: noise-detection rules on vs off, at ``noise_ratio`` label noise."""
+    cfg = cfg or active_config()
+    rows = []
+    for code in cfg.datasets:
+        x, y = dataset_with_noise(code, cfg, noise_ratio)
+        row = {"dataset": code, "noise_ratio": noise_ratio}
+        for label, detect in (("detect", True), ("no_detect", False)):
+            sampler = GBABS(
+                generator=RDGBG(
+                    rho=cfg.rho,
+                    random_state=cfg.random_state,
+                    detect_noise=detect,
+                )
+            )
+            sampler.fit_resample(x, y)
+            row[f"{label}_ratio"] = sampler.report_.sampling_ratio
+            row[f"{label}_noise_removed"] = sampler.report_.n_noise_removed
+            row[f"{label}_accuracy"] = _gbabs_dt_accuracy(
+                x, y, cfg,
+                generator=RDGBG(
+                    rho=cfg.rho,
+                    random_state=cfg.random_state,
+                    detect_noise=detect,
+                ),
+            )
+        rows.append(row)
+    return {
+        "rows": rows,
+        "ablation": "A2-noise-detection",
+        "noise_ratio": noise_ratio,
+        "profile": cfg.name,
+    }
+
+
+def ablation_borderline(cfg: ExperimentConfig | None = None) -> dict:
+    """A3: borderline-only sampling vs sampling every ball's extremes."""
+    cfg = cfg or active_config()
+    rows = []
+    for code in cfg.datasets:
+        x, y = dataset_with_noise(code, cfg, 0.0)
+        row = {"dataset": code}
+        for label, sample_all in (("borderline", False), ("all_balls", True)):
+            sampler = GBABS(
+                rho=cfg.rho,
+                random_state=cfg.random_state,
+                sample_all_balls=sample_all,
+            )
+            sampler.fit_resample(x, y)
+            row[f"{label}_ratio"] = sampler.report_.sampling_ratio
+            row[f"{label}_accuracy"] = _gbabs_dt_accuracy(
+                x, y, cfg, rho=cfg.rho, sample_all_balls=sample_all
+            )
+        rows.append(row)
+    return {"rows": rows, "ablation": "A3-borderline", "profile": cfg.name}
+
+
+def format_ablation(result: dict) -> str:
+    rows = result["rows"]
+    if not rows:
+        return f"{result['ablation']}: no datasets configured"
+    headers = list(rows[0].keys())
+    body = [[row[h] for h in headers] for row in rows]
+    title = f"Ablation {result['ablation']} (profile: {result['profile']})"
+    return title + "\n" + format_table(headers, body, float_format="{:.4f}")

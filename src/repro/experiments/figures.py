@@ -1,0 +1,268 @@
+"""Regenerators for the paper's Figs. 5–11.
+
+Each ``figN`` function returns the figure's underlying numbers; the
+``format_figN`` companions render ASCII versions through
+:mod:`repro.viz.ascii`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.gbabs import GBABS
+from repro.evaluation.posthoc import friedman_test, nemenyi_critical_difference
+from repro.evaluation.ranking import rank_methods
+from repro.experiments.config import ExperimentConfig, active_config
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import (
+    dataset_with_noise,
+    reference_gbabs_ratio,
+    run_cell,
+)
+from repro.sampling import GGBS
+from repro.viz import TSNE, bar_chart, heatmap, line_chart, ridge, scatter
+
+__all__ = [
+    "FIG9_METHODS",
+    "fig5",
+    "fig6",
+    "fig7_fig8",
+    "fig9",
+    "fig10_fig11",
+    "format_fig5",
+    "format_fig6",
+    "format_fig7_fig8",
+    "format_fig9",
+    "format_fig10_fig11",
+]
+
+#: The eight sampling rows of Fig. 9, in paper order.
+FIG9_METHODS = ("gbabs", "ggbs", "igbs", "smnc", "tomek", "sm", "bsm", "ori")
+
+#: Datasets visualised in Fig. 5.
+_FIG5_DATASETS = ("S5", "S1", "S3", "S6")
+
+
+def fig5(
+    cfg: ExperimentConfig | None = None,
+    max_points: int = 250,
+    n_iter: int = 300,
+) -> dict:
+    """Fig. 5: t-SNE embeddings of S5, S1, S3 and S6."""
+    cfg = cfg or active_config()
+    embeddings = {}
+    for code in _FIG5_DATASETS:
+        if code not in cfg.datasets:
+            continue
+        x, y = dataset_with_noise(code, cfg, 0.0)
+        if x.shape[0] > max_points:
+            rng = np.random.default_rng(cfg.random_state)
+            keep = rng.choice(x.shape[0], size=max_points, replace=False)
+            x, y = x[keep], y[keep]
+        emb = TSNE(
+            perplexity=min(30.0, (x.shape[0] - 1) / 4),
+            n_iter=n_iter,
+            random_state=cfg.random_state,
+        ).fit_transform(x)
+        embeddings[code] = {"embedding": emb, "labels": y}
+    return {"embeddings": embeddings, "profile": cfg.name}
+
+
+def format_fig5(result: dict) -> str:
+    sections = []
+    for code, data in result["embeddings"].items():
+        sections.append(f"Fig. 5 — t-SNE of {code}")
+        sections.append(scatter(data["embedding"], data["labels"], height=16, width=56))
+        sections.append("")
+    return "\n".join(sections)
+
+
+def fig6(cfg: ExperimentConfig | None = None) -> dict:
+    """Fig. 6: GBABS vs GGBS sampling ratio per dataset per noise ratio.
+
+    Ratios are measured on the whole (noisy) dataset, matching the paper's
+    per-dataset bars; the GBABS number doubles as the SRS reference ratio.
+    """
+    cfg = cfg or active_config()
+    noise_grid = (0.0,) + tuple(cfg.noise_ratios)
+    ratios: dict[float, dict[str, np.ndarray]] = {}
+    for noise in noise_grid:
+        gbabs_r = []
+        ggbs_r = []
+        for code in cfg.datasets:
+            x, y = dataset_with_noise(code, cfg, noise)
+            gbabs_r.append(reference_gbabs_ratio(code, cfg, noise))
+            ggbs = GGBS(random_state=cfg.random_state)
+            ggbs.fit_resample(x, y)
+            ggbs_r.append(ggbs.sampling_ratio(x.shape[0]))
+        ratios[noise] = {
+            "GBABS": np.asarray(gbabs_r),
+            "GGBS": np.asarray(ggbs_r),
+        }
+    return {"datasets": list(cfg.datasets), "ratios": ratios, "profile": cfg.name}
+
+
+def format_fig6(result: dict) -> str:
+    sections = []
+    for noise, series in result["ratios"].items():
+        sections.append(f"Fig. 6 — sampling ratio at noise {int(noise * 100)}%")
+        sections.append(bar_chart(result["datasets"], series, width=36))
+        sections.append("")
+    return "\n".join(sections)
+
+
+def fig7_fig8(
+    cfg: ExperimentConfig | None = None, table4_result: dict | None = None
+) -> dict:
+    """Figs. 7–8: accuracy distributions (ridge plots).
+
+    Fig. 7: XGBoost at 10% / 30% noise; Fig. 8: RF at 20% / 40% noise —
+    per-dataset accuracy vectors for the four pipelines of Table IV.
+    """
+    cfg = cfg or active_config()
+    if table4_result is None:
+        from repro.experiments.tables import table4
+
+        table4_result = table4(cfg)
+    panels = {}
+    for fig, clf, noises in (
+        ("fig7", "xgboost", (0.10, 0.30)),
+        ("fig8", "rf", (0.20, 0.40)),
+    ):
+        for noise in noises:
+            key = f"{fig}:{clf}@{int(noise * 100)}%"
+            panels[key] = {
+                method: table4_result["per_dataset"][(clf, method, noise)]
+                for method in table4_result["methods"]
+            }
+    return {
+        "panels": panels,
+        "datasets": table4_result["datasets"],
+        "profile": cfg.name,
+    }
+
+
+def format_fig7_fig8(result: dict) -> str:
+    sections = []
+    for key, series in result["panels"].items():
+        sections.append(f"Figs. 7–8 — accuracy distribution {key}")
+        sections.append(ridge(series, bins=28))
+        sections.append("")
+    return "\n".join(sections)
+
+
+def fig9(cfg: ExperimentConfig | None = None) -> dict:
+    """Fig. 9: per-dataset rank of testing G-mean for eight samplers × DT.
+
+    One rank matrix per noise ratio (0% plus the noise grid); rank 1 is the
+    best method on that dataset.
+    """
+    cfg = cfg or active_config()
+    noise_grid = (0.0,) + tuple(cfg.noise_ratios)
+    rank_matrices = {}
+    gmeans = {}
+    for noise in noise_grid:
+        scores = {}
+        for method in FIG9_METHODS:
+            scores[method] = np.asarray(
+                [
+                    run_cell(
+                        code, method, "dt", cfg,
+                        noise_ratio=noise, metrics=("accuracy", "g_mean"),
+                    ).means["g_mean"]
+                    for code in cfg.datasets
+                ]
+            )
+        gmeans[noise] = scores
+        rank_matrices[noise] = rank_methods(scores, higher_is_better=True)
+    # Friedman omnibus test + Nemenyi critical difference complement the
+    # per-dataset ranks (Demšar-style analysis of the same comparison).
+    friedman = {
+        noise: friedman_test(scores) for noise, scores in gmeans.items()
+    }
+    cd = nemenyi_critical_difference(len(FIG9_METHODS), len(cfg.datasets))
+    return {
+        "datasets": list(cfg.datasets),
+        "methods": list(FIG9_METHODS),
+        "ranks": rank_matrices,
+        "g_means": gmeans,
+        "friedman": friedman,
+        "nemenyi_cd": cd,
+        "profile": cfg.name,
+    }
+
+
+def format_fig9(result: dict) -> str:
+    sections = []
+    for noise, ranks in result["ranks"].items():
+        sections.append(f"Fig. 9 — G-mean ranks (DT) at noise {int(noise * 100)}%")
+        matrix = np.vstack([ranks[m] for m in result["methods"]])
+        sections.append(
+            heatmap(
+                [m.upper() for m in result["methods"]],
+                result["datasets"],
+                matrix,
+            )
+        )
+        fr = result["friedman"][noise]
+        sections.append(
+            f"Friedman chi2={fr.statistic:.2f} p={fr.p_value:.4f}"
+            f" ({'significant' if fr.significant() else 'n.s.'} at 0.05)"
+        )
+        sections.append("")
+    sections.append(
+        f"Nemenyi critical difference of average ranks: "
+        f"{result['nemenyi_cd']:.2f}"
+    )
+    return "\n".join(sections)
+
+
+def fig10_fig11(cfg: ExperimentConfig | None = None) -> dict:
+    """Figs. 10–11: density tolerance ρ sweep.
+
+    For every ρ in the grid: the GBABS sampling ratio on each clean dataset
+    (Fig. 10) and the GBABS-DT testing accuracy (Fig. 11).
+    """
+    cfg = cfg or active_config()
+    ratio_curves = {code: [] for code in cfg.datasets}
+    accuracy_curves = {code: [] for code in cfg.datasets}
+    for rho in cfg.rho_grid:
+        for code in cfg.datasets:
+            x, y = dataset_with_noise(code, cfg, 0.0)
+            sampler = GBABS(rho=rho, random_state=cfg.random_state)
+            sampler.fit_resample(x, y)
+            ratio_curves[code].append(sampler.report_.sampling_ratio)
+            cell = run_cell(code, "gbabs", "dt", cfg, noise_ratio=0.0, rho=rho)
+            accuracy_curves[code].append(cell.means["accuracy"])
+    return {
+        "rho_grid": list(cfg.rho_grid),
+        "sampling_ratio": {c: np.asarray(v) for c, v in ratio_curves.items()},
+        "accuracy": {c: np.asarray(v) for c, v in accuracy_curves.items()},
+        "profile": cfg.name,
+    }
+
+
+def format_fig10_fig11(result: dict) -> str:
+    rho = np.asarray(result["rho_grid"], dtype=np.float64)
+    sections = [
+        "Fig. 10 — sampling ratio vs density tolerance",
+        line_chart(rho, result["sampling_ratio"], height=12),
+        "",
+        "Fig. 11 — GBABS-DT accuracy vs density tolerance",
+        line_chart(rho, result["accuracy"], height=12),
+        "",
+        "numeric series (rows: dataset, cols: rho grid)",
+    ]
+    headers = ["Dataset"] + [str(int(r)) for r in rho]
+    ratio_rows = [
+        [code] + [float(v) for v in arr]
+        for code, arr in result["sampling_ratio"].items()
+    ]
+    acc_rows = [
+        [code] + [float(v) for v in arr] for code, arr in result["accuracy"].items()
+    ]
+    sections.append("sampling ratio:")
+    sections.append(format_table(headers, ratio_rows, float_format="{:.3f}"))
+    sections.append("accuracy:")
+    sections.append(format_table(headers, acc_rows, float_format="{:.3f}"))
+    return "\n".join(sections)

@@ -1,0 +1,51 @@
+"""Plain-text table formatting shared by benchmarks and the CLI."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["format_table", "format_kv"]
+
+
+def format_table(
+    headers: list[str],
+    rows: Iterable[Iterable],
+    float_format: str = "{:.4f}",
+) -> str:
+    """Fixed-width text table with a header rule.
+
+    Floats are rendered with ``float_format``; everything else with
+    ``str``.
+    """
+    rendered: list[list[str]] = []
+    for row in rows:
+        cells = []
+        for cell in row:
+            if isinstance(cell, float):
+                cells.append(float_format.format(cell))
+            else:
+                cells.append(str(cell))
+        rendered.append(cells)
+
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: list[str]) -> str:
+        return "  ".join(f"{c:>{w}}" for c, w in zip(cells, widths))
+
+    lines = [fmt_row(list(headers)), fmt_row(["-" * w for w in widths])]
+    lines.extend(fmt_row(row) for row in rendered)
+    return "\n".join(lines)
+
+
+def format_kv(title: str, pairs: dict) -> str:
+    """Titled key/value block."""
+    width = max(len(str(k)) for k in pairs) if pairs else 0
+    lines = [title, "-" * len(title)]
+    for key, value in pairs.items():
+        if isinstance(value, float):
+            value = f"{value:.4f}"
+        lines.append(f"{str(key):<{width}}  {value}")
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Command-line entry point regenerating every table and figure.
+
+Usage::
+
+    python -m repro.experiments.run_all                 # quick profile, all
+    python -m repro.experiments.run_all table2 fig6     # selected only
+    python -m repro.experiments.run_all --profile medium
+    python -m repro.experiments.run_all --profile full  # the paper's grid
+
+Results are printed as text reports and, with ``--json DIR``, also dumped
+as JSON for post-processing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments import ablations, figures, tables
+from repro.experiments.config import FULL, MEDIUM, QUICK
+
+_PROFILES = {"quick": QUICK, "medium": MEDIUM, "full": FULL}
+
+
+def _jsonable(obj):
+    """Recursively convert numpy containers for json.dump."""
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.floating, np.integer)):
+        return obj.item()
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    return obj
+
+
+def _experiments(cfg):
+    """(name, compute, render) triples for every table/figure/ablation."""
+    t2_cache: dict = {}
+
+    def table2_cached():
+        if "result" not in t2_cache:
+            t2_cache["result"] = tables.table2(cfg)
+        return t2_cache["result"]
+
+    return [
+        ("table1", lambda: tables.table1(cfg), tables.format_table1),
+        ("table2", table2_cached, tables.format_table2),
+        ("table3", lambda: tables.table3(cfg, table2_cached()), tables.format_table3),
+        ("table4", lambda: tables.table4(cfg), tables.format_table4),
+        ("fig5", lambda: figures.fig5(cfg), figures.format_fig5),
+        ("fig6", lambda: figures.fig6(cfg), figures.format_fig6),
+        ("fig7_fig8", lambda: figures.fig7_fig8(cfg), figures.format_fig7_fig8),
+        ("fig9", lambda: figures.fig9(cfg), figures.format_fig9),
+        ("fig10_fig11", lambda: figures.fig10_fig11(cfg), figures.format_fig10_fig11),
+        ("ablation_overlap", lambda: ablations.ablation_overlap(cfg),
+         ablations.format_ablation),
+        ("ablation_noise", lambda: ablations.ablation_noise_detection(cfg),
+         ablations.format_ablation),
+        ("ablation_borderline", lambda: ablations.ablation_borderline(cfg),
+         ablations.format_ablation),
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment names (default: all)")
+    parser.add_argument("--profile", choices=sorted(_PROFILES), default="quick")
+    parser.add_argument("--json", metavar="DIR", default=None,
+                        help="also dump raw results as JSON files")
+    args = parser.parse_args(argv)
+
+    cfg = _PROFILES[args.profile]
+    available = _experiments(cfg)
+    names = [n for n, _, _ in available]
+    selected = args.experiments or names
+    unknown = sorted(set(selected) - set(names))
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}; available: {names}")
+
+    json_dir = Path(args.json) if args.json else None
+    if json_dir:
+        json_dir.mkdir(parents=True, exist_ok=True)
+
+    for name, compute, render in available:
+        if name not in selected:
+            continue
+        start = time.time()
+        result = compute()
+        elapsed = time.time() - start
+        print(f"\n=== {name} (profile: {cfg.name}, {elapsed:.1f}s) ===")
+        print(render(result))
+        if json_dir:
+            path = json_dir / f"{name}.json"
+            path.write_text(json.dumps(_jsonable(result), indent=2))
+            print(f"[saved {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,164 @@
+"""Regenerators for the paper's Tables I–IV.
+
+Each ``tableN`` function returns a plain dict of results (benchmarks and
+tests consume this), and each ``format_tableN`` renders the corresponding
+report text.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import dataset_table
+from repro.evaluation.stats import wilcoxon_signed_rank
+from repro.experiments.config import ExperimentConfig, active_config
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import run_cell
+
+__all__ = [
+    "TABLE2_METHODS",
+    "TABLE4_CLASSIFIERS",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "format_table4",
+]
+
+#: Sampling pipelines of Table II (paper order): GBABS-DT, GGBS-DT, SRS-DT, DT.
+TABLE2_METHODS = ("gbabs", "ggbs", "srs", "ori")
+
+#: Classifiers of Table IV.
+TABLE4_CLASSIFIERS = ("dt", "xgboost", "lightgbm", "knn", "rf")
+
+
+def table1(cfg: ExperimentConfig | None = None) -> dict:
+    """Table I: realised dataset profiles of the surrogates."""
+    cfg = cfg or active_config()
+    rows = dataset_table(size_factor=cfg.size_factor, random_state=cfg.random_state)
+    return {"rows": rows, "profile": cfg.name}
+
+
+def format_table1(result: dict) -> str:
+    headers = ["Code", "Dataset", "Samples", "Features", "Classes", "IR", "Source"]
+    rows = [
+        [r["code"], r["name"], r["samples"], r["features"], r["classes"],
+         round(r["ir"], 2), r["source"]]
+        for r in result["rows"]
+    ]
+    return format_table(headers, rows, float_format="{:.2f}")
+
+
+def table2(cfg: ExperimentConfig | None = None) -> dict:
+    """Table II: testing accuracy of DT under each sampling method.
+
+    Returns per-dataset accuracies, per-method averages and the mean
+    sampling ratios (which Fig. 6's noise-0 panel reuses).
+    """
+    cfg = cfg or active_config()
+    accuracy: dict[str, list[float]] = {m: [] for m in TABLE2_METHODS}
+    ratios: dict[str, list[float]] = {m: [] for m in TABLE2_METHODS}
+    for code in cfg.datasets:
+        for method in TABLE2_METHODS:
+            cell = run_cell(code, method, "dt", cfg, noise_ratio=0.0)
+            accuracy[method].append(cell.means["accuracy"])
+            ratios[method].append(cell.mean_sampling_ratio)
+    return {
+        "datasets": list(cfg.datasets),
+        "methods": list(TABLE2_METHODS),
+        "accuracy": {m: np.asarray(v) for m, v in accuracy.items()},
+        "sampling_ratio": {m: np.asarray(v) for m, v in ratios.items()},
+        "average": {m: float(np.mean(v)) for m, v in accuracy.items()},
+        "profile": cfg.name,
+    }
+
+
+def format_table2(result: dict) -> str:
+    headers = ["Dataset", "GBABS-DT", "GGBS-DT", "SRS-DT", "DT"]
+    rows = []
+    for i, code in enumerate(result["datasets"]):
+        rows.append([code] + [float(result["accuracy"][m][i]) for m in result["methods"]])
+    rows.append(["Average"] + [result["average"][m] for m in result["methods"]])
+    return format_table(headers, rows)
+
+
+def table3(
+    cfg: ExperimentConfig | None = None, table2_result: dict | None = None
+) -> dict:
+    """Table III: Wilcoxon signed-rank of GBABS-DT vs the other pipelines."""
+    cfg = cfg or active_config()
+    t2 = table2_result or table2(cfg)
+    gbabs = t2["accuracy"]["gbabs"]
+    comparisons = {}
+    for method in ("ggbs", "srs", "ori"):
+        res = wilcoxon_signed_rank(gbabs, t2["accuracy"][method])
+        comparisons[method] = {
+            "p_value": res.p_value,
+            "statistic": res.statistic,
+            "significant": res.significant(0.05),
+            "method": res.method,
+        }
+    return {"comparisons": comparisons, "alpha": 0.05, "profile": cfg.name}
+
+
+def format_table3(result: dict) -> str:
+    label = {"ggbs": "GBABS-DT vs. GGBS-DT", "srs": "GBABS-DT vs. SRS-DT",
+             "ori": "GBABS-DT vs. DT"}
+    headers = ["Comparison", "p-value", "Significant (a=0.05)"]
+    rows = [
+        [label[m], f"{c['p_value']:.6f}", "Significant" if c["significant"] else "n.s."]
+        for m, c in result["comparisons"].items()
+    ]
+    return format_table(headers, rows)
+
+
+def table4(cfg: ExperimentConfig | None = None) -> dict:
+    """Table IV: average accuracy across datasets per classifier × sampler ×
+    noise ratio.
+
+    ``per_dataset`` keeps the underlying per-dataset vectors so Figs. 7–8
+    can re-plot their distributions without recomputation.
+    """
+    cfg = cfg or active_config()
+    mean_accuracy: dict[tuple[str, str], list[float]] = {}
+    per_dataset: dict[tuple[str, str, float], np.ndarray] = {}
+    for clf in TABLE4_CLASSIFIERS:
+        for method in TABLE2_METHODS:
+            means = []
+            for noise in cfg.noise_ratios:
+                values = [
+                    run_cell(code, method, clf, cfg, noise_ratio=noise).means[
+                        "accuracy"
+                    ]
+                    for code in cfg.datasets
+                ]
+                arr = np.asarray(values)
+                per_dataset[(clf, method, noise)] = arr
+                means.append(float(arr.mean()))
+            mean_accuracy[(clf, method)] = means
+    return {
+        "classifiers": list(TABLE4_CLASSIFIERS),
+        "methods": list(TABLE2_METHODS),
+        "noise_ratios": list(cfg.noise_ratios),
+        "datasets": list(cfg.datasets),
+        "mean_accuracy": mean_accuracy,
+        "per_dataset": per_dataset,
+        "profile": cfg.name,
+    }
+
+
+def format_table4(result: dict) -> str:
+    method_label = {"gbabs": "GBABS", "ggbs": "GGBS", "srs": "SRS", "ori": ""}
+    clf_label = {"dt": "DT", "xgboost": "XGBoost", "lightgbm": "LightGBM",
+                 "knn": "kNN", "rf": "RF"}
+    headers = ["Pipeline"] + [f"{int(n * 100)}%" for n in result["noise_ratios"]]
+    rows = []
+    for clf in result["classifiers"]:
+        for method in result["methods"]:
+            prefix = method_label[method]
+            name = f"{prefix}-{clf_label[clf]}" if prefix else clf_label[clf]
+            rows.append([name] + list(result["mean_accuracy"][(clf, method)]))
+    return format_table(headers, rows)

@@ -1,0 +1,86 @@
+"""Sampling methods: the paper's baselines plus the proposed GBABS.
+
+Use :func:`make_sampler` to build any method by its paper name::
+
+    sampler = make_sampler("gbabs", random_state=0)
+    x_s, y_s = sampler.fit_resample(x, y)
+
+Names follow the paper's abbreviations: ``gbabs``, ``ggbs``, ``igbs``,
+``srs``, ``sm`` (SMOTE), ``bsm`` (Borderline-SMOTE), ``smnc`` (SMOTENC),
+``tomek`` and ``ori`` (no sampling).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.gbabs import GBABS
+from repro.sampling.base import BaseSampler, IdentitySampler, check_xy
+from repro.sampling.general import (
+    BootstrapSampler,
+    StratifiedSampler,
+    SystematicSampler,
+)
+from repro.sampling.gbs import GGBS, IGBS, KDivisionGBG
+from repro.sampling.kmeans_gbg import KMeansGBG
+from repro.sampling.smote import SMOTE, SMOTENC, BorderlineSMOTE
+from repro.sampling.srs import SimpleRandomSampler
+from repro.sampling.tomek import TomekLinks
+
+__all__ = [
+    "BaseSampler",
+    "IdentitySampler",
+    "SimpleRandomSampler",
+    "SystematicSampler",
+    "StratifiedSampler",
+    "BootstrapSampler",
+    "KDivisionGBG",
+    "KMeansGBG",
+    "GGBS",
+    "IGBS",
+    "SMOTE",
+    "BorderlineSMOTE",
+    "SMOTENC",
+    "TomekLinks",
+    "GBABS",
+    "SAMPLER_NAMES",
+    "make_sampler",
+    "check_xy",
+]
+
+_FACTORIES: dict[str, Callable[..., object]] = {
+    "gbabs": GBABS,
+    "ggbs": GGBS,
+    "igbs": IGBS,
+    "srs": SimpleRandomSampler,
+    "sm": SMOTE,
+    "bsm": BorderlineSMOTE,
+    "smnc": SMOTENC,
+    "tomek": TomekLinks,
+    "ori": IdentitySampler,
+    "systematic": SystematicSampler,
+    "stratified": StratifiedSampler,
+    "bootstrap": BootstrapSampler,
+}
+
+SAMPLER_NAMES = tuple(_FACTORIES)
+
+
+def make_sampler(name: str, **kwargs):
+    """Instantiate a sampler by its paper abbreviation.
+
+    Keyword arguments are forwarded to the constructor; arguments a given
+    sampler does not accept raise ``TypeError`` (explicit is better than
+    silently dropping configuration).
+    """
+    key = name.lower()
+    if key not in _FACTORIES:
+        raise ValueError(
+            f"unknown sampler {name!r}; available: {', '.join(sorted(_FACTORIES))}"
+        )
+    factory = _FACTORIES[key]
+    if key == "tomek":
+        kwargs.pop("random_state", None)  # Tomek links are deterministic.
+    if key == "ori":
+        kwargs.pop("random_state", None)
+    return factory(**kwargs)

@@ -1,0 +1,92 @@
+"""Other general sampling methods mentioned in the paper's introduction.
+
+Systematic random sampling, stratified sampling and bootstrapping are not
+part of the paper's comparison table, but they complete the taxonomy of §I
+("general sampling methods") and are useful baselines for downstream users,
+so the library ships them with the same ``fit_resample`` interface.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sampling.base import BaseSampler, check_xy
+
+__all__ = ["SystematicSampler", "StratifiedSampler", "BootstrapSampler"]
+
+
+class SystematicSampler(BaseSampler):
+    """Every ``k``-th sample after a random start (fixed-interval sampling).
+
+    Parameters
+    ----------
+    ratio:
+        Target kept fraction; the interval is ``round(1 / ratio)``.
+    random_state:
+        Seed controlling the random starting offset.
+    """
+
+    def __init__(self, ratio: float = 0.5, random_state: int | None = None):
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError("ratio must be in (0, 1]")
+        self.ratio = float(ratio)
+        self.random_state = random_state
+
+    def fit_resample(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        x, y = check_xy(x, y)
+        n = x.shape[0]
+        step = max(1, int(round(1.0 / self.ratio)))
+        rng = np.random.default_rng(self.random_state)
+        start = int(rng.integers(0, step))
+        chosen = np.arange(start, n, step, dtype=np.intp)
+        if chosen.size == 0:
+            chosen = np.array([start % n], dtype=np.intp)
+        self.sample_indices_ = chosen
+        return x[chosen], y[chosen]
+
+
+class StratifiedSampler(BaseSampler):
+    """Per-class proportional random sampling (class shares preserved)."""
+
+    def __init__(self, ratio: float = 0.5, random_state: int | None = None):
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError("ratio must be in (0, 1]")
+        self.ratio = float(ratio)
+        self.random_state = random_state
+
+    def fit_resample(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        x, y = check_xy(x, y)
+        rng = np.random.default_rng(self.random_state)
+        chosen_parts = []
+        for cls in np.unique(y):
+            pool = np.flatnonzero(y == cls)
+            n_keep = max(1, int(round(self.ratio * pool.size)))
+            chosen_parts.append(rng.choice(pool, size=n_keep, replace=False))
+        chosen = np.sort(np.concatenate(chosen_parts)).astype(np.intp)
+        self.sample_indices_ = chosen
+        return x[chosen], y[chosen]
+
+
+class BootstrapSampler(BaseSampler):
+    """Sampling with replacement; the resample has the input's size.
+
+    ``sample_indices_`` is ``None`` because rows can repeat — the bootstrap
+    is not a subset selection.
+    """
+
+    def __init__(self, random_state: int | None = None):
+        self.random_state = random_state
+
+    def fit_resample(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        x, y = check_xy(x, y)
+        n = x.shape[0]
+        rng = np.random.default_rng(self.random_state)
+        chosen = rng.integers(0, n, size=n)
+        self.sample_indices_ = None
+        return x[chosen], y[chosen]

@@ -1,0 +1,45 @@
+"""Simple random sampling (SRS) — the unbiased general baseline.
+
+The paper pairs SRS with GBABS by forcing SRS to the *same sampling ratio*
+GBABS achieved on the dataset (§V-A3), which is exactly how the evaluation
+harness uses :class:`SimpleRandomSampler`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sampling.base import BaseSampler, check_xy
+
+__all__ = ["SimpleRandomSampler"]
+
+
+class SimpleRandomSampler(BaseSampler):
+    """Uniform sampling without replacement at a fixed ratio.
+
+    Parameters
+    ----------
+    ratio:
+        Fraction of samples to keep, in ``(0, 1]``.
+    random_state:
+        Seed for reproducibility.
+    """
+
+    def __init__(self, ratio: float = 0.5, random_state: int | None = None):
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError("ratio must be in (0, 1]")
+        self.ratio = float(ratio)
+        self.random_state = random_state
+
+    def fit_resample(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        x, y = check_xy(x, y)
+        n = x.shape[0]
+        # Keep at least one sample so downstream classifiers can fit.
+        n_keep = max(1, int(round(self.ratio * n)))
+        rng = np.random.default_rng(self.random_state)
+        chosen = rng.choice(n, size=n_keep, replace=False)
+        chosen.sort()
+        self.sample_indices_ = chosen.astype(np.intp)
+        return x[chosen], y[chosen]

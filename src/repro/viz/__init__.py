@@ -1,0 +1,6 @@
+"""Visualisation substrate: exact t-SNE and terminal figure renderers."""
+
+from repro.viz.ascii import bar_chart, heatmap, line_chart, ridge, scatter
+from repro.viz.tsne import TSNE
+
+__all__ = ["TSNE", "bar_chart", "heatmap", "line_chart", "ridge", "scatter"]

@@ -1,0 +1,161 @@
+"""Terminal renderings of the paper's figures.
+
+matplotlib is unavailable offline, so every figure is reported twice:
+as the exact numeric series (the benchmark output a reader can diff against
+the paper) and as a compact ASCII rendering from this module — grouped bar
+charts (Fig. 6), ridge-style histograms (Figs. 7–8), rank heatmaps (Fig. 9),
+line charts (Figs. 10–11) and scatter plots (Fig. 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["bar_chart", "ridge", "heatmap", "line_chart", "scatter"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def _bar(value: float, vmax: float, width: int) -> str:
+    """Unicode horizontal bar of proportional length."""
+    if vmax <= 0:
+        return ""
+    filled = value / vmax * width
+    n_full = int(filled)
+    frac = filled - n_full
+    partial = _BLOCKS[int(frac * (len(_BLOCKS) - 1))] if n_full < width else ""
+    return "█" * n_full + partial
+
+
+def bar_chart(
+    labels: list[str],
+    series: dict[str, np.ndarray],
+    width: int = 40,
+    value_format: str = "{:.2f}",
+) -> str:
+    """Grouped horizontal bar chart: one group per label, one bar per series."""
+    arrays = {k: np.asarray(v, dtype=np.float64) for k, v in series.items()}
+    for name, arr in arrays.items():
+        if arr.size != len(labels):
+            raise ValueError(f"series {name!r} length mismatch with labels")
+    vmax = max((float(a.max()) for a in arrays.values()), default=1.0)
+    vmax = vmax if vmax > 0 else 1.0
+    name_w = max(len(n) for n in arrays)
+    lines = []
+    for i, label in enumerate(labels):
+        lines.append(str(label))
+        for name, arr in arrays.items():
+            bar = _bar(float(arr[i]), vmax, width)
+            value = value_format.format(float(arr[i]))
+            lines.append(f"  {name:<{name_w}} |{bar:<{width}}| {value}")
+    return "\n".join(lines)
+
+
+def ridge(
+    series: dict[str, np.ndarray],
+    bins: int = 24,
+    lo: float | None = None,
+    hi: float | None = None,
+) -> str:
+    """Stacked density sketches (one histogram row per series) — Figs. 7–8."""
+    arrays = {k: np.asarray(v, dtype=np.float64) for k, v in series.items()}
+    values = np.concatenate(list(arrays.values()))
+    lo = float(values.min()) if lo is None else lo
+    hi = float(values.max()) if hi is None else hi
+    if hi <= lo:
+        hi = lo + 1e-9
+    edges = np.linspace(lo, hi, bins + 1)
+    name_w = max(len(n) for n in arrays)
+    lines = [f"{'':{name_w}}  {lo:.2f}{' ' * (bins - 10)}{hi:.2f}"]
+    for name, arr in arrays.items():
+        hist, _ = np.histogram(arr, bins=edges)
+        peak = max(int(hist.max()), 1)
+        row = "".join(
+            _BLOCKS[int(h / peak * (len(_BLOCKS) - 1))] for h in hist
+        )
+        lines.append(f"{name:<{name_w}}  {row}  (n={arr.size})")
+    return "\n".join(lines)
+
+
+def heatmap(
+    row_labels: list[str],
+    col_labels: list[str],
+    matrix: np.ndarray,
+    cell_format: str = "{:>3.0f}",
+) -> str:
+    """Numeric grid (used for the Fig. 9 rank matrices)."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.shape != (len(row_labels), len(col_labels)):
+        raise ValueError("matrix shape must match the label lists")
+    name_w = max(len(r) for r in row_labels)
+    cell_w = max(len(cell_format.format(matrix.max())), *(len(c) for c in col_labels))
+    header = " " * (name_w + 2) + " ".join(f"{c:>{cell_w}}" for c in col_labels)
+    lines = [header]
+    for i, row in enumerate(row_labels):
+        cells = " ".join(
+            f"{cell_format.format(matrix[i, j]):>{cell_w}}"
+            for j in range(len(col_labels))
+        )
+        lines.append(f"{row:<{name_w}}  {cells}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    x: np.ndarray,
+    series: dict[str, np.ndarray],
+    height: int = 12,
+    width: int | None = None,
+) -> str:
+    """Multi-series line chart on a character canvas — Figs. 10–11."""
+    x = np.asarray(x, dtype=np.float64)
+    arrays = {k: np.asarray(v, dtype=np.float64) for k, v in series.items()}
+    width = width if width is not None else max(2 * x.size, 20)
+    values = np.concatenate(list(arrays.values()))
+    lo, hi = float(values.min()), float(values.max())
+    if hi <= lo:
+        hi = lo + 1e-9
+    canvas = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&$~^=<>?!"
+    for si, (name, arr) in enumerate(arrays.items()):
+        marker = markers[si % len(markers)]
+        for xi, val in zip(x, arr):
+            col = int((xi - x.min()) / max(x.max() - x.min(), 1e-12) * (width - 1))
+            row = height - 1 - int((val - lo) / (hi - lo) * (height - 1))
+            canvas[row][col] = marker
+    lines = [f"{hi:8.3f} ┤" + "".join(canvas[0])]
+    for row in canvas[1:-1]:
+        lines.append(" " * 8 + " │" + "".join(row))
+    lines.append(f"{lo:8.3f} ┤" + "".join(canvas[-1]))
+    legend = "   ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(arrays)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def scatter(
+    points: np.ndarray,
+    labels: np.ndarray,
+    height: int = 20,
+    width: int = 60,
+) -> str:
+    """2-D labelled scatter on a character canvas — Fig. 5 renderings."""
+    points = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError("points must be an (n, 2) array")
+    lo = points.min(axis=0)
+    hi = points.max(axis=0)
+    span = np.maximum(hi - lo, 1e-12)
+    glyphs = "ox+*#@%&$~"
+    classes = np.unique(labels)
+    glyph_of = {int(c): glyphs[i % len(glyphs)] for i, c in enumerate(classes)}
+    canvas = [[" "] * width for _ in range(height)]
+    for (px, py), lab in zip(points, labels):
+        col = int((px - lo[0]) / span[0] * (width - 1))
+        row = height - 1 - int((py - lo[1]) / span[1] * (height - 1))
+        canvas[row][col] = glyph_of[int(lab)]
+    lines = ["".join(row) for row in canvas]
+    legend = "  ".join(f"{glyph_of[int(c)]}=class {int(c)}" for c in classes)
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""Exact t-SNE (van der Maaten & Hinton, 2008) in pure numpy.
+
+Fig. 5 of the paper visualises four datasets with t-SNE.  scikit-learn is
+unavailable offline, so this module implements the exact (non-Barnes-Hut)
+algorithm: perplexity-calibrated Gaussian affinities, early exaggeration,
+and momentum gradient descent on the Student-t low-dimensional similarities.
+Quadratic in the sample count — intended for the few-hundred-point
+subsamples the figure uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.neighbors import pairwise_distances
+
+__all__ = ["TSNE"]
+
+
+def _binary_search_sigmas(
+    sq_dist: np.ndarray, perplexity: float, tol: float = 1e-5, max_iter: int = 50
+) -> np.ndarray:
+    """Conditional affinities P(j|i) whose entropy matches log(perplexity)."""
+    n = sq_dist.shape[0]
+    target = np.log(perplexity)
+    p = np.zeros((n, n), dtype=np.float64)
+    for i in range(n):
+        beta_lo, beta_hi = 0.0, np.inf
+        beta = 1.0
+        d = np.delete(sq_dist[i], i)
+        for _ in range(max_iter):
+            expd = np.exp(-d * beta)
+            total = expd.sum()
+            if total <= 0:
+                h = 0.0
+                probs = np.zeros_like(expd)
+            else:
+                probs = expd / total
+                h = float(np.log(total) + beta * np.sum(d * expd) / total)
+            diff = h - target
+            if abs(diff) < tol:
+                break
+            if diff > 0:
+                beta_lo = beta
+                beta = beta * 2 if beta_hi == np.inf else 0.5 * (beta + beta_hi)
+            else:
+                beta_hi = beta
+                beta = beta / 2 if beta_lo == 0.0 else 0.5 * (beta + beta_lo)
+        row = np.insert(probs, i, 0.0)
+        p[i] = row
+    return p
+
+
+class TSNE:
+    """Exact t-SNE embedding into 2-D.
+
+    Parameters
+    ----------
+    perplexity:
+        Effective neighbour count (the scikit-learn default 30).
+    n_iter:
+        Gradient descent iterations (early exaggeration for the first
+        quarter of them).
+    learning_rate:
+        Gradient step scale.
+    random_state:
+        Seed of the Gaussian initialisation.
+    """
+
+    def __init__(
+        self,
+        perplexity: float = 30.0,
+        n_iter: int = 500,
+        learning_rate: float = 200.0,
+        random_state: int | None = 0,
+    ):
+        if perplexity <= 1:
+            raise ValueError("perplexity must exceed 1")
+        if n_iter < 50:
+            raise ValueError("n_iter must be >= 50")
+        self.perplexity = float(perplexity)
+        self.n_iter = int(n_iter)
+        self.learning_rate = float(learning_rate)
+        self.random_state = random_state
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        """Embed the rows of ``x``; returns an ``(n, 2)`` array."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError("x must be 2-D")
+        n = x.shape[0]
+        if n < 5:
+            raise ValueError("need at least 5 points for a t-SNE embedding")
+        perplexity = min(self.perplexity, (n - 1) / 3.0)
+
+        sq = pairwise_distances(x) ** 2
+        cond = _binary_search_sigmas(sq, perplexity)
+        p = cond + cond.T
+        p /= max(p.sum(), 1e-12)
+        p = np.maximum(p, 1e-12)
+
+        rng = np.random.default_rng(self.random_state)
+        emb = rng.normal(scale=1e-4, size=(n, 2))
+        velocity = np.zeros_like(emb)
+        exaggeration_until = self.n_iter // 4
+
+        for it in range(self.n_iter):
+            p_eff = p * 12.0 if it < exaggeration_until else p
+            momentum = 0.5 if it < exaggeration_until else 0.8
+
+            diff = emb[:, None, :] - emb[None, :, :]
+            sq_low = np.einsum("ijk,ijk->ij", diff, diff)
+            num = 1.0 / (1.0 + sq_low)
+            np.fill_diagonal(num, 0.0)
+            q = num / max(num.sum(), 1e-12)
+            q = np.maximum(q, 1e-12)
+
+            pq = (p_eff - q) * num
+            grad = 4.0 * np.einsum("ij,ijk->ik", pq, diff)
+
+            velocity = momentum * velocity - self.learning_rate * grad
+            emb = emb + velocity
+            emb = emb - emb.mean(axis=0)
+        return emb

@@ -1,0 +1,55 @@
+"""Unit tests for the estimator protocol (params, clone, validation)."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers.base import check_fit_inputs, clone, validate_fitted
+from repro.classifiers.knn import KNeighborsClassifier
+from repro.classifiers.tree import DecisionTreeClassifier
+
+
+class TestParams:
+    def test_get_params_roundtrip(self):
+        tree = DecisionTreeClassifier(max_depth=4, min_samples_leaf=2)
+        params = tree.get_params()
+        assert params["max_depth"] == 4
+        assert params["min_samples_leaf"] == 2
+
+    def test_set_params(self):
+        tree = DecisionTreeClassifier()
+        tree.set_params(max_depth=7)
+        assert tree.max_depth == 7
+
+    def test_set_params_rejects_unknown(self):
+        with pytest.raises(ValueError, match="invalid parameter"):
+            DecisionTreeClassifier().set_params(bogus=1)
+
+    def test_clone_is_unfitted_copy(self, blobs2):
+        x, y = blobs2
+        tree = DecisionTreeClassifier(max_depth=3).fit(x, y)
+        copy = clone(tree)
+        assert copy.max_depth == 3
+        assert copy.classes_ is None
+        assert copy is not tree
+
+
+class TestValidation:
+    def test_check_fit_inputs_canonicalises(self):
+        x, y = check_fit_inputs([[1, 2]], [1.0])
+        assert x.dtype == np.float64
+        assert np.issubdtype(y.dtype, np.integer)
+
+    def test_check_fit_inputs_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            check_fit_inputs(np.empty((0, 2)), np.empty(0))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            validate_fitted(KNeighborsClassifier())
+
+    def test_score_is_accuracy(self, blobs2):
+        x, y = blobs2
+        knn = KNeighborsClassifier().fit(x, y)
+        assert knn.score(x, y) == pytest.approx(
+            np.mean(knn.predict(x) == y)
+        )

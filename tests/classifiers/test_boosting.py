@@ -1,0 +1,128 @@
+"""Unit tests for the gradient-boosting classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers.boosting import (
+    LightGBMClassifier,
+    XGBoostClassifier,
+    _Binner,
+)
+
+
+class TestBinner:
+    def test_codes_in_range(self, rng):
+        x = rng.normal(size=(100, 4))
+        binner = _Binner(max_bins=16).fit(x)
+        codes = binner.transform(x)
+        assert codes.min() >= 0
+        assert codes.max() < 16
+
+    def test_train_test_consistency(self, rng):
+        x = rng.normal(size=(100, 2))
+        binner = _Binner(max_bins=8).fit(x)
+        codes_a = binner.transform(x[:10])
+        codes_b = binner.transform(x[:10])
+        np.testing.assert_array_equal(codes_a, codes_b)
+
+    def test_monotone_in_value(self, rng):
+        x = rng.normal(size=(200, 1))
+        binner = _Binner(max_bins=32).fit(x)
+        order = np.argsort(x[:, 0])
+        codes = binner.transform(x)[order, 0]
+        assert (np.diff(codes) >= 0).all()
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            _Binner().transform(np.zeros((2, 2)))
+
+    def test_rejects_bad_bins(self):
+        with pytest.raises(ValueError):
+            _Binner(max_bins=1)
+
+
+@pytest.mark.parametrize("cls", [XGBoostClassifier, LightGBMClassifier])
+class TestBoostingCommon:
+    def test_separable_binary(self, cls, blobs2):
+        x, y = blobs2
+        model = cls(n_estimators=20).fit(x, y)
+        assert model.score(x, y) >= 0.99
+
+    def test_multiclass(self, cls, blobs3):
+        x, y = blobs3
+        model = cls(n_estimators=25).fit(x, y)
+        assert model.score(x, y) >= 0.9
+
+    def test_more_rounds_do_not_hurt_train_fit(self, cls, moons):
+        x, y = moons
+        small = cls(n_estimators=5).fit(x, y).score(x, y)
+        large = cls(n_estimators=40).fit(x, y).score(x, y)
+        assert large >= small - 1e-9
+
+    def test_proba_rows_sum_to_one(self, cls, blobs3):
+        x, y = blobs3
+        model = cls(n_estimators=10).fit(x, y)
+        proba = model.predict_proba(x[:15])
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_deterministic(self, cls, moons):
+        x, y = moons
+        a = cls(n_estimators=8).fit(x, y).predict(x)
+        b = cls(n_estimators=8).fit(x, y).predict(x)
+        np.testing.assert_array_equal(a, b)
+
+    def test_noncontiguous_labels(self, cls):
+        gen = np.random.default_rng(0)
+        x = np.vstack([gen.normal(0, 0.5, (40, 2)), gen.normal(4, 0.5, (40, 2))])
+        y = np.array([7] * 40 + [70] * 40)
+        model = cls(n_estimators=10).fit(x, y)
+        assert set(np.unique(model.predict(x))) <= {7, 70}
+        assert model.score(x, y) >= 0.99
+
+    def test_rejects_bad_n_estimators(self, cls):
+        with pytest.raises(ValueError):
+            cls(n_estimators=0)
+
+
+class TestGrowthPolicies:
+    def test_leafwise_num_leaves_bound(self, moons):
+        x, y = moons
+        model = LightGBMClassifier(n_estimators=3, num_leaves=4).fit(x, y)
+        for round_trees in model._trees:
+            for tree in round_trees:
+                n_leaves = int((tree.feature_ == -1).sum())
+                assert n_leaves <= 4
+
+    def test_depthwise_max_depth_bound(self, moons):
+        x, y = moons
+
+        def depth_of(tree):
+            depth = np.zeros(tree.feature_.size, dtype=int)
+            for nid in range(tree.feature_.size):
+                if tree.feature_[nid] != -1:
+                    depth[tree.left_[nid]] = depth[nid] + 1
+                    depth[tree.right_[nid]] = depth[nid] + 1
+            return depth.max() if depth.size else 0
+
+        model = XGBoostClassifier(n_estimators=3, max_depth=2).fit(x, y)
+        for round_trees in model._trees:
+            for tree in round_trees:
+                assert depth_of(tree) <= 2
+
+    def test_lightgbm_rejects_bad_num_leaves(self):
+        with pytest.raises(ValueError):
+            LightGBMClassifier(num_leaves=1)
+
+    def test_min_child_samples_limits_growth(self, moons):
+        x, y = moons
+        strict = LightGBMClassifier(n_estimators=2, min_child_samples=100).fit(x, y)
+        loose = LightGBMClassifier(n_estimators=2, min_child_samples=5).fit(x, y)
+
+        def total_leaves(model):
+            return sum(
+                int((t.feature_ == -1).sum())
+                for rt in model._trees
+                for t in rt
+            )
+
+        assert total_leaves(strict) <= total_leaves(loose)

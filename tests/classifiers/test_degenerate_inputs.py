@@ -1,0 +1,90 @@
+"""Classifier behaviour on degenerate feature matrices.
+
+Constant features, duplicated rows and single-column inputs are the inputs
+real pipelines feed after aggressive sampling; every classifier must handle
+them without crashing or looping.
+"""
+
+import numpy as np
+import pytest
+
+from repro.classifiers import (
+    CLASSIFIER_NAMES,
+    make_classifier,
+)
+from repro.classifiers.boosting import _Binner
+from repro.classifiers.tree import DecisionTreeClassifier
+
+
+def _small(name):
+    kwargs = {}
+    if name in ("rf",):
+        kwargs = {"n_estimators": 5, "random_state": 0}
+    if name in ("xgboost", "lightgbm"):
+        kwargs = {"n_estimators": 5}
+    if name == "gb":
+        kwargs = {"random_state": 0}
+    return make_classifier(name, **kwargs)
+
+
+class TestConstantFeatures:
+    @pytest.mark.parametrize("name", CLASSIFIER_NAMES)
+    def test_all_constant_features(self, name):
+        """Nothing separates the classes; majority prediction is fine."""
+        x = np.ones((30, 3))
+        y = np.array([0] * 20 + [1] * 10)
+        clf = _small(name).fit(x, y)
+        preds = clf.predict(x)
+        assert preds.shape == (30,)
+        assert set(np.unique(preds)) <= {0, 1}
+
+    def test_tree_stops_on_constant_node(self):
+        x = np.ones((20, 2))
+        y = np.array([0, 1] * 10)
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert tree.n_nodes_ == 1  # no valid boundary anywhere
+
+    def test_binner_constant_column(self):
+        x = np.column_stack([np.ones(50), np.arange(50, dtype=float)])
+        binner = _Binner(max_bins=8).fit(x)
+        codes = binner.transform(x)
+        assert (codes[:, 0] == codes[0, 0]).all()
+
+
+class TestDuplicatedRows:
+    @pytest.mark.parametrize("name", CLASSIFIER_NAMES)
+    def test_conflicting_duplicates(self, name):
+        """Identical points with different labels cannot be separated but
+        must not break fitting."""
+        x = np.repeat([[0.0, 0.0], [5.0, 5.0]], 10, axis=0)
+        y = np.array([0] * 9 + [1] + [1] * 9 + [0])
+        clf = _small(name).fit(x, y)
+        assert clf.score(x, y) >= 0.5
+
+
+class TestSingleColumn:
+    @pytest.mark.parametrize("name", CLASSIFIER_NAMES)
+    def test_one_feature(self, name):
+        gen = np.random.default_rng(0)
+        x = np.concatenate([gen.normal(0, 0.3, 40), gen.normal(3, 0.3, 40)])[:, None]
+        y = np.repeat([0, 1], 40)
+        clf = _small(name).fit(x, y)
+        assert clf.score(x, y) >= 0.95
+
+
+class TestTwoSamples:
+    @pytest.mark.parametrize("name", ["dt", "gb"])
+    def test_minimal_dataset(self, name):
+        x = np.array([[0.0], [10.0]])
+        y = np.array([0, 1])
+        clf = _small(name).fit(x, y)
+        np.testing.assert_array_equal(clf.predict(x), y)
+
+    def test_minimal_dataset_knn(self):
+        # k is clipped to the training size; with two samples a default
+        # k=5 becomes a 2-vote tie, so the 1-NN setting is the meaningful
+        # minimal configuration.
+        x = np.array([[0.0], [10.0]])
+        y = np.array([0, 1])
+        clf = make_classifier("knn", n_neighbors=1).fit(x, y)
+        np.testing.assert_array_equal(clf.predict(x), y)

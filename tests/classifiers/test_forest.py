@@ -1,0 +1,73 @@
+"""Unit tests for the random forest."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers.forest import RandomForestClassifier
+
+
+class TestRandomForest:
+    def test_perfect_on_separable(self, blobs2):
+        x, y = blobs2
+        rf = RandomForestClassifier(n_estimators=15, random_state=0).fit(x, y)
+        assert rf.score(x, y) == 1.0
+
+    def test_number_of_trees(self, blobs2):
+        x, y = blobs2
+        rf = RandomForestClassifier(n_estimators=7, random_state=0).fit(x, y)
+        assert len(rf.estimators_) == 7
+
+    def test_deterministic_given_seed(self, blobs3):
+        x, y = blobs3
+        a = RandomForestClassifier(n_estimators=10, random_state=3).fit(x, y)
+        b = RandomForestClassifier(n_estimators=10, random_state=3).fit(x, y)
+        query = x[:40]
+        np.testing.assert_array_equal(a.predict(query), b.predict(query))
+
+    def test_seed_changes_forest(self, moons):
+        x, y = moons
+        a = RandomForestClassifier(n_estimators=5, random_state=1).fit(x, y)
+        b = RandomForestClassifier(n_estimators=5, random_state=2).fit(x, y)
+        pa = a.predict_proba(x)
+        pb = b.predict_proba(x)
+        assert not np.allclose(pa, pb)
+
+    def test_proba_rows_sum_to_one(self, blobs3):
+        x, y = blobs3
+        rf = RandomForestClassifier(n_estimators=10, random_state=0).fit(x, y)
+        proba = rf.predict_proba(x[:20])
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+        assert proba.shape == (20, 3)
+
+    def test_proba_alignment_with_missing_class_in_bootstrap(self):
+        """A rare class can vanish from some bootstrap draws; per-tree
+        probabilities must still land in the right forest column."""
+        gen = np.random.default_rng(0)
+        x = np.vstack([gen.normal(0, 1, (60, 2)), gen.normal(6, 0.3, (3, 2))])
+        y = np.array([0] * 60 + [1] * 3)
+        rf = RandomForestClassifier(n_estimators=25, random_state=0).fit(x, y)
+        proba = rf.predict_proba(np.array([[6.0, 6.0], [0.0, 0.0]]))
+        assert proba[0, 1] > proba[0, 0]
+        assert proba[1, 0] > proba[1, 1]
+
+    def test_without_bootstrap(self, blobs2):
+        x, y = blobs2
+        rf = RandomForestClassifier(
+            n_estimators=5, bootstrap=False, random_state=0
+        ).fit(x, y)
+        assert rf.score(x, y) == 1.0
+
+    def test_forest_beats_single_stump_on_moons(self, moons):
+        from repro.classifiers.tree import DecisionTreeClassifier
+
+        x, y = moons
+        train, test = slice(0, 200), slice(200, None)
+        stump = DecisionTreeClassifier(max_depth=1).fit(x[train], y[train])
+        rf = RandomForestClassifier(n_estimators=30, random_state=0).fit(
+            x[train], y[train]
+        )
+        assert rf.score(x[test], y[test]) > stump.score(x[test], y[test])
+
+    def test_rejects_bad_n_estimators(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)

@@ -1,0 +1,62 @@
+"""Unit tests for the granular-ball classifier."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers.gb_classifier import GranularBallClassifier
+
+
+class TestGranularBallClassifier:
+    def test_perfect_on_separable(self, blobs2):
+        x, y = blobs2
+        clf = GranularBallClassifier(rho=5, random_state=0).fit(x, y)
+        assert clf.score(x, y) == 1.0
+
+    def test_multiclass(self, blobs3):
+        x, y = blobs3
+        clf = GranularBallClassifier(rho=5, random_state=0).fit(x, y)
+        assert clf.score(x, y) > 0.85
+        assert set(np.unique(clf.predict(x))) <= {0, 1, 2}
+
+    def test_compression(self, blobs2):
+        x, y = blobs2
+        clf = GranularBallClassifier(rho=5, random_state=0).fit(x, y)
+        assert 0.0 < clf.compression_ratio() < 1.0
+        assert clf.n_balls_ == len(clf.ball_set_)
+
+    def test_orphan_exclusion_reduces_model(self, noisy_blobs2):
+        x, y = noisy_blobs2
+        with_orphans = GranularBallClassifier(
+            rho=5, random_state=0, include_orphans=True
+        ).fit(x, y)
+        without = GranularBallClassifier(
+            rho=5, random_state=0, include_orphans=False
+        ).fit(x, y)
+        assert without.n_balls_ <= with_orphans.n_balls_
+
+    def test_noise_robustness(self, blobs2, noisy_blobs2):
+        """Trained on 20% flipped labels, scored against the clean ones."""
+        x, y_clean = blobs2
+        _, y_noisy = noisy_blobs2
+        clf = GranularBallClassifier(rho=5, random_state=0).fit(x, y_noisy)
+        # RD-GBG's noise removal keeps the decision surface near the truth.
+        assert np.mean(clf.predict(x) == y_clean) > 0.85
+
+    def test_single_class(self):
+        gen = np.random.default_rng(0)
+        x = gen.normal(size=(30, 2))
+        y = np.zeros(30, dtype=int)
+        clf = GranularBallClassifier(rho=5, random_state=0).fit(x, y)
+        assert (clf.predict(x) == 0).all()
+
+    def test_predict_before_fit_raises(self, blobs2):
+        x, _ = blobs2
+        with pytest.raises(RuntimeError):
+            GranularBallClassifier().predict(x)
+
+    def test_registry_name(self, blobs2):
+        from repro.classifiers import make_classifier
+
+        x, y = blobs2
+        clf = make_classifier("gb", random_state=0).fit(x, y)
+        assert clf.score(x, y) == 1.0

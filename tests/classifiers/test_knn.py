@@ -1,0 +1,59 @@
+"""Unit tests for the k-nearest-neighbour classifier."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers.knn import KNeighborsClassifier
+
+
+class TestKNN:
+    def test_hand_computed_vote(self):
+        x = np.array([[0.0], [0.1], [0.2], [5.0], [5.1]])
+        y = np.array([0, 0, 0, 1, 1])
+        knn = KNeighborsClassifier(n_neighbors=3).fit(x, y)
+        assert knn.predict(np.array([[0.05]]))[0] == 0
+        assert knn.predict(np.array([[5.05]]))[0] == 1
+
+    def test_k_one_is_nearest_neighbor_rule(self, blobs2):
+        x, y = blobs2
+        knn = KNeighborsClassifier(n_neighbors=1).fit(x, y)
+        assert knn.score(x, y) == 1.0
+
+    def test_perfect_on_separable(self, blobs2):
+        x, y = blobs2
+        knn = KNeighborsClassifier(n_neighbors=5).fit(x, y)
+        assert knn.score(x, y) == 1.0
+
+    def test_k_clipped_to_training_size(self):
+        x = np.array([[0.0], [1.0]])
+        y = np.array([0, 1])
+        knn = KNeighborsClassifier(n_neighbors=10).fit(x, y)
+        pred = knn.predict(np.array([[0.4]]))
+        assert pred[0] in (0, 1)
+
+    def test_permutation_invariance(self, blobs3):
+        x, y = blobs3
+        gen = np.random.default_rng(0)
+        perm = gen.permutation(x.shape[0])
+        a = KNeighborsClassifier().fit(x, y)
+        b = KNeighborsClassifier().fit(x[perm], y[perm])
+        query = gen.normal(size=(20, 3))
+        np.testing.assert_array_equal(a.predict(query), b.predict(query))
+
+    def test_predict_proba_rows_sum_to_one(self, blobs3):
+        x, y = blobs3
+        knn = KNeighborsClassifier().fit(x, y)
+        proba = knn.predict_proba(x[:10])
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+        assert proba.shape == (10, 3)
+
+    def test_classes_preserved_for_noncontiguous_labels(self):
+        x = np.array([[0.0], [0.1], [5.0], [5.1]])
+        y = np.array([10, 10, 42, 42])
+        knn = KNeighborsClassifier(n_neighbors=1).fit(x, y)
+        np.testing.assert_array_equal(knn.classes_, [10, 42])
+        assert knn.predict(np.array([[5.05]]))[0] == 42
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(n_neighbors=0)

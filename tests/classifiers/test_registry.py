@@ -1,0 +1,34 @@
+"""Unit tests for the classifier registry."""
+
+import pytest
+
+from repro.classifiers import CLASSIFIER_NAMES, make_classifier
+
+
+class TestMakeClassifier:
+    def test_all_names_constructible(self):
+        for name in CLASSIFIER_NAMES:
+            clf = make_classifier(name)
+            assert hasattr(clf, "fit") and hasattr(clf, "predict")
+
+    def test_kwargs_forwarded(self):
+        rf = make_classifier("rf", n_estimators=3)
+        assert rf.n_estimators == 3
+
+    def test_case_insensitive(self):
+        assert make_classifier("DT") is not None
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown classifier"):
+            make_classifier("svm")
+
+    def test_all_fit_and_predict(self, blobs2):
+        x, y = blobs2
+        for name in CLASSIFIER_NAMES:
+            kwargs = {}
+            if name in ("rf",):
+                kwargs = {"n_estimators": 5, "random_state": 0}
+            if name in ("xgboost", "lightgbm"):
+                kwargs = {"n_estimators": 5}
+            clf = make_classifier(name, **kwargs).fit(x, y)
+            assert clf.score(x, y) > 0.95

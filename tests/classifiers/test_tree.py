@@ -1,0 +1,117 @@
+"""Unit tests for the CART decision tree."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers.tree import DecisionTreeClassifier
+
+
+class TestTreeFitting:
+    def test_perfect_fit_on_separable(self, blobs2):
+        x, y = blobs2
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert tree.score(x, y) == 1.0
+
+    def test_perfect_fit_on_distinct_points(self, rng):
+        """Unbounded CART memorises any dataset with distinct rows."""
+        x = rng.normal(size=(80, 3))
+        y = rng.integers(0, 3, size=80)
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert tree.score(x, y) == 1.0
+
+    def test_xor_structure_learnable(self):
+        """Zero-gain first cut (XOR) must not stop the tree."""
+        gen = np.random.default_rng(0)
+        x = gen.uniform(-1, 1, size=(200, 2))
+        y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(int)
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert tree.score(x, y) == 1.0
+
+    def test_single_class_training(self):
+        x = np.random.default_rng(1).normal(size=(20, 2))
+        y = np.zeros(20, dtype=int)
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert (tree.predict(x) == 0).all()
+        assert tree.n_nodes_ == 1
+
+    def test_max_depth_respected(self, moons):
+        x, y = moons
+        tree = DecisionTreeClassifier(max_depth=3).fit(x, y)
+        assert tree.depth_ <= 3
+
+    def test_min_samples_leaf_respected(self, moons):
+        x, y = moons
+        tree = DecisionTreeClassifier(min_samples_leaf=10).fit(x, y)
+        leaf_sizes = tree.value_[tree.feature_ == -1].sum(axis=1)
+        assert (leaf_sizes >= 10).all()
+
+    def test_min_samples_split_respected(self, moons):
+        x, y = moons
+        tree = DecisionTreeClassifier(min_samples_split=50).fit(x, y)
+        internal = tree.feature_ != -1
+        node_sizes = tree.value_.sum(axis=1)
+        assert (node_sizes[internal] >= 50).all()
+
+    def test_deterministic_without_feature_subsampling(self, moons):
+        x, y = moons
+        a = DecisionTreeClassifier().fit(x, y)
+        b = DecisionTreeClassifier().fit(x, y)
+        query = x[:50]
+        np.testing.assert_array_equal(a.predict(query), b.predict(query))
+
+    def test_feature_subsampling_uses_seed(self, blobs3):
+        x, y = blobs3
+        a = DecisionTreeClassifier(max_features=1, random_state=1).fit(x, y)
+        b = DecisionTreeClassifier(max_features=1, random_state=1).fit(x, y)
+        np.testing.assert_array_equal(a.feature_, b.feature_)
+
+
+class TestTreePrediction:
+    def test_predict_proba_rows_sum_to_one(self, moons):
+        x, y = moons
+        tree = DecisionTreeClassifier(max_depth=4).fit(x, y)
+        proba = tree.predict_proba(x[:20])
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_apply_returns_leaves(self, moons):
+        x, y = moons
+        tree = DecisionTreeClassifier(max_depth=5).fit(x, y)
+        leaves = tree.apply(x[:30])
+        assert (tree.feature_[leaves] == -1).all()
+
+    def test_threshold_semantics(self):
+        """Points equal to the threshold go left (<=)."""
+        x = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 1, 1])
+        tree = DecisionTreeClassifier().fit(x, y)
+        thr = tree.threshold_[0]
+        assert 1.0 <= thr < 2.0
+        assert tree.predict(np.array([[thr]]))[0] == 0
+
+    def test_noncontiguous_labels(self):
+        x = np.array([[0.0], [1.0], [10.0], [11.0]])
+        y = np.array([5, 5, 99, 99])
+        tree = DecisionTreeClassifier().fit(x, y)
+        np.testing.assert_array_equal(tree.predict(x), y)
+
+
+class TestTreeValidation:
+    def test_rejects_bad_min_samples_split(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_split=1)
+
+    def test_rejects_bad_min_samples_leaf(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_leaf=0)
+
+    def test_rejects_bad_max_features(self, blobs2):
+        x, y = blobs2
+        with pytest.raises(ValueError, match="max_features"):
+            DecisionTreeClassifier(max_features="bogus").fit(x, y)
+        with pytest.raises(ValueError, match="out of range"):
+            DecisionTreeClassifier(max_features=99).fit(x, y)
+
+    def test_predict_before_fit(self, blobs2):
+        x, _ = blobs2
+        with pytest.raises(RuntimeError, match="fitted"):
+            DecisionTreeClassifier().predict(x)

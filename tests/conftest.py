@@ -1,0 +1,76 @@
+"""Shared fixtures: small, deterministic datasets used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def blobs2():
+    """Two well-separated Gaussian blobs (easy binary problem), n=200."""
+    gen = np.random.default_rng(0)
+    x = np.vstack(
+        [gen.normal([0.0, 0.0], 0.6, (100, 2)), gen.normal([4.0, 4.0], 0.6, (100, 2))]
+    )
+    y = np.repeat([0, 1], 100)
+    perm = gen.permutation(200)
+    return x[perm], y[perm]
+
+
+@pytest.fixture
+def blobs3():
+    """Three moderately overlapping blobs in 3-D, n=240."""
+    gen = np.random.default_rng(1)
+    centers = np.array([[0, 0, 0], [3, 0, 1], [0, 3, -1]], dtype=float)
+    x = np.vstack([gen.normal(c, 1.0, (80, 3)) for c in centers])
+    y = np.repeat([0, 1, 2], 80)
+    perm = gen.permutation(240)
+    return x[perm], y[perm]
+
+
+@pytest.fixture
+def moons():
+    """Two interleaved crescents with mild noise, n=300."""
+    gen = np.random.default_rng(2)
+    n = 150
+    t0 = gen.uniform(0, np.pi, n)
+    t1 = gen.uniform(0, np.pi, n)
+    x = np.vstack(
+        [
+            np.column_stack([np.cos(t0), np.sin(t0)]),
+            np.column_stack([1 - np.cos(t1), 0.5 - np.sin(t1)]),
+        ]
+    )
+    x += gen.normal(scale=0.12, size=x.shape)
+    y = np.repeat([0, 1], n)
+    perm = gen.permutation(2 * n)
+    return x[perm], y[perm]
+
+
+@pytest.fixture
+def noisy_blobs2(blobs2):
+    """The blobs2 dataset with 20% flipped labels."""
+    x, y = blobs2
+    gen = np.random.default_rng(3)
+    y_noisy = y.copy()
+    flip = gen.choice(y.size, size=int(0.2 * y.size), replace=False)
+    y_noisy[flip] = 1 - y_noisy[flip]
+    return x, y_noisy
+
+
+@pytest.fixture
+def imbalanced2():
+    """Binary dataset with a 9:1 class ratio, n=300."""
+    gen = np.random.default_rng(4)
+    x = np.vstack(
+        [gen.normal([0, 0], 1.0, (270, 2)), gen.normal([2.5, 2.5], 0.8, (30, 2))]
+    )
+    y = np.array([0] * 270 + [1] * 30)
+    perm = gen.permutation(300)
+    return x[perm], y[perm]

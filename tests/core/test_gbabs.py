@@ -1,0 +1,121 @@
+"""Unit tests for GBABS (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.gbabs import GBABS
+from repro.core.rdgbg import RDGBG
+
+
+class TestGBABSContract:
+    def test_output_is_subset_of_input(self, moons):
+        x, y = moons
+        sampler = GBABS(rho=5, random_state=0)
+        xs, ys = sampler.fit_resample(x, y)
+        idx = sampler.sample_indices_
+        np.testing.assert_array_equal(xs, x[idx])
+        np.testing.assert_array_equal(ys, y[idx])
+
+    def test_no_duplicate_samples(self, moons):
+        x, y = moons
+        sampler = GBABS(rho=5, random_state=0)
+        sampler.fit_resample(x, y)
+        idx = sampler.sample_indices_
+        assert idx.size == np.unique(idx).size
+
+    def test_indices_sorted_and_valid(self, blobs3):
+        x, y = blobs3
+        sampler = GBABS(rho=5, random_state=1)
+        sampler.fit_resample(x, y)
+        idx = sampler.sample_indices_
+        assert (np.diff(idx) > 0).all()
+        assert idx.min() >= 0 and idx.max() < x.shape[0]
+
+    def test_report_consistency(self, moons):
+        x, y = moons
+        sampler = GBABS(rho=5, random_state=0)
+        xs, _ = sampler.fit_resample(x, y)
+        report = sampler.report_
+        assert report.n_samples == x.shape[0]
+        assert report.n_selected == xs.shape[0]
+        assert report.sampling_ratio == pytest.approx(xs.shape[0] / x.shape[0])
+        assert report.n_balls == len(sampler.ball_set_)
+        assert report.n_borderline_balls == sampler.borderline_ball_indices_.size
+        assert report.borderline_pairs_per_dim.shape == (x.shape[1],)
+
+    def test_ratio_bounds(self, moons, blobs2, blobs3):
+        for x, y in (moons, blobs2, blobs3):
+            sampler = GBABS(rho=5, random_state=0)
+            sampler.fit_resample(x, y)
+            assert 0.0 < sampler.report_.sampling_ratio <= 1.0
+
+    def test_deterministic_given_seed(self, moons):
+        x, y = moons
+        a = GBABS(rho=5, random_state=7)
+        b = GBABS(rho=5, random_state=7)
+        a.fit_resample(x, y)
+        b.fit_resample(x, y)
+        np.testing.assert_array_equal(a.sample_indices_, b.sample_indices_)
+
+    def test_borderline_balls_subset(self, moons):
+        x, y = moons
+        sampler = GBABS(rho=5, random_state=0)
+        sampler.fit_resample(x, y)
+        bb = sampler.borderline_ball_indices_
+        assert bb.size <= len(sampler.ball_set_)
+        assert bb.size > 0  # moons always have a boundary
+
+
+class TestGBABSSemantics:
+    def test_single_class_selects_nothing(self):
+        gen = np.random.default_rng(6)
+        x = gen.normal(size=(50, 2))
+        y = np.zeros(50, dtype=int)
+        sampler = GBABS(rho=5, random_state=0)
+        xs, ys = sampler.fit_resample(x, y)
+        # No heterogeneous adjacency exists; nothing is borderline.
+        assert xs.shape[0] == 0
+        assert sampler.report_.n_borderline_balls == 0
+
+    def test_selected_samples_near_boundary(self, blobs2):
+        """On two separated blobs, selected samples sit between the blobs."""
+        x, y = blobs2
+        sampler = GBABS(rho=5, random_state=0)
+        xs, _ = sampler.fit_resample(x, y)
+        midpoint = np.array([2.0, 2.0])
+        sel_dist = np.linalg.norm(xs - midpoint, axis=1).mean()
+        all_dist = np.linalg.norm(x - midpoint, axis=1).mean()
+        assert sel_dist < all_dist
+
+    def test_sample_all_balls_keeps_more(self, moons):
+        x, y = moons
+        border = GBABS(rho=5, random_state=0)
+        every = GBABS(rho=5, random_state=0, sample_all_balls=True)
+        border.fit_resample(x, y)
+        every.fit_resample(x, y)
+        assert every.sample_indices_.size >= border.sample_indices_.size
+
+    def test_custom_generator_respected(self, moons):
+        x, y = moons
+        gen = RDGBG(rho=9, random_state=11)
+        sampler = GBABS(generator=gen)
+        sampler.fit_resample(x, y)
+        reference = RDGBG(rho=9, random_state=11).generate(x, y)
+        assert len(sampler.ball_set_) == len(reference.ball_set)
+
+    def test_noise_reduces_to_clean_boundary(self, blobs2, noisy_blobs2):
+        """Noise removal: flipped-label datasets keep a bounded ratio."""
+        x, y_noisy = noisy_blobs2
+        sampler = GBABS(rho=5, random_state=0)
+        sampler.fit_resample(x, y_noisy)
+        assert sampler.report_.n_noise_removed > 0
+        # Even with 20% flipped labels, the boundary sample set must not
+        # blow up to the whole dataset.
+        assert sampler.report_.sampling_ratio < 0.9
+
+    def test_both_sides_of_each_boundary_sampled(self, blobs2):
+        x, y = blobs2
+        sampler = GBABS(rho=5, random_state=0)
+        _, ys = sampler.fit_resample(x, y)
+        # A boundary between two classes contributes samples of both.
+        assert set(np.unique(ys).tolist()) == {0, 1}

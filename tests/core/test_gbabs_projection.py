@@ -1,0 +1,64 @@
+"""Unit tests for the random-projection borderline scan (future-work ext)."""
+
+import numpy as np
+import pytest
+
+from repro.core.gbabs import GBABS
+
+
+class TestProjectionScan:
+    def test_contract_preserved(self, blobs3):
+        x, y = blobs3
+        sampler = GBABS(rho=5, random_state=0, projection_dims=2)
+        xs, ys = sampler.fit_resample(x, y)
+        idx = sampler.sample_indices_
+        assert idx.size == np.unique(idx).size
+        np.testing.assert_array_equal(xs, x[idx])
+        np.testing.assert_array_equal(ys, y[idx])
+        assert sampler.report_.borderline_pairs_per_dim.shape == (2,)
+
+    def test_deterministic(self, blobs3):
+        x, y = blobs3
+        a = GBABS(rho=5, random_state=4, projection_dims=2)
+        b = GBABS(rho=5, random_state=4, projection_dims=2)
+        a.fit_resample(x, y)
+        b.fit_resample(x, y)
+        np.testing.assert_array_equal(a.sample_indices_, b.sample_indices_)
+
+    def test_k_at_least_p_reproduces_axis_scan(self, moons):
+        """projection_dims >= p falls back to the paper's exact axis scan."""
+        x, y = moons
+        axis = GBABS(rho=5, random_state=0)
+        proj = GBABS(rho=5, random_state=0, projection_dims=x.shape[1])
+        axis.fit_resample(x, y)
+        proj.fit_resample(x, y)
+        np.testing.assert_array_equal(axis.sample_indices_, proj.sample_indices_)
+
+    def test_fewer_directions_scan_fewer_dims(self):
+        gen = np.random.default_rng(0)
+        # 30-D data, boundary along the first axis only.
+        x = gen.normal(size=(300, 30))
+        y = (x[:, 0] > 0).astype(int)
+        full = GBABS(rho=5, random_state=0)
+        fast = GBABS(rho=5, random_state=0, projection_dims=5)
+        full.fit_resample(x, y)
+        fast.fit_resample(x, y)
+        assert fast.report_.borderline_pairs_per_dim.size == 5
+        assert full.report_.borderline_pairs_per_dim.size == 30
+        # Fewer scan directions can only select at most as many samples.
+        assert fast.report_.n_selected <= full.report_.n_selected
+
+    def test_boundary_still_found(self):
+        gen = np.random.default_rng(1)
+        x = gen.normal(size=(400, 20))
+        y = (x[:, 3] > 0).astype(int)
+        fast = GBABS(rho=5, random_state=0, projection_dims=4)
+        xs, ys = fast.fit_resample(x, y)
+        # Random directions almost surely have a component along axis 3, so
+        # the boundary is detected and both classes are represented.
+        assert set(np.unique(ys).tolist()) == {0, 1}
+        assert 0 < xs.shape[0] < x.shape[0]
+
+    def test_rejects_bad_projection_dims(self):
+        with pytest.raises(ValueError, match="projection_dims"):
+            GBABS(projection_dims=0)

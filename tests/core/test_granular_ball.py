@@ -1,0 +1,116 @@
+"""Unit tests for the granular-ball data structures."""
+
+import numpy as np
+import pytest
+
+from repro.core.granular_ball import GranularBall, GranularBallSet
+
+
+def _ball(center, radius, label, indices):
+    return GranularBall(
+        center=np.asarray(center, dtype=float),
+        radius=radius,
+        label=label,
+        indices=np.asarray(indices),
+    )
+
+
+class TestGranularBall:
+    def test_basic_properties(self):
+        ball = _ball([0.0, 0.0], 1.5, 3, [0, 4, 7])
+        assert ball.n_samples == 3
+        assert ball.label == 3
+        assert not ball.is_orphan
+
+    def test_orphan_detection(self):
+        assert _ball([1.0], 0.0, 0, [2]).is_orphan
+        assert not _ball([1.0], 0.0, 0, [2, 3]).is_orphan
+
+    def test_contains(self):
+        ball = _ball([0.0, 0.0], 1.0, 0, [0])
+        inside = np.array([[0.5, 0.5], [0.0, 1.0], [2.0, 0.0]])
+        np.testing.assert_array_equal(ball.contains(inside), [True, True, False])
+
+    def test_members_lookup(self):
+        x = np.arange(12, dtype=float).reshape(6, 2)
+        ball = _ball([0.0, 0.0], 1.0, 0, [1, 3])
+        np.testing.assert_array_equal(ball.members(x), x[[1, 3]])
+
+    def test_rejects_negative_radius(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            _ball([0.0], -0.1, 0, [0])
+
+    def test_rejects_empty_members(self):
+        with pytest.raises(ValueError, match="at least one sample"):
+            _ball([0.0], 1.0, 0, [])
+
+    def test_rejects_2d_center(self):
+        with pytest.raises(ValueError, match="1-D"):
+            _ball([[0.0, 1.0]], 1.0, 0, [0])
+
+
+class TestGranularBallSet:
+    @pytest.fixture
+    def ball_set(self):
+        balls = [
+            _ball([0.0, 0.0], 1.0, 0, [0, 1, 2]),
+            _ball([4.0, 0.0], 1.0, 1, [3, 4]),
+            _ball([2.0, 3.0], 0.0, 0, [5]),
+        ]
+        return GranularBallSet(balls, n_source_samples=6)
+
+    def test_container_protocol(self, ball_set):
+        assert len(ball_set) == 3
+        assert ball_set[1].label == 1
+        assert [b.label for b in ball_set] == [0, 1, 0]
+
+    def test_vectorised_views(self, ball_set):
+        assert ball_set.centers.shape == (3, 2)
+        np.testing.assert_array_equal(ball_set.radii, [1.0, 1.0, 0.0])
+        np.testing.assert_array_equal(ball_set.labels, [0, 1, 0])
+        np.testing.assert_array_equal(ball_set.sizes, [3, 2, 1])
+
+    def test_coverage_and_partition(self, ball_set):
+        assert ball_set.coverage() == 1.0
+        assert ball_set.is_partition()
+
+    def test_partition_detects_duplicates(self):
+        balls = [_ball([0.0], 1.0, 0, [0, 1]), _ball([2.0], 1.0, 1, [1, 2])]
+        assert not GranularBallSet(balls, 3).is_partition()
+
+    def test_max_overlap_disjoint(self, ball_set):
+        # Centres at distance 4 with radii 1+1: separation of 2.
+        assert ball_set.max_overlap() == pytest.approx(-2.0)
+
+    def test_max_overlap_detects_overlap(self):
+        balls = [_ball([0.0], 1.0, 0, [0]), _ball([1.0], 1.0, 1, [1])]
+        assert GranularBallSet(balls, 2).max_overlap() == pytest.approx(1.0)
+
+    def test_max_overlap_ignores_orphans(self):
+        balls = [_ball([0.0], 1.0, 0, [0]), _ball([0.5], 0.0, 1, [1])]
+        # The orphan sits inside the big ball but carries no radius.
+        assert GranularBallSet(balls, 2).max_overlap() == 0.0
+
+    def test_purity_against(self, ball_set):
+        y = np.array([0, 0, 0, 1, 1, 0])
+        np.testing.assert_allclose(ball_set.purity_against(y), 1.0)
+        y_bad = np.array([0, 1, 0, 1, 1, 0])
+        purity = ball_set.purity_against(y_bad)
+        assert purity[0] == pytest.approx(2 / 3)
+
+    def test_assign_and_predict(self, ball_set):
+        points = np.array([[0.1, 0.0], [4.2, 0.1], [2.0, 3.05]])
+        np.testing.assert_array_equal(ball_set.assign(points), [0, 1, 2])
+        np.testing.assert_array_equal(ball_set.predict(points), [0, 1, 0])
+
+    def test_assign_empty_set_raises(self):
+        empty = GranularBallSet([], 0)
+        with pytest.raises(RuntimeError, match="empty ball set"):
+            empty.assign(np.zeros((1, 2)))
+
+    def test_summary_keys(self, ball_set):
+        summary = ball_set.summary()
+        assert summary["n_balls"] == 3
+        assert summary["n_orphans"] == 1
+        assert summary["coverage"] == 1.0
+        assert summary["max_size"] == 3

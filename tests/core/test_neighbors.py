@@ -1,0 +1,111 @@
+"""Unit tests for the nearest-neighbour primitives."""
+
+import numpy as np
+import pytest
+from scipy.spatial.distance import cdist
+
+from repro.core.neighbors import NearestNeighbors, distances_to, pairwise_distances
+
+
+class TestPairwiseDistances:
+    def test_matches_scipy_cdist(self, rng):
+        a = rng.normal(size=(40, 5))
+        b = rng.normal(size=(30, 5))
+        np.testing.assert_allclose(
+            pairwise_distances(a, b), cdist(a, b), atol=1e-9
+        )
+
+    def test_self_distances_zero_diagonal(self, rng):
+        a = rng.normal(size=(20, 3))
+        d = pairwise_distances(a)
+        np.testing.assert_allclose(np.diag(d), 0.0, atol=1e-6)
+
+    def test_symmetry(self, rng):
+        a = rng.normal(size=(15, 4))
+        d = pairwise_distances(a)
+        np.testing.assert_allclose(d, d.T, atol=1e-12)
+
+    def test_non_negative_even_with_duplicates(self):
+        a = np.array([[1.0, 2.0], [1.0, 2.0], [3.0, 4.0]])
+        d = pairwise_distances(a)
+        assert (d >= 0).all()
+        assert d[0, 1] == 0.0
+
+    def test_rejects_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="feature dimensions differ"):
+            pairwise_distances(np.zeros((3, 2)), np.zeros((3, 3)))
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValueError, match="2-D"):
+            pairwise_distances(np.zeros(3))
+
+
+class TestDistancesTo:
+    def test_matches_pairwise(self, rng):
+        pool = rng.normal(size=(25, 4))
+        point = rng.normal(size=4)
+        expected = pairwise_distances(point[None, :], pool)[0]
+        np.testing.assert_allclose(distances_to(point, pool), expected, atol=1e-9)
+
+    def test_rejects_2d_point(self):
+        with pytest.raises(ValueError, match="1-D"):
+            distances_to(np.zeros((1, 3)), np.zeros((5, 3)))
+
+
+class TestNearestNeighbors:
+    def test_kneighbors_sorted_by_distance(self, rng):
+        x = rng.normal(size=(50, 3))
+        nn = NearestNeighbors(n_neighbors=5).fit(x)
+        dist, _ = nn.kneighbors(x[:10])
+        assert (np.diff(dist, axis=1) >= -1e-12).all()
+
+    def test_tree_and_bruteforce_agree(self, rng):
+        x = rng.normal(size=(60, 4))
+        q = rng.normal(size=(10, 4))
+        tree = NearestNeighbors(n_neighbors=4, brute_force_dim=30).fit(x)
+        brute = NearestNeighbors(n_neighbors=4, brute_force_dim=1).fit(x)
+        dt, it = tree.kneighbors(q)
+        db, ib = brute.kneighbors(q)
+        np.testing.assert_allclose(dt, db, atol=1e-9)
+        np.testing.assert_array_equal(it, ib)
+
+    def test_exclude_self_drops_zero_match(self, rng):
+        x = rng.normal(size=(30, 3))
+        nn = NearestNeighbors(n_neighbors=3).fit(x)
+        dist, idx = nn.kneighbors(x, exclude_self=True)
+        rows = np.arange(30)
+        assert not np.any(idx == rows[:, None])
+        assert (dist > 0).all()
+
+    def test_exclude_self_with_duplicate_points(self):
+        x = np.array([[0.0, 0.0], [0.0, 0.0], [5.0, 5.0]])
+        nn = NearestNeighbors(n_neighbors=1).fit(x)
+        dist, idx = nn.kneighbors(x, exclude_self=True)
+        # Each duplicate's nearest non-self neighbour is its twin at dist 0.
+        assert idx[0, 0] in (0, 1) and idx[1, 0] in (0, 1)
+        assert dist[0, 0] == 0.0
+
+    def test_k_clipped_to_pool_size(self):
+        x = np.array([[0.0], [1.0], [2.0]])
+        nn = NearestNeighbors(n_neighbors=10).fit(x)
+        dist, idx = nn.kneighbors(np.array([[0.5]]))
+        assert idx.shape == (1, 3)
+
+    def test_query_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            NearestNeighbors().kneighbors(np.zeros((2, 2)))
+
+    def test_rejects_empty_fit(self):
+        with pytest.raises(ValueError, match="empty"):
+            NearestNeighbors().fit(np.empty((0, 3)))
+
+    def test_invalid_n_neighbors(self):
+        with pytest.raises(ValueError):
+            NearestNeighbors(n_neighbors=0)
+
+    def test_high_dim_uses_bruteforce_path(self, rng):
+        x = rng.normal(size=(20, 64))
+        nn = NearestNeighbors(n_neighbors=2).fit(x)
+        assert nn._tree is None
+        dist, idx = nn.kneighbors(x[:3])
+        assert dist.shape == (3, 2)

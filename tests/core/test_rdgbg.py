@@ -1,0 +1,136 @@
+"""Unit tests for RD-GBG (Algorithm 1) and its guarantees."""
+
+import numpy as np
+import pytest
+
+from repro.core.rdgbg import RDGBG
+
+
+def _invariants(x, y, result):
+    """The three structural guarantees of RD-GBG (§IV-B, DESIGN.md §4)."""
+    ball_set = result.ball_set
+    # 1. Pure balls.
+    assert (ball_set.purity_against(y) == 1.0).all()
+    # 2. No overlap between positive-radius balls.
+    assert ball_set.max_overlap() <= 1e-9
+    # 3. Partition: every sample is in exactly one ball or removed as noise.
+    assert ball_set.is_partition()
+    covered = set(ball_set.member_indices.tolist())
+    noise = set(result.noise_indices.tolist())
+    assert covered.isdisjoint(noise)
+    assert covered | noise == set(range(x.shape[0]))
+
+
+class TestRDGBGInvariants:
+    def test_clean_blobs(self, blobs2):
+        x, y = blobs2
+        result = RDGBG(rho=5, random_state=0).generate(x, y)
+        _invariants(x, y, result)
+        assert len(result.ball_set) >= 2
+        assert result.noise_indices.size == 0
+
+    def test_three_class(self, blobs3):
+        x, y = blobs3
+        result = RDGBG(rho=5, random_state=1).generate(x, y)
+        _invariants(x, y, result)
+        assert set(result.ball_set.labels.tolist()) == {0, 1, 2}
+
+    def test_moons(self, moons):
+        x, y = moons
+        _invariants(x, y, RDGBG(rho=5, random_state=2).generate(x, y))
+
+    def test_noisy_labels_trigger_noise_removal(self, noisy_blobs2):
+        x, y = noisy_blobs2
+        result = RDGBG(rho=5, random_state=0).generate(x, y)
+        _invariants(x, y, result)
+        assert result.noise_indices.size > 0
+
+    @pytest.mark.parametrize("rho", [3, 7, 15])
+    def test_invariants_across_rho(self, moons, rho):
+        x, y = moons
+        _invariants(x, y, RDGBG(rho=rho, random_state=0).generate(x, y))
+
+
+class TestRDGBGBehaviour:
+    def test_deterministic_given_seed(self, blobs3):
+        x, y = blobs3
+        a = RDGBG(rho=5, random_state=42).generate(x, y)
+        b = RDGBG(rho=5, random_state=42).generate(x, y)
+        assert len(a.ball_set) == len(b.ball_set)
+        np.testing.assert_array_equal(
+            a.ball_set.member_indices, b.ball_set.member_indices
+        )
+        np.testing.assert_allclose(a.ball_set.radii, b.ball_set.radii)
+
+    def test_single_class_dataset_one_ball_possible(self):
+        gen = np.random.default_rng(5)
+        x = gen.normal(size=(40, 2))
+        y = np.zeros(40, dtype=int)
+        result = RDGBG(rho=5, random_state=0).generate(x, y)
+        # All samples homogeneous: the first centre swallows everything
+        # reachable; whole dataset must be covered with zero noise.
+        assert result.ball_set.coverage() == 1.0
+        assert result.noise_indices.size == 0
+
+    def test_tiny_dataset(self):
+        x = np.array([[0.0, 0.0], [5.0, 5.0]])
+        y = np.array([0, 1])
+        result = RDGBG(rho=5, random_state=0).generate(x, y)
+        assert result.ball_set.coverage() == 1.0
+
+    def test_duplicate_points(self):
+        x = np.repeat(np.array([[0.0, 0.0], [3.0, 3.0]]), 10, axis=0)
+        y = np.repeat([0, 1], 10)
+        result = RDGBG(rho=5, random_state=0).generate(x, y)
+        assert result.ball_set.coverage() == 1.0
+        assert (result.ball_set.purity_against(y) == 1.0).all()
+
+    def test_orphans_have_radius_zero(self, noisy_blobs2):
+        x, y = noisy_blobs2
+        result = RDGBG(rho=5, random_state=0).generate(x, y)
+        orphan_set = set(result.orphan_indices.tolist())
+        for ball in result.ball_set:
+            if ball.indices.size == 1 and ball.indices[0] in orphan_set:
+                assert ball.radius == 0.0
+
+    def test_all_members_inside_ball(self, moons):
+        x, y = moons
+        result = RDGBG(rho=5, random_state=3).generate(x, y)
+        for ball in result.ball_set:
+            dist = np.linalg.norm(x[ball.indices] - ball.center, axis=1)
+            assert (dist <= ball.radius * (1 + 1e-9) + 1e-12).all()
+
+    def test_noise_detection_disabled(self, noisy_blobs2):
+        x, y = noisy_blobs2
+        result = RDGBG(rho=5, random_state=0, detect_noise=False).generate(x, y)
+        assert result.noise_indices.size == 0
+        assert result.ball_set.coverage() == 1.0
+        # Still pure and non-overlapping — only the noise rules are off.
+        assert (result.ball_set.purity_against(y) == 1.0).all()
+        assert result.ball_set.max_overlap() <= 1e-9
+
+    def test_overlap_constraint_disabled_can_overlap(self, moons):
+        x, y = moons
+        result = RDGBG(
+            rho=5, random_state=0, enforce_no_overlap=False
+        ).generate(x, y)
+        # Without the conflict radius, balls grow to their locally
+        # consistent radius; with interleaved moons that overlaps.
+        assert result.ball_set.max_overlap() > 0
+
+    def test_rejects_bad_rho(self):
+        with pytest.raises(ValueError, match="rho"):
+            RDGBG(rho=1)
+
+    def test_rejects_empty_dataset(self):
+        with pytest.raises(ValueError, match="empty"):
+            RDGBG().generate(np.empty((0, 2)), np.empty(0))
+
+    def test_rejects_mismatched_labels(self):
+        with pytest.raises(ValueError, match="aligned"):
+            RDGBG().generate(np.zeros((5, 2)), np.zeros(4))
+
+    def test_iteration_count_reported(self, blobs2):
+        x, y = blobs2
+        result = RDGBG(rho=5, random_state=0).generate(x, y)
+        assert result.n_iterations >= 1

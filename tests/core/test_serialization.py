@@ -1,0 +1,42 @@
+"""Round-trip tests for granular-ball set persistence."""
+
+import numpy as np
+
+from repro.core.granular_ball import GranularBallSet
+from repro.core.rdgbg import RDGBG
+
+
+class TestSaveLoad:
+    def test_roundtrip_preserves_everything(self, moons, tmp_path):
+        x, y = moons
+        original = RDGBG(rho=5, random_state=0).generate(x, y).ball_set
+        path = tmp_path / "balls.npz"
+        original.save(path)
+        restored = GranularBallSet.load(path)
+
+        assert len(restored) == len(original)
+        assert restored.n_source_samples == original.n_source_samples
+        np.testing.assert_allclose(restored.centers, original.centers)
+        np.testing.assert_allclose(restored.radii, original.radii)
+        np.testing.assert_array_equal(restored.labels, original.labels)
+        for a, b in zip(original, restored):
+            np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_restored_set_predicts_identically(self, blobs3, tmp_path):
+        x, y = blobs3
+        original = RDGBG(rho=5, random_state=1).generate(x, y).ball_set
+        path = tmp_path / "balls.npz"
+        original.save(path)
+        restored = GranularBallSet.load(path)
+        query = x[:50]
+        np.testing.assert_array_equal(
+            original.predict(query), restored.predict(query)
+        )
+
+    def test_empty_set_roundtrip(self, tmp_path):
+        empty = GranularBallSet([], n_source_samples=0)
+        path = tmp_path / "empty.npz"
+        empty.save(path)
+        restored = GranularBallSet.load(path)
+        assert len(restored) == 0
+        assert restored.n_source_samples == 0

@@ -1,0 +1,74 @@
+"""Unit tests for class-noise injection."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.noise import NOISE_RATIOS, inject_class_noise
+
+
+class TestInjectClassNoise:
+    def test_exact_flip_count(self):
+        y = np.repeat([0, 1, 2], 100)
+        y_noisy, flipped = inject_class_noise(y, 0.2, random_state=0)
+        assert flipped.size == 60
+        assert int((y_noisy != y).sum()) == 60
+
+    def test_flipped_labels_actually_differ(self):
+        y = np.repeat([0, 1], 200)
+        y_noisy, flipped = inject_class_noise(y, 0.3, random_state=1)
+        assert (y_noisy[flipped] != y[flipped]).all()
+
+    def test_unflipped_labels_untouched(self):
+        y = np.repeat([0, 1, 2, 3], 50)
+        y_noisy, flipped = inject_class_noise(y, 0.25, random_state=2)
+        untouched = np.setdiff1d(np.arange(y.size), flipped)
+        np.testing.assert_array_equal(y_noisy[untouched], y[untouched])
+
+    def test_replacement_labels_stay_in_alphabet(self):
+        y = np.repeat([3, 7, 11], 40)
+        y_noisy, _ = inject_class_noise(y, 0.4, random_state=3)
+        assert set(np.unique(y_noisy)) <= {3, 7, 11}
+
+    def test_zero_ratio_no_change(self):
+        y = np.repeat([0, 1], 50)
+        y_noisy, flipped = inject_class_noise(y, 0.0, random_state=0)
+        np.testing.assert_array_equal(y_noisy, y)
+        assert flipped.size == 0
+
+    def test_original_never_mutated(self):
+        y = np.repeat([0, 1], 50)
+        y_copy = y.copy()
+        inject_class_noise(y, 0.3, random_state=0)
+        np.testing.assert_array_equal(y, y_copy)
+
+    def test_deterministic(self):
+        y = np.repeat([0, 1, 2], 50)
+        a, fa = inject_class_noise(y, 0.2, random_state=9)
+        b, fb = inject_class_noise(y, 0.2, random_state=9)
+        np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(fa, fb)
+
+    def test_multiclass_replacements_roughly_uniform(self):
+        y = np.zeros(3000, dtype=int)
+        y[:1500] = 0
+        y[1500:] = 1
+        y = np.concatenate([y, np.full(1500, 2)])
+        y_noisy, flipped = inject_class_noise(y, 0.3, random_state=4)
+        # Flips from class 0 must land in both other classes.
+        from0 = flipped[y[flipped] == 0]
+        landed = set(np.unique(y_noisy[from0]))
+        assert landed == {1, 2}
+
+    def test_rejects_bad_ratio(self):
+        y = np.repeat([0, 1], 10)
+        with pytest.raises(ValueError):
+            inject_class_noise(y, 1.0)
+        with pytest.raises(ValueError):
+            inject_class_noise(y, -0.1)
+
+    def test_rejects_single_class(self):
+        with pytest.raises(ValueError, match="2 classes"):
+            inject_class_noise(np.zeros(10, dtype=int), 0.2)
+
+    def test_noise_grid_constants(self):
+        assert NOISE_RATIOS == (0.05, 0.10, 0.20, 0.30, 0.40)

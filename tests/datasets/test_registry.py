@@ -1,0 +1,99 @@
+"""Unit tests for the Table I dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_CODES,
+    DATASETS,
+    dataset_table,
+    get_spec,
+    imbalance_ratio,
+    load_dataset,
+)
+
+
+class TestRegistryContents:
+    def test_thirteen_datasets(self):
+        assert len(DATASET_CODES) == 13
+        assert DATASET_CODES == tuple(f"S{i}" for i in range(1, 14))
+
+    def test_profiles_match_table1(self):
+        """Feature/class counts are the paper's exactly."""
+        expected = {
+            "S1": (690, 15, 2), "S2": (768, 8, 2), "S3": (1728, 6, 4),
+            "S4": (2500, 12, 2), "S5": (5300, 2, 2), "S6": (5473, 11, 5),
+            "S7": (9822, 85, 2), "S8": (13611, 16, 7), "S9": (17898, 8, 2),
+            "S10": (19020, 10, 2), "S11": (58000, 9, 7),
+            "S12": (13910, 128, 6), "S13": (9298, 256, 10),
+        }
+        for code, (n, p, q) in expected.items():
+            spec = DATASETS[code]
+            assert (spec.n_samples, spec.n_features, spec.n_classes) == (n, p, q)
+
+    def test_get_spec_by_code_and_name(self):
+        assert get_spec("S5").name == "banana"
+        assert get_spec("banana").code == "S5"
+        assert get_spec("Dry Bean").code == "S8"
+
+    def test_get_spec_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_spec("S99")
+
+
+class TestLoadDataset:
+    @pytest.mark.parametrize("code", DATASET_CODES)
+    def test_all_load_small(self, code):
+        x, y = load_dataset(code, size_factor=0.05, random_state=0)
+        spec = DATASETS[code]
+        assert x.shape[1] == spec.n_features
+        assert np.unique(y).size == spec.n_classes
+        assert np.isfinite(x).all()
+
+    def test_deterministic(self):
+        a = load_dataset("S5", 0.1, random_state=3)
+        b = load_dataset("S5", 0.1, random_state=3)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_seed_changes_data(self):
+        a, _ = load_dataset("S5", 0.1, random_state=1)
+        b, _ = load_dataset("S5", 0.1, random_state=2)
+        assert not np.array_equal(a, b)
+
+    def test_size_factor_scales(self):
+        small, _ = load_dataset("S10", 0.05, random_state=0)
+        large, _ = load_dataset("S10", 0.2, random_state=0)
+        assert large.shape[0] == pytest.approx(4 * small.shape[0], rel=0.05)
+
+    def test_full_size_matches_table(self):
+        x, _ = load_dataset("S1", 1.0, random_state=0)
+        assert x.shape[0] == 690
+
+    def test_minimum_size_floor(self):
+        x, y = load_dataset("S13", size_factor=1e-6, random_state=0)
+        assert x.shape[0] >= 30 * 10
+
+    def test_ir_tracks_target_moderate_datasets(self):
+        for code in ("S1", "S2", "S4", "S5", "S8", "S9", "S10", "S12", "S13"):
+            x, y = load_dataset(code, 0.3, random_state=0)
+            target = DATASETS[code].ir
+            assert abs(imbalance_ratio(y) - target) / target < 0.2, code
+
+    def test_categorical_columns_are_low_cardinality(self):
+        x, _ = load_dataset("S1", 0.3, random_state=0)
+        for col in DATASETS["S1"].categorical_features:
+            assert np.unique(x[:, col]).size <= 3
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            load_dataset("S1", size_factor=0.0)
+
+
+class TestDatasetTable:
+    def test_rows_cover_all(self):
+        rows = dataset_table(size_factor=0.05)
+        assert [r["code"] for r in rows] == list(DATASET_CODES)
+        for row in rows:
+            assert row["samples"] > 0
+            assert row["ir"] >= 1.0

@@ -1,0 +1,106 @@
+"""Unit tests for the synthetic dataset geometries."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import synthetic
+
+
+class TestClassSizes:
+    def test_exact_total(self):
+        sizes = synthetic.class_sizes_from_weights(100, [0.5, 0.3, 0.2])
+        assert sizes.sum() == 100
+
+    def test_tracks_weights(self):
+        sizes = synthetic.class_sizes_from_weights(1000, [3, 1])
+        assert abs(sizes[0] / sizes[1] - 3.0) < 0.05
+
+    def test_minimum_one_per_class(self):
+        sizes = synthetic.class_sizes_from_weights(10, [1000, 1, 1])
+        assert (sizes >= 1).all()
+        assert sizes.sum() == 10
+
+    def test_rejects_nonpositive_weights(self):
+        with pytest.raises(ValueError):
+            synthetic.class_sizes_from_weights(10, [1.0, 0.0])
+
+    def test_rejects_empty_weights(self):
+        with pytest.raises(ValueError):
+            synthetic.class_sizes_from_weights(10, [])
+
+
+class TestGaussianMixture:
+    def test_shapes_and_labels(self, rng):
+        x, y = synthetic.gaussian_mixture(200, 6, [2, 1], rng)
+        assert x.shape == (200, 6)
+        assert set(np.unique(y)) == {0, 1}
+
+    def test_weights_drive_imbalance(self, rng):
+        x, y = synthetic.gaussian_mixture(600, 4, [5, 1], rng)
+        counts = np.bincount(y)
+        assert 3.5 < counts[0] / counts[1] < 6.5
+
+    def test_informative_fraction_limits_signal(self, rng):
+        x, y = synthetic.gaussian_mixture(
+            400, 20, [1, 1], rng, class_sep=6.0, informative_fraction=0.2
+        )
+        informative = max(2, round(0.2 * 20))
+        means0 = x[y == 0].mean(axis=0)
+        means1 = x[y == 1].mean(axis=0)
+        gap = np.abs(means0 - means1)
+        # Noise features carry no class signal.
+        assert gap[informative:].max() < gap[:informative].max()
+
+    def test_multimodal_classes(self, rng):
+        x, y = synthetic.gaussian_mixture(
+            300, 2, [1, 1], rng, clusters_per_class=3, class_sep=5.0
+        )
+        assert x.shape == (300, 2)
+
+
+class TestBanana:
+    def test_two_dimensional_binary(self, rng):
+        x, y = synthetic.banana(400, [1.2, 1.0], rng)
+        assert x.shape == (400, 2)
+        assert set(np.unique(y)) == {0, 1}
+
+    def test_crescents_interleave(self, rng):
+        """The two crescents overlap in x but differ in mean y."""
+        x, y = synthetic.banana(1000, [1, 1], rng, noise=0.05)
+        y0 = x[y == 0]
+        y1 = x[y == 1]
+        assert y0[:, 1].mean() > y1[:, 1].mean()
+        overlap = min(y0[:, 0].max(), y1[:, 0].max()) - max(
+            y0[:, 0].min(), y1[:, 0].min()
+        )
+        assert overlap > 0.5
+
+    def test_rejects_multiclass_weights(self, rng):
+        with pytest.raises(ValueError, match="binary"):
+            synthetic.banana(100, [1, 1, 1], rng)
+
+
+class TestRingsAndGrid:
+    def test_concentric_rings_radii_ordered(self, rng):
+        x, y = synthetic.concentric_rings(300, [1, 1, 1], rng, noise=0.05)
+        radii = np.linalg.norm(x, axis=1)
+        assert radii[y == 0].mean() < radii[y == 1].mean() < radii[y == 2].mean()
+
+    def test_grid_levels(self, rng):
+        x, y = synthetic.grid_categorical(500, 5, [3, 1], rng, n_levels=4)
+        assert set(np.unique(x)) <= {0.0, 1.0, 2.0, 3.0}
+        assert set(np.unique(y)) == {0, 1}
+
+    def test_grid_class_sizes(self, rng):
+        x, y = synthetic.grid_categorical(400, 4, [4, 2, 1], rng)
+        counts = np.bincount(y)
+        assert counts[0] > counts[1] > counts[2]
+
+
+class TestShuffled:
+    def test_keeps_pairs_together(self, rng):
+        x = np.arange(20, dtype=float).reshape(10, 2)
+        y = np.arange(10)
+        xs, ys = synthetic.shuffled(x, y, rng)
+        for row, label in zip(xs, ys):
+            np.testing.assert_array_equal(row, x[label])

@@ -1,0 +1,154 @@
+"""Unit tests for stratified CV and the pipeline evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.cross_validation import (
+    evaluate_pipeline,
+    stratified_kfold_indices,
+)
+
+
+class _MajorityClassifier:
+    """Predicts the most frequent training label (sanity baseline)."""
+
+    def fit(self, x, y):
+        values, counts = np.unique(y, return_counts=True)
+        self._label = values[np.argmax(counts)]
+        return self
+
+    def predict(self, x):
+        return np.full(x.shape[0], self._label)
+
+
+class _NullSampler:
+    def fit_resample(self, x, y):
+        return x, y
+
+
+class _CollapsingSampler:
+    """Pathological sampler returning a single class (must trigger fallback)."""
+
+    def fit_resample(self, x, y):
+        keep = y == y[0]
+        return x[keep], y[keep]
+
+
+class TestStratifiedKFold:
+    def test_folds_partition_dataset(self):
+        y = np.repeat([0, 1, 2], 30)
+        splits = stratified_kfold_indices(y, n_splits=5, random_state=0)
+        all_test = np.sort(np.concatenate([test for _, test in splits]))
+        np.testing.assert_array_equal(all_test, np.arange(90))
+        for train, test in splits:
+            assert np.intersect1d(train, test).size == 0
+
+    def test_class_balance_per_fold(self):
+        y = np.repeat([0, 1], [80, 20])
+        splits = stratified_kfold_indices(y, n_splits=5, random_state=0)
+        for _, test in splits:
+            share = np.mean(y[test] == 1)
+            assert abs(share - 0.2) < 0.05
+
+    def test_small_class_never_breaks_split(self):
+        y = np.array([0] * 50 + [1] * 2)
+        splits = stratified_kfold_indices(y, n_splits=5, random_state=0)
+        assert len(splits) == 5
+
+    def test_deterministic(self):
+        y = np.repeat([0, 1], 25)
+        a = stratified_kfold_indices(y, 5, random_state=3)
+        b = stratified_kfold_indices(y, 5, random_state=3)
+        for (ta, sa), (tb, sb) in zip(a, b):
+            np.testing.assert_array_equal(ta, tb)
+            np.testing.assert_array_equal(sa, sb)
+
+    def test_rejects_bad_splits(self):
+        with pytest.raises(ValueError):
+            stratified_kfold_indices(np.array([0, 1]), n_splits=1)
+
+
+class TestEvaluatePipeline:
+    def test_majority_baseline_accuracy(self, imbalanced2):
+        x, y = imbalanced2
+        result = evaluate_pipeline(
+            x, y,
+            classifier_factory=lambda s: _MajorityClassifier(),
+            n_splits=3, n_repeats=2, random_state=0,
+        )
+        # Majority class share is 0.9.
+        assert result.means["accuracy"] == pytest.approx(0.9, abs=0.02)
+        assert result.n_folds == 6
+        assert result.metric_values["accuracy"].shape == (6,)
+
+    def test_sampler_applied_to_training_folds(self, blobs2):
+        x, y = blobs2
+        calls = []
+
+        class Recorder:
+            def fit_resample(self, xt, yt):
+                calls.append(xt.shape[0])
+                return xt, yt
+
+        evaluate_pipeline(
+            x, y,
+            classifier_factory=lambda s: _MajorityClassifier(),
+            sampler_factory=lambda s: Recorder(),
+            n_splits=4, n_repeats=1, random_state=0,
+        )
+        assert len(calls) == 4
+        # Training folds hold ~3/4 of the data.
+        assert all(abs(c - 150) <= 2 for c in calls)
+
+    def test_collapsing_sampler_falls_back(self, blobs2):
+        x, y = blobs2
+        result = evaluate_pipeline(
+            x, y,
+            classifier_factory=lambda s: _MajorityClassifier(),
+            sampler_factory=lambda s: _CollapsingSampler(),
+            n_splits=3, n_repeats=1, random_state=0,
+        )
+        # Fallback trains on the raw fold: ratio recorded as 1.0.
+        assert result.mean_sampling_ratio == 1.0
+
+    def test_multiple_metrics(self, blobs2):
+        x, y = blobs2
+        result = evaluate_pipeline(
+            x, y,
+            classifier_factory=lambda s: _MajorityClassifier(),
+            n_splits=3, n_repeats=1,
+            metrics=("accuracy", "g_mean"), random_state=0,
+        )
+        assert set(result.metric_values) == {"accuracy", "g_mean"}
+        # Majority classifier misses one class entirely: g-mean is 0.
+        assert result.means["g_mean"] == 0.0
+
+    def test_deterministic(self, blobs2):
+        x, y = blobs2
+        from repro.classifiers.tree import DecisionTreeClassifier
+
+        kwargs = dict(
+            classifier_factory=lambda s: DecisionTreeClassifier(max_depth=3),
+            n_splits=3, n_repeats=2, random_state=11,
+        )
+        a = evaluate_pipeline(x, y, **kwargs)
+        b = evaluate_pipeline(x, y, **kwargs)
+        np.testing.assert_array_equal(
+            a.metric_values["accuracy"], b.metric_values["accuracy"]
+        )
+
+    def test_seed_changes_folds(self, moons):
+        x, y = moons
+        from repro.classifiers.tree import DecisionTreeClassifier
+
+        a = evaluate_pipeline(
+            x, y, classifier_factory=lambda s: DecisionTreeClassifier(),
+            n_splits=3, n_repeats=1, random_state=1,
+        )
+        b = evaluate_pipeline(
+            x, y, classifier_factory=lambda s: DecisionTreeClassifier(),
+            n_splits=3, n_repeats=1, random_state=2,
+        )
+        assert not np.array_equal(
+            a.metric_values["accuracy"], b.metric_values["accuracy"]
+        )

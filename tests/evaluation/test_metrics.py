@@ -1,0 +1,102 @@
+"""Unit tests for the classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.metrics import (
+    METRICS,
+    accuracy_score,
+    compute_metric,
+    confusion_matrix,
+    g_mean_score,
+    per_class_recall,
+    precision_recall_f1,
+)
+
+
+class TestAccuracy:
+    def test_hand_computed(self):
+        assert accuracy_score([0, 1, 1, 0], [0, 1, 0, 0]) == 0.75
+
+    def test_perfect_and_zero(self):
+        assert accuracy_score([1, 1], [1, 1]) == 1.0
+        assert accuracy_score([1, 1], [0, 0]) == 0.0
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            accuracy_score([0, 1], [0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+
+class TestConfusionMatrix:
+    def test_hand_computed(self):
+        cm = confusion_matrix([0, 0, 1, 1, 1], [0, 1, 1, 1, 0])
+        np.testing.assert_array_equal(cm, [[1, 1], [1, 2]])
+
+    def test_rows_sum_to_class_counts(self, rng):
+        y_true = rng.integers(0, 3, 100)
+        y_pred = rng.integers(0, 3, 100)
+        cm = confusion_matrix(y_true, y_pred)
+        np.testing.assert_array_equal(cm.sum(axis=1), np.bincount(y_true))
+
+    def test_predicted_only_class_gets_column(self):
+        cm = confusion_matrix([0, 0], [0, 2])
+        assert cm.shape == (2, 2)
+        assert cm[0, 1] == 1  # true 0 predicted as 2
+
+    def test_explicit_labels(self):
+        cm = confusion_matrix([0, 1], [0, 1], labels=[0, 1, 2])
+        assert cm.shape == (3, 3)
+        assert cm[2].sum() == 0
+
+
+class TestGMean:
+    def test_binary_hand_computed(self):
+        # Sensitivity 1.0, specificity 0.5 -> sqrt(0.5).
+        y_true = [1, 1, 0, 0]
+        y_pred = [1, 1, 0, 1]
+        assert g_mean_score(y_true, y_pred) == pytest.approx(np.sqrt(0.5))
+
+    def test_zero_when_class_fully_missed(self):
+        assert g_mean_score([0, 0, 1, 1], [0, 0, 0, 0]) == 0.0
+
+    def test_perfect(self):
+        assert g_mean_score([0, 1, 2], [0, 1, 2]) == 1.0
+
+    def test_multiclass_geometric_mean(self):
+        y_true = [0] * 4 + [1] * 4 + [2] * 4
+        y_pred = [0] * 4 + [1, 1, 0, 0] + [2, 2, 2, 0]
+        expected = (1.0 * 0.5 * 0.75) ** (1 / 3)
+        assert g_mean_score(y_true, y_pred) == pytest.approx(expected)
+
+    def test_per_class_recall(self):
+        recalls = per_class_recall([0, 0, 1, 1], [0, 1, 1, 1])
+        np.testing.assert_allclose(recalls, [0.5, 1.0])
+
+
+class TestPrecisionRecallF1:
+    def test_hand_computed(self):
+        out = precision_recall_f1([0, 0, 1, 1], [0, 1, 1, 1])
+        np.testing.assert_allclose(out["precision"], [1.0, 2 / 3])
+        np.testing.assert_allclose(out["recall"], [0.5, 1.0])
+        assert out["macro_f1"] == pytest.approx(
+            0.5 * (2 * 0.5 / 1.5 + 2 * (2 / 3) / (5 / 3))
+        )
+
+    def test_zero_division_guard(self):
+        out = precision_recall_f1([0, 0, 1], [0, 0, 0])
+        assert out["recall"][1] == 0.0
+        assert out["f1"][1] == 0.0
+
+
+class TestDispatch:
+    def test_known_metrics(self):
+        assert set(METRICS) == {"accuracy", "g_mean"}
+        assert compute_metric("accuracy", [0, 1], [0, 1]) == 1.0
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            compute_metric("auc", [0, 1], [0, 1])

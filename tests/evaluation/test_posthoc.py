@@ -1,0 +1,76 @@
+"""Unit tests for the Friedman test and Nemenyi critical difference."""
+
+import numpy as np
+import pytest
+from scipy.stats import friedmanchisquare
+
+from repro.evaluation.posthoc import (
+    friedman_test,
+    nemenyi_critical_difference,
+)
+
+
+class TestFriedman:
+    def test_matches_scipy(self, rng):
+        scores = {f"m{i}": rng.normal(0.8, 0.1, 12) for i in range(4)}
+        mine = friedman_test(scores)
+        ref = friedmanchisquare(*scores.values())
+        # scipy ranks raw values ascending; ours ranks "higher is better",
+        # which only mirrors the ranks — the statistic is identical.
+        assert mine.statistic == pytest.approx(float(ref.statistic), rel=1e-9)
+        assert mine.p_value == pytest.approx(float(ref.pvalue), rel=1e-9)
+
+    def test_dominant_method_is_significant(self):
+        n = 15
+        base = np.linspace(0.6, 0.9, n)
+        scores = {
+            "winner": base + 0.10,
+            "mid": base + 0.02,
+            "loser": base,
+        }
+        result = friedman_test(scores)
+        assert result.significant(0.05)
+        assert result.average_ranks["winner"] == 1.0
+        assert result.average_ranks["loser"] == pytest.approx(3.0, abs=0.3)
+
+    def test_identical_methods_not_significant(self):
+        same = np.linspace(0.5, 0.9, 10)
+        result = friedman_test({"a": same, "b": same.copy(), "c": same.copy()})
+        assert not result.significant(0.05)
+        assert result.statistic == pytest.approx(0.0, abs=1e-9)
+
+    def test_iman_davenport_more_powerful(self):
+        gen = np.random.default_rng(0)
+        base = gen.normal(0.7, 0.05, 10)
+        scores = {"a": base + 0.03, "b": base, "c": base - 0.03}
+        result = friedman_test(scores)
+        assert result.iman_davenport_p_value <= result.p_value + 1e-12
+
+    def test_rejects_tiny_inputs(self):
+        with pytest.raises(ValueError):
+            friedman_test({"only": np.array([1.0, 2.0])})
+        with pytest.raises(ValueError):
+            friedman_test({"a": np.array([1.0]), "b": np.array([2.0])})
+
+
+class TestNemenyi:
+    def test_known_value(self):
+        # Demšar (2006): k=5, N=14 at alpha 0.05 -> CD ~ 1.63.
+        cd = nemenyi_critical_difference(5, 14, alpha=0.05)
+        assert cd == pytest.approx(1.63, abs=0.02)
+
+    def test_monotone_in_datasets(self):
+        assert nemenyi_critical_difference(8, 30) < nemenyi_critical_difference(8, 13)
+
+    def test_alpha_levels(self):
+        assert nemenyi_critical_difference(8, 13, 0.10) < (
+            nemenyi_critical_difference(8, 13, 0.05)
+        )
+
+    def test_rejects_unsupported(self):
+        with pytest.raises(ValueError):
+            nemenyi_critical_difference(11, 13)
+        with pytest.raises(ValueError):
+            nemenyi_critical_difference(5, 13, alpha=0.01)
+        with pytest.raises(ValueError):
+            nemenyi_critical_difference(5, 1)

@@ -1,0 +1,67 @@
+"""Unit tests for the per-dataset ranking (Fig. 9 presentation)."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.ranking import average_ranks, rank_methods
+
+
+class TestRankMethods:
+    def test_hand_computed(self):
+        scores = {
+            "a": np.array([0.9, 0.5]),
+            "b": np.array([0.8, 0.7]),
+            "c": np.array([0.7, 0.6]),
+        }
+        ranks = rank_methods(scores)
+        np.testing.assert_array_equal(ranks["a"], [1, 3])
+        np.testing.assert_array_equal(ranks["b"], [2, 1])
+        np.testing.assert_array_equal(ranks["c"], [3, 2])
+
+    def test_lower_is_better_mode(self):
+        scores = {"a": np.array([1.0]), "b": np.array([2.0])}
+        ranks = rank_methods(scores, higher_is_better=False)
+        assert ranks["a"][0] == 1
+        assert ranks["b"][0] == 2
+
+    def test_competition_ties_share_best_rank(self):
+        scores = {
+            "a": np.array([0.9]),
+            "b": np.array([0.9]),
+            "c": np.array([0.1]),
+        }
+        ranks = rank_methods(scores, method="competition")
+        assert ranks["a"][0] == 1 and ranks["b"][0] == 1
+        assert ranks["c"][0] == 3
+
+    def test_average_ties(self):
+        scores = {
+            "a": np.array([0.9]),
+            "b": np.array([0.9]),
+            "c": np.array([0.1]),
+        }
+        ranks = rank_methods(scores, method="average")
+        assert ranks["a"][0] == 1.5 and ranks["b"][0] == 1.5
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError):
+            rank_methods({"a": np.array([1.0])}, method="dense")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            rank_methods({})
+
+    def test_ranks_are_permutation_when_no_ties(self, rng):
+        scores = {f"m{i}": rng.normal(size=7) for i in range(5)}
+        ranks = rank_methods(scores)
+        matrix = np.vstack([ranks[f"m{i}"] for i in range(5)])
+        for j in range(7):
+            np.testing.assert_array_equal(np.sort(matrix[:, j]), np.arange(1, 6))
+
+
+class TestAverageRanks:
+    def test_mean_over_datasets(self):
+        ranks = {"a": np.array([1.0, 3.0]), "b": np.array([2.0, 1.0])}
+        avg = average_ranks(ranks)
+        assert avg["a"] == 2.0
+        assert avg["b"] == 1.5

@@ -1,0 +1,129 @@
+"""Unit tests for the Wilcoxon signed-rank implementation.
+
+The key check: p-values match ``scipy.stats.wilcoxon`` on both the exact
+and the normal-approximation paths.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.evaluation.stats import (
+    rankdata_average,
+    wilcoxon_signed_rank,
+)
+
+
+class TestRankdata:
+    def test_matches_scipy(self, rng):
+        for _ in range(10):
+            values = rng.normal(size=20)
+            np.testing.assert_allclose(
+                rankdata_average(values), sps.rankdata(values)
+            )
+
+    def test_ties_share_average_rank(self):
+        np.testing.assert_allclose(
+            rankdata_average(np.array([1.0, 2.0, 2.0, 3.0])),
+            [1.0, 2.5, 2.5, 4.0],
+        )
+
+
+class TestWilcoxonExact:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_scipy_exact_path(self, seed):
+        gen = np.random.default_rng(seed)
+        a = gen.normal(0.8, 0.05, 13)
+        b = a - gen.normal(0.02, 0.04, 13)
+        mine = wilcoxon_signed_rank(a, b)
+        ref = sps.wilcoxon(a, b)
+        assert mine.method == "exact"
+        assert mine.statistic == pytest.approx(float(ref.statistic))
+        assert mine.p_value == pytest.approx(float(ref.pvalue), rel=1e-10)
+
+    def test_one_sided_greater(self):
+        gen = np.random.default_rng(0)
+        a = gen.normal(1.0, 0.1, 12)
+        b = a - np.abs(gen.normal(0.05, 0.02, 12))
+        mine = wilcoxon_signed_rank(a, b, alternative="greater")
+        ref = sps.wilcoxon(a, b, alternative="greater")
+        assert mine.p_value == pytest.approx(float(ref.pvalue), rel=1e-10)
+
+    def test_one_sided_less(self):
+        gen = np.random.default_rng(1)
+        a = gen.normal(1.0, 0.1, 12)
+        b = a + np.abs(gen.normal(0.05, 0.02, 12))
+        mine = wilcoxon_signed_rank(a, b, alternative="less")
+        ref = sps.wilcoxon(a, b, alternative="less")
+        assert mine.p_value == pytest.approx(float(ref.pvalue), rel=1e-10)
+
+    def test_strongly_significant_difference(self):
+        a = np.linspace(0.8, 0.95, 13)
+        b = a - 0.05
+        result = wilcoxon_signed_rank(a, b)
+        assert result.significant(0.05)
+        assert result.statistic == 0.0
+
+
+class TestWilcoxonNormal:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_scipy_large_n(self, seed):
+        gen = np.random.default_rng(seed)
+        a = gen.normal(0.7, 0.1, 60)
+        b = a - gen.normal(0.01, 0.05, 60)
+        mine = wilcoxon_signed_rank(a, b)
+        ref = sps.wilcoxon(a, b)
+        assert mine.method == "normal"
+        assert mine.p_value == pytest.approx(float(ref.pvalue), rel=1e-6)
+
+    def test_small_n_with_ties_stays_exact(self):
+        """Tied |differences| keep the exact path, with a hand-derived p.
+
+        All eight differences are positive, so ``W- = 0`` and the two-sided
+        p-value is ``2 · P(W+ = max) = 2 / 2^8`` regardless of the tie
+        structure.  (scipy's "exact" would use the classical untied rank
+        table here; see test_matches_scipy for the tie-free equivalence.)
+        """
+        a = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0])
+        b = a - np.array([0.5, 0.5, 0.5, 0.5, 1.0, 1.0, 1.0, 2.0])
+        mine = wilcoxon_signed_rank(a, b)
+        assert mine.method == "exact"
+        assert mine.statistic == 0.0
+        assert mine.p_value == pytest.approx(2.0 / 2**8)
+
+    def test_large_n_with_ties_matches_scipy(self):
+        gen = np.random.default_rng(7)
+        a = np.round(gen.normal(0.7, 0.1, 40), 2)
+        b = np.round(a - gen.normal(0.03, 0.05, 40), 2)
+        keep = a != b
+        mine = wilcoxon_signed_rank(a[keep], b[keep])
+        ref = sps.wilcoxon(a[keep], b[keep])
+        assert mine.method == "normal"
+        assert mine.p_value == pytest.approx(float(ref.pvalue), rel=1e-6)
+
+
+class TestWilcoxonValidation:
+    def test_zero_differences_dropped(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        b = np.array([1.0, 2.5, 2.5, 3.0, 6.0, 5.0])
+        result = wilcoxon_signed_rank(a, b)
+        assert result.n_effective == 5
+
+    def test_all_zero_raises(self):
+        a = np.ones(5)
+        with pytest.raises(ValueError, match="all paired differences"):
+            wilcoxon_signed_rank(a, a)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            wilcoxon_signed_rank(np.ones(3), np.ones(4))
+
+    def test_bad_alternative_raises(self):
+        with pytest.raises(ValueError, match="alternative"):
+            wilcoxon_signed_rank(np.ones(3), np.zeros(3), alternative="both")
+
+    def test_significance_helper(self):
+        a = np.linspace(0.8, 0.95, 13)
+        result = wilcoxon_signed_rank(a, a - 0.05)
+        assert result.significant(0.05)
+        assert not result.significant(1e-8)

@@ -1,0 +1,49 @@
+"""Smoke tests for the ablation studies on a micro profile."""
+
+import pytest
+
+from repro.experiments import ablations
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import clear_cache
+
+MICRO = ExperimentConfig(
+    name="micro-test",
+    size_factor=0.05,
+    datasets=("S5",),
+    n_splits=2,
+    n_repeats=1,
+    n_estimators=3,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestAblationOverlap:
+    def test_constraint_certifies_no_overlap(self):
+        result = ablations.ablation_overlap(MICRO)
+        row = result["rows"][0]
+        assert row["no_overlap_max_overlap"] <= 1e-9
+        assert 0.0 <= row["no_overlap_accuracy"] <= 1.0
+        text = ablations.format_ablation(result)
+        assert "A1-overlap" in text
+
+
+class TestAblationNoiseDetection:
+    def test_detection_removes_samples(self):
+        result = ablations.ablation_noise_detection(MICRO, noise_ratio=0.2)
+        row = result["rows"][0]
+        assert row["detect_noise_removed"] > 0
+        assert row["no_detect_noise_removed"] == 0
+        assert result["noise_ratio"] == 0.2
+
+
+class TestAblationBorderline:
+    def test_borderline_compresses_harder(self):
+        result = ablations.ablation_borderline(MICRO)
+        row = result["rows"][0]
+        assert row["borderline_ratio"] <= row["all_balls_ratio"] + 1e-9

@@ -1,0 +1,39 @@
+"""Unit tests for experiment configuration profiles."""
+
+import pytest
+
+from repro.experiments.config import FULL, MEDIUM, QUICK, active_config
+
+
+class TestProfiles:
+    def test_full_matches_paper_protocol(self):
+        assert FULL.size_factor == 1.0
+        assert FULL.n_splits == 5
+        assert FULL.n_repeats == 5
+        assert FULL.n_estimators == 100
+        assert len(FULL.datasets) == 13
+        assert FULL.noise_ratios == (0.05, 0.10, 0.20, 0.30, 0.40)
+        assert FULL.rho_grid == (3, 5, 7, 9, 11, 13, 15, 17, 19)
+
+    def test_quick_is_reduced(self):
+        assert QUICK.size_factor < MEDIUM.size_factor < FULL.size_factor
+        assert QUICK.n_estimators < FULL.n_estimators
+        assert set(QUICK.datasets) <= set(FULL.datasets)
+
+    def test_scaled_replaces_fields(self):
+        cfg = QUICK.scaled(size_factor=0.5, n_splits=4)
+        assert cfg.size_factor == 0.5
+        assert cfg.n_splits == 4
+        assert cfg.datasets == QUICK.datasets  # untouched fields preserved
+        assert QUICK.size_factor != 0.5  # original frozen
+
+    def test_active_config_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "medium")
+        assert active_config() is MEDIUM
+        monkeypatch.delenv("REPRO_PROFILE")
+        assert active_config() is QUICK
+
+    def test_active_config_rejects_unknown(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "gigantic")
+        with pytest.raises(ValueError, match="REPRO_PROFILE"):
+            active_config()

@@ -1,0 +1,92 @@
+"""Smoke tests for the figure regenerators on a micro profile."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import clear_cache
+
+MICRO = ExperimentConfig(
+    name="micro-test",
+    size_factor=0.05,
+    datasets=("S2", "S5"),
+    n_splits=2,
+    n_repeats=1,
+    n_estimators=3,
+    noise_ratios=(0.2,),
+    rho_grid=(3, 9),
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestFig5:
+    def test_embeddings(self):
+        result = figures.fig5(MICRO, max_points=60, n_iter=100)
+        # Only S5 of the Fig. 5 quartet is in the micro dataset list.
+        assert set(result["embeddings"]) == {"S5"}
+        emb = result["embeddings"]["S5"]["embedding"]
+        assert emb.shape[1] == 2
+        text = figures.format_fig5(result)
+        assert "t-SNE of S5" in text
+
+
+class TestFig6:
+    def test_ratio_grid(self):
+        result = figures.fig6(MICRO)
+        assert set(result["ratios"]) == {0.0, 0.2}
+        for series in result["ratios"].values():
+            assert set(series) == {"GBABS", "GGBS"}
+            for values in series.values():
+                assert values.shape == (2,)
+        text = figures.format_fig6(result)
+        assert "noise 0%" in text and "noise 20%" in text
+
+
+class TestFig7Fig8:
+    def test_panels(self):
+        from repro.experiments.tables import table4
+
+        cfg = MICRO.scaled(noise_ratios=(0.1, 0.2, 0.3, 0.4))
+        t4 = table4(cfg)
+        result = figures.fig7_fig8(cfg, t4)
+        assert set(result["panels"]) == {
+            "fig7:xgboost@10%",
+            "fig7:xgboost@30%",
+            "fig8:rf@20%",
+            "fig8:rf@40%",
+        }
+        text = figures.format_fig7_fig8(result)
+        assert "fig8:rf@40%" in text
+
+
+class TestFig9:
+    def test_rank_matrices(self):
+        result = figures.fig9(MICRO)
+        for noise, ranks in result["ranks"].items():
+            matrix = np.vstack([ranks[m] for m in result["methods"]])
+            assert matrix.shape == (8, 2)
+            assert matrix.min() >= 1
+            assert 0.0 <= result["friedman"][noise].p_value <= 1.0
+        assert result["nemenyi_cd"] > 0
+        text = figures.format_fig9(result)
+        assert "GBABS" in text
+        assert "Friedman" in text
+        assert "Nemenyi" in text
+
+
+class TestFig10Fig11:
+    def test_rho_sweep(self):
+        result = figures.fig10_fig11(MICRO)
+        assert result["rho_grid"] == [3, 9]
+        for code in MICRO.datasets:
+            assert result["sampling_ratio"][code].shape == (2,)
+            assert result["accuracy"][code].shape == (2,)
+        text = figures.format_fig10_fig11(result)
+        assert "Fig. 10" in text and "Fig. 11" in text

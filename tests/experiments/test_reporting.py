@@ -1,0 +1,40 @@
+"""Unit tests for the plain-text report formatting."""
+
+from repro.experiments.reporting import format_kv, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        text = format_table(["name", "value"], [["abc", 1.5], ["d", 22.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1].replace(" ", "")) == {"-"}
+        assert "1.5000" in text and "22.2500" in text
+
+    def test_custom_float_format(self):
+        text = format_table(["v"], [[0.123456]], float_format="{:.2f}")
+        assert "0.12" in text
+        assert "0.1235" not in text
+
+    def test_mixed_cell_types(self):
+        text = format_table(["a", "b", "c"], [[1, "x", 2.0]])
+        row = text.splitlines()[-1]
+        assert row.startswith("1") and "x" in row and "2.0000" in row
+
+    def test_wide_cells_extend_columns(self):
+        text = format_table(["h"], [["a-very-long-cell-value"]])
+        header, rule, row = text.splitlines()
+        assert len(header) == len(rule) == len(row)
+
+
+class TestFormatKV:
+    def test_title_and_pairs(self):
+        text = format_kv("Stats", {"count": 3, "ratio": 0.5})
+        lines = text.splitlines()
+        assert lines[0] == "Stats"
+        assert lines[1] == "-----"
+        assert "count" in text and "0.5000" in text
+
+    def test_empty_pairs(self):
+        text = format_kv("T", {})
+        assert text.splitlines()[0] == "T"

@@ -1,0 +1,40 @@
+"""Tests for the run_all CLI entry point."""
+
+import json
+
+import pytest
+
+from repro.experiments.run_all import _jsonable, main
+
+
+class TestJsonable:
+    def test_numpy_containers(self):
+        import numpy as np
+
+        obj = {
+            "arr": np.array([1.0, 2.0]),
+            "scalar": np.float64(3.5),
+            "nested": {"i": np.int64(2), "t": (np.array([1]),)},
+        }
+        out = _jsonable(obj)
+        assert json.dumps(out)  # round-trips through json
+        assert out["arr"] == [1.0, 2.0]
+        assert out["nested"]["i"] == 2
+
+
+class TestMainCLI:
+    def test_table1_runs_and_saves_json(self, tmp_path, capsys):
+        code = main(["table1", "--json", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "banana" in out
+        saved = json.loads((tmp_path / "table1.json").read_text())
+        assert len(saved["rows"]) == 13
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            main(["table99"])
+
+    def test_unknown_profile_errors(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--profile", "huge"])

@@ -1,0 +1,106 @@
+"""Unit tests for the experiment runner and its caches."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    classifier_factory_for,
+    clear_cache,
+    dataset_with_noise,
+    reference_gbabs_ratio,
+    run_cell,
+    sampler_factory_for,
+)
+
+TINY = ExperimentConfig(
+    name="tiny-test",
+    size_factor=0.05,
+    datasets=("S2", "S5"),
+    n_splits=2,
+    n_repeats=1,
+    n_estimators=3,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestDatasetWithNoise:
+    def test_noise_applied(self):
+        x_clean, y_clean = dataset_with_noise("S5", TINY, 0.0)
+        x_noisy, y_noisy = dataset_with_noise("S5", TINY, 0.3)
+        np.testing.assert_array_equal(x_clean, x_noisy)
+        flipped = np.mean(y_clean != y_noisy)
+        assert abs(flipped - 0.3) < 0.02
+
+    def test_cached_identity(self):
+        a = dataset_with_noise("S5", TINY, 0.1)
+        b = dataset_with_noise("S5", TINY, 0.1)
+        assert a[0] is b[0]
+
+
+class TestSamplerFactories:
+    def test_ori_is_none(self):
+        assert sampler_factory_for("ori", "S5", TINY, 0.0) is None
+
+    def test_srs_matches_gbabs_reference_ratio(self):
+        factory = sampler_factory_for("srs", "S5", TINY, 0.0)
+        sampler = factory(0)
+        assert sampler.ratio == pytest.approx(
+            reference_gbabs_ratio("S5", TINY, 0.0)
+        )
+
+    def test_smnc_gets_dataset_categoricals(self):
+        factory = sampler_factory_for("smnc", "S1", TINY, 0.0)
+        sampler = factory(0)
+        assert list(sampler.categorical_features) == list(range(9, 15))
+
+    def test_gbabs_uses_config_rho(self):
+        factory = sampler_factory_for("gbabs", "S5", TINY, 0.0, rho=9)
+        assert factory(0).rho == 9
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError, match="factory rule"):
+            sampler_factory_for("nope", "S5", TINY, 0.0)
+
+
+class TestClassifierFactories:
+    @pytest.mark.parametrize("name", ["dt", "knn", "rf", "xgboost", "lightgbm"])
+    def test_factories_build_estimators(self, name):
+        clf = classifier_factory_for(name, TINY)(0)
+        assert hasattr(clf, "fit")
+
+    def test_ensemble_size_scaled(self):
+        rf = classifier_factory_for("rf", TINY)(0)
+        assert rf.n_estimators == TINY.n_estimators
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="factory rule"):
+            classifier_factory_for("svm", TINY)
+
+
+class TestRunCell:
+    def test_returns_cv_result(self):
+        cell = run_cell("S5", "gbabs", "dt", TINY)
+        assert 0.0 <= cell.means["accuracy"] <= 1.0
+        assert cell.n_folds == 2
+
+    def test_memoised(self):
+        a = run_cell("S5", "ori", "dt", TINY)
+        b = run_cell("S5", "ori", "dt", TINY)
+        assert a is b
+
+    def test_distinct_keys_not_shared(self):
+        a = run_cell("S5", "ori", "dt", TINY, noise_ratio=0.0)
+        b = run_cell("S5", "ori", "dt", TINY, noise_ratio=0.2)
+        assert a is not b
+
+    def test_rho_override_changes_key(self):
+        a = run_cell("S5", "gbabs", "dt", TINY, rho=3)
+        b = run_cell("S5", "gbabs", "dt", TINY, rho=9)
+        assert a is not b

@@ -1,0 +1,82 @@
+"""Smoke tests for the table regenerators on a micro profile."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import tables
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import clear_cache
+
+MICRO = ExperimentConfig(
+    name="micro-test",
+    size_factor=0.05,
+    datasets=("S2", "S5", "S6"),
+    n_splits=2,
+    n_repeats=1,
+    n_estimators=3,
+    noise_ratios=(0.1, 0.3),
+    rho_grid=(3, 9),
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestTable1:
+    def test_structure_and_format(self):
+        result = tables.table1(MICRO)
+        assert len(result["rows"]) == 13
+        text = tables.format_table1(result)
+        assert "banana" in text and "USPS" in text
+
+
+class TestTable2:
+    def test_structure(self):
+        result = tables.table2(MICRO)
+        assert result["datasets"] == ["S2", "S5", "S6"]
+        for method in ("gbabs", "ggbs", "srs", "ori"):
+            assert result["accuracy"][method].shape == (3,)
+            assert 0.0 <= result["average"][method] <= 1.0
+        # The no-sampling pipeline keeps everything.
+        np.testing.assert_allclose(result["sampling_ratio"]["ori"], 1.0)
+        # GBABS actually compresses.
+        assert (result["sampling_ratio"]["gbabs"] < 1.0).all()
+
+    def test_format_contains_rows(self):
+        result = tables.table2(MICRO)
+        text = tables.format_table2(result)
+        assert "GBABS-DT" in text and "Average" in text
+
+
+class TestTable3:
+    def test_wilcoxon_over_table2(self):
+        t2 = tables.table2(MICRO)
+        result = tables.table3(MICRO, t2)
+        assert set(result["comparisons"]) == {"ggbs", "srs", "ori"}
+        for comp in result["comparisons"].values():
+            assert 0.0 <= comp["p_value"] <= 1.0
+        text = tables.format_table3(result)
+        assert "GBABS-DT vs. GGBS-DT" in text
+
+
+class TestTable4:
+    def test_structure(self):
+        result = tables.table4(MICRO)
+        assert result["noise_ratios"] == [0.1, 0.3]
+        for clf in result["classifiers"]:
+            for method in result["methods"]:
+                values = result["mean_accuracy"][(clf, method)]
+                assert len(values) == 2
+        # per-dataset slices exist for the figure reuse.
+        assert ("dt", "gbabs", 0.1) in result["per_dataset"]
+        assert result["per_dataset"][("dt", "gbabs", 0.1)].shape == (3,)
+
+    def test_format(self):
+        result = tables.table4(MICRO)
+        text = tables.format_table4(result)
+        assert "GBABS-XGBoost" in text
+        assert "10%" in text and "30%" in text

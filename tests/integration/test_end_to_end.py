@@ -1,0 +1,121 @@
+"""Integration tests: full sample→train→test pipelines across modules."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers import CLASSIFIER_NAMES, make_classifier
+from repro.core import GBABS
+from repro.datasets import inject_class_noise, load_dataset
+from repro.evaluation import evaluate_pipeline
+from repro.sampling import make_sampler
+
+
+class TestGBABSPipelines:
+    @pytest.mark.parametrize("clf_name", CLASSIFIER_NAMES)
+    def test_every_classifier_trains_on_gbabs_output(self, moons, clf_name):
+        x, y = moons
+        sampler = GBABS(rho=5, random_state=0)
+        xs, ys = sampler.fit_resample(x, y)
+        kwargs = {}
+        if clf_name in ("rf", "gb"):
+            kwargs = {"random_state": 0}
+        if clf_name == "rf":
+            kwargs["n_estimators"] = 10
+        if clf_name in ("xgboost", "lightgbm"):
+            kwargs = {"n_estimators": 10}
+        clf = make_classifier(clf_name, **kwargs).fit(xs, ys)
+        # Training on boundary samples must preserve most generalisation.
+        assert clf.score(x, y) > 0.8
+
+    def test_sampling_preserves_learnability(self):
+        # A boundary-rich workload: 1000-point noisy crescents.  On very
+        # small clean datasets boundary-only sampling is lossier (too few
+        # borderline samples to train on); the paper's regime is this one.
+        gen = np.random.default_rng(2)
+        n = 500
+        t0 = gen.uniform(0, np.pi, n)
+        t1 = gen.uniform(0, np.pi, n)
+        x = np.vstack(
+            [
+                np.column_stack([np.cos(t0), np.sin(t0)]),
+                np.column_stack([1 - np.cos(t1), 0.5 - np.sin(t1)]),
+            ]
+        )
+        x += gen.normal(scale=0.25, size=x.shape)
+        y = np.repeat([0, 1], n)
+        perm = gen.permutation(2 * n)
+        x, y = x[perm], y[perm]
+        raw = evaluate_pipeline(
+            x, y,
+            classifier_factory=lambda s: make_classifier("dt"),
+            n_splits=3, n_repeats=2, random_state=0,
+        )
+        sampled = evaluate_pipeline(
+            x, y,
+            classifier_factory=lambda s: make_classifier("dt"),
+            sampler_factory=lambda s: GBABS(rho=5, random_state=s),
+            n_splits=3, n_repeats=2, random_state=0,
+        )
+        assert sampled.means["accuracy"] > raw.means["accuracy"] - 0.08
+        assert sampled.mean_sampling_ratio < 1.0
+
+    def test_noise_robustness_story(self):
+        """The paper's headline: under label noise, GBABS-DT beats raw DT."""
+        x, y = load_dataset("S10", size_factor=0.08, random_state=0)
+        y_noisy, _ = inject_class_noise(y, 0.3, random_state=1)
+        raw = evaluate_pipeline(
+            x, y_noisy,
+            classifier_factory=lambda s: make_classifier("dt"),
+            n_splits=3, n_repeats=2, random_state=0,
+        )
+        gbabs = evaluate_pipeline(
+            x, y_noisy,
+            classifier_factory=lambda s: make_classifier("dt"),
+            sampler_factory=lambda s: GBABS(rho=5, random_state=s),
+            n_splits=3, n_repeats=2, random_state=0,
+        )
+        assert gbabs.means["accuracy"] > raw.means["accuracy"]
+
+    def test_compression_under_noise(self):
+        """GBABS compresses harder than GGBS once labels are noisy."""
+        x, y = load_dataset("S5", size_factor=0.1, random_state=0)
+        y_noisy, _ = inject_class_noise(y, 0.2, random_state=2)
+        gbabs = GBABS(rho=5, random_state=0)
+        gbabs.fit_resample(x, y_noisy)
+        ggbs = make_sampler("ggbs", random_state=0)
+        ggbs.fit_resample(x, y_noisy)
+        assert gbabs.report_.sampling_ratio < ggbs.sampling_ratio(x.shape[0])
+
+
+class TestAllSamplersWithDT:
+    @pytest.mark.parametrize(
+        "method", ["gbabs", "ggbs", "igbs", "srs", "sm", "bsm", "smnc", "tomek"]
+    )
+    def test_sampler_to_classifier_handoff(self, imbalanced2, method):
+        x, y = imbalanced2
+        kwargs = {"random_state": 0}
+        if method == "srs":
+            kwargs["ratio"] = 0.6
+        if method == "smnc":
+            kwargs["categorical_features"] = [1]
+        if method == "tomek":
+            kwargs = {}
+        sampler = make_sampler(method, **kwargs)
+        xs, ys = sampler.fit_resample(x, y)
+        clf = make_classifier("dt").fit(xs, ys)
+        preds = clf.predict(x)
+        assert preds.shape == y.shape
+        assert np.mean(preds == y) > 0.5
+
+
+class TestDatasetToEvaluationFlow:
+    def test_surrogate_cv_with_gmean(self):
+        x, y = load_dataset("S6", size_factor=0.06, random_state=0)
+        result = evaluate_pipeline(
+            x, y,
+            classifier_factory=lambda s: make_classifier("dt"),
+            n_splits=3, n_repeats=1,
+            metrics=("accuracy", "g_mean"), random_state=0,
+        )
+        assert 0.5 < result.means["accuracy"] <= 1.0
+        assert 0.0 <= result.means["g_mean"] <= 1.0

@@ -1,0 +1,56 @@
+"""Smoke tests for the example scripts.
+
+The quickstart runs end-to-end (it is fast); the heavier scenario scripts
+are compile-checked and their helper functions exercised, keeping the unit
+suite quick while still catching import/API drift.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parents[2] / "examples"
+
+
+def _load(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_all_examples_importable(self):
+        for name in (
+            "quickstart",
+            "noisy_labels",
+            "imbalanced_credit",
+            "compression_sweep",
+        ):
+            module = _load(name)
+            assert hasattr(module, "main")
+
+    def test_quickstart_runs(self, capsys):
+        module = _load("quickstart")
+        module.main()
+        out = capsys.readouterr().out
+        assert "RD-GBG ball set" in out
+        assert "GBABS sampling" in out
+        assert "borderline" in out
+
+    def test_quickstart_moons_generator(self):
+        module = _load("quickstart")
+        x, y = module.make_moons(n_per_class=50, seed=1)
+        assert x.shape == (100, 2)
+        assert set(y.tolist()) == {0, 1}
+
+    @pytest.mark.parametrize(
+        "name", ["noisy_labels", "imbalanced_credit", "compression_sweep"]
+    )
+    def test_scenario_scripts_compile(self, name):
+        source = (EXAMPLES_DIR / f"{name}.py").read_text()
+        compile(source, f"{name}.py", "exec")

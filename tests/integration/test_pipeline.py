@@ -1,0 +1,74 @@
+"""Unit + integration tests for SamplingPipeline."""
+
+import numpy as np
+import pytest
+
+from repro import GBABS, SamplingPipeline
+from repro.classifiers import DecisionTreeClassifier, KNeighborsClassifier
+from repro.sampling import SMOTE, SimpleRandomSampler
+
+
+class TestSamplingPipeline:
+    def test_fit_predict_cycle(self, moons):
+        x, y = moons
+        pipe = SamplingPipeline(
+            GBABS(rho=5, random_state=0), DecisionTreeClassifier()
+        ).fit(x, y)
+        preds = pipe.predict(x)
+        assert preds.shape == y.shape
+        assert pipe.score(x, y) > 0.8
+
+    def test_sampling_metadata(self, moons):
+        x, y = moons
+        pipe = SamplingPipeline(
+            GBABS(rho=5, random_state=0), DecisionTreeClassifier()
+        ).fit(x, y)
+        assert pipe.resampled_size_ < x.shape[0]
+        assert pipe.sampling_ratio_ == pytest.approx(
+            pipe.resampled_size_ / x.shape[0]
+        )
+
+    def test_oversampler_ratio_above_one(self, imbalanced2):
+        x, y = imbalanced2
+        pipe = SamplingPipeline(SMOTE(random_state=0), KNeighborsClassifier())
+        pipe.fit(x, y)
+        assert pipe.sampling_ratio_ > 1.0
+
+    def test_passthrough_without_sampler(self, blobs2):
+        x, y = blobs2
+        pipe = SamplingPipeline(None, DecisionTreeClassifier()).fit(x, y)
+        assert pipe.resampled_size_ == x.shape[0]
+        assert pipe.sampling_ratio_ == 1.0
+        assert pipe.score(x, y) == 1.0
+
+    def test_single_class_collapse_guard(self, blobs2):
+        x, y = blobs2
+
+        class Collapser:
+            def fit_resample(self, xt, yt):
+                keep = yt == yt[0]
+                return xt[keep], yt[keep]
+
+        pipe = SamplingPipeline(Collapser(), DecisionTreeClassifier()).fit(x, y)
+        # Guard trains on the raw fold instead of one class.
+        assert set(pipe.classes_.tolist()) == {0, 1}
+        assert pipe.sampling_ratio_ == 1.0
+
+    def test_classes_exposed(self, blobs3):
+        x, y = blobs3
+        pipe = SamplingPipeline(
+            SimpleRandomSampler(ratio=0.5, random_state=0),
+            KNeighborsClassifier(),
+        ).fit(x, y)
+        assert set(pipe.classes_.tolist()) == {0, 1, 2}
+
+    def test_clone_is_unfitted(self, blobs2):
+        x, y = blobs2
+        pipe = SamplingPipeline(
+            SimpleRandomSampler(ratio=0.5, random_state=0),
+            DecisionTreeClassifier(max_depth=4),
+        ).fit(x, y)
+        fresh = pipe.clone()
+        assert fresh.classifier.classes_ is None
+        assert fresh.classifier.max_depth == 4
+        assert fresh.resampled_size_ is None

@@ -1,0 +1,64 @@
+"""Failure-injection tests: malformed inputs fail loudly everywhere."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers import CLASSIFIER_NAMES, make_classifier
+from repro.core import GBABS, RDGBG
+from repro.sampling import make_sampler
+
+
+@pytest.fixture
+def nan_data():
+    x = np.ones((20, 3))
+    x[4, 1] = np.nan
+    y = np.array([0, 1] * 10)
+    return x, y
+
+
+@pytest.fixture
+def inf_data():
+    x = np.ones((20, 3))
+    x[7, 0] = np.inf
+    y = np.array([0, 1] * 10)
+    return x, y
+
+
+class TestNaNRejection:
+    def test_rdgbg_rejects_nan(self, nan_data):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            RDGBG(random_state=0).generate(*nan_data)
+
+    def test_gbabs_rejects_inf(self, inf_data):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            GBABS(random_state=0).fit_resample(*inf_data)
+
+    @pytest.mark.parametrize("name", ["srs", "ggbs", "sm", "tomek"])
+    def test_samplers_reject_nan(self, nan_data, name):
+        kwargs = {}
+        if name == "srs":
+            kwargs["ratio"] = 0.5
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            make_sampler(name, **kwargs).fit_resample(*nan_data)
+
+    @pytest.mark.parametrize("name", CLASSIFIER_NAMES)
+    def test_classifiers_reject_nan(self, nan_data, name):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            make_classifier(name).fit(*nan_data)
+
+
+class TestShapeRejection:
+    def test_ragged_labels(self):
+        x = np.ones((10, 2))
+        with pytest.raises(ValueError):
+            RDGBG().generate(x, np.zeros(9))
+
+    def test_3d_features(self):
+        with pytest.raises(ValueError):
+            GBABS().fit_resample(np.ones((4, 2, 2)), np.zeros(4))
+
+    def test_empty_everywhere(self):
+        with pytest.raises(ValueError):
+            make_sampler("srs", ratio=0.5).fit_resample(
+                np.empty((0, 2)), np.empty(0)
+            )

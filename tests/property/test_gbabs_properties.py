@@ -1,0 +1,73 @@
+"""Property-based tests of the GBABS sampling contract (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.gbabs import GBABS
+
+
+@st.composite
+def labelled_datasets(draw):
+    n = draw(st.integers(min_value=12, max_value=70))
+    p = draw(st.integers(min_value=1, max_value=4))
+    q = draw(st.integers(min_value=2, max_value=3))
+    x = draw(
+        arrays(
+            dtype=np.float64,
+            shape=(n, p),
+            elements=st.floats(
+                min_value=-30, max_value=30, allow_nan=False, allow_infinity=False
+            ),
+        )
+    )
+    y = draw(arrays(dtype=np.int64, shape=(n,), elements=st.integers(0, q - 1)))
+    return x, y
+
+
+@given(labelled_datasets(), st.integers(min_value=2, max_value=9))
+@settings(max_examples=40, deadline=None)
+def test_output_subset_without_duplicates(data, rho):
+    x, y = data
+    sampler = GBABS(rho=rho, random_state=0)
+    xs, ys = sampler.fit_resample(x, y)
+    idx = sampler.sample_indices_
+    assert idx.size == np.unique(idx).size
+    if idx.size:
+        assert idx.min() >= 0 and idx.max() < x.shape[0]
+    np.testing.assert_array_equal(xs, x[idx])
+    np.testing.assert_array_equal(ys, y[idx])
+
+
+@given(labelled_datasets())
+@settings(max_examples=30, deadline=None)
+def test_sampling_ratio_bounds(data):
+    x, y = data
+    sampler = GBABS(rho=5, random_state=1)
+    sampler.fit_resample(x, y)
+    assert 0.0 <= sampler.report_.sampling_ratio <= 1.0
+
+
+@given(labelled_datasets())
+@settings(max_examples=30, deadline=None)
+def test_report_arithmetic(data):
+    x, y = data
+    sampler = GBABS(rho=5, random_state=2)
+    xs, _ = sampler.fit_resample(x, y)
+    report = sampler.report_
+    assert report.n_selected == xs.shape[0]
+    assert report.n_borderline_balls <= report.n_balls
+    assert report.n_noise_removed + len(sampler.ball_set_.member_indices) == (
+        report.n_samples
+    )
+
+
+@given(labelled_datasets())
+@settings(max_examples=25, deadline=None)
+def test_borderline_subset_of_all_balls(data):
+    x, y = data
+    sampler = GBABS(rho=5, random_state=3)
+    sampler.fit_resample(x, y)
+    bb = sampler.borderline_ball_indices_
+    assert np.all(bb >= 0) and np.all(bb < len(sampler.ball_set_))

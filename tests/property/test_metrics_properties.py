@@ -1,0 +1,72 @@
+"""Property-based tests of metric invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.evaluation.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    g_mean_score,
+    per_class_recall,
+)
+
+
+def label_pairs(max_classes=4):
+    return st.integers(min_value=1, max_value=80).flatmap(
+        lambda n: st.tuples(
+            arrays(np.int64, (n,), elements=st.integers(0, max_classes - 1)),
+            arrays(np.int64, (n,), elements=st.integers(0, max_classes - 1)),
+        )
+    )
+
+
+@given(label_pairs())
+@settings(max_examples=60, deadline=None)
+def test_metric_bounds(pair):
+    y_true, y_pred = pair
+    assert 0.0 <= accuracy_score(y_true, y_pred) <= 1.0
+    assert 0.0 <= g_mean_score(y_true, y_pred) <= 1.0
+
+
+@given(label_pairs())
+@settings(max_examples=60, deadline=None)
+def test_perfect_prediction_maximises(pair):
+    y_true, _ = pair
+    assert accuracy_score(y_true, y_true) == 1.0
+    assert g_mean_score(y_true, y_true) == 1.0
+
+
+@given(label_pairs())
+@settings(max_examples=60, deadline=None)
+def test_gmean_never_exceeds_best_recall(pair):
+    y_true, y_pred = pair
+    recalls = per_class_recall(y_true, y_pred)
+    assert g_mean_score(y_true, y_pred) <= recalls.max() + 1e-12
+
+
+@given(label_pairs())
+@settings(max_examples=60, deadline=None)
+def test_confusion_matrix_total(pair):
+    y_true, y_pred = pair
+    cm = confusion_matrix(y_true, y_pred)
+    assert cm.sum() == y_true.size
+    # Diagonal sum / n equals accuracy when labels cover the union.
+    labels = np.unique(np.concatenate([y_true, y_pred]))
+    acc_from_cm = np.trace(cm) / y_true.size
+    assert acc_from_cm == accuracy_score(y_true, y_pred)
+
+
+@given(label_pairs(), st.randoms(use_true_random=False))
+@settings(max_examples=40, deadline=None)
+def test_permutation_invariance(pair, pyrandom):
+    y_true, y_pred = pair
+    order = np.arange(y_true.size)
+    pyrandom.shuffle(order)
+    assert accuracy_score(y_true, y_pred) == accuracy_score(
+        y_true[order], y_pred[order]
+    )
+    assert g_mean_score(y_true, y_pred) == g_mean_score(
+        y_true[order], y_pred[order]
+    )

@@ -1,0 +1,79 @@
+"""Property-based tests of the RD-GBG guarantees (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.rdgbg import RDGBG
+
+
+@st.composite
+def labelled_datasets(draw):
+    """Random small labelled datasets: 10–60 samples, 1–4 dims, 2–3 classes."""
+    n = draw(st.integers(min_value=10, max_value=60))
+    p = draw(st.integers(min_value=1, max_value=4))
+    q = draw(st.integers(min_value=2, max_value=3))
+    x = draw(
+        arrays(
+            dtype=np.float64,
+            shape=(n, p),
+            elements=st.floats(
+                min_value=-50, max_value=50, allow_nan=False, allow_infinity=False
+            ),
+        )
+    )
+    y = draw(
+        arrays(dtype=np.int64, shape=(n,), elements=st.integers(0, q - 1))
+    )
+    return x, y
+
+
+@given(labelled_datasets(), st.integers(min_value=2, max_value=9))
+@settings(max_examples=40, deadline=None)
+def test_balls_are_pure(data, rho):
+    x, y = data
+    result = RDGBG(rho=rho, random_state=0).generate(x, y)
+    assert (result.ball_set.purity_against(y) == 1.0).all()
+
+
+@given(labelled_datasets(), st.integers(min_value=2, max_value=9))
+@settings(max_examples=40, deadline=None)
+def test_no_overlap(data, rho):
+    x, y = data
+    result = RDGBG(rho=rho, random_state=1).generate(x, y)
+    assert result.ball_set.max_overlap() <= 1e-7
+
+
+@given(labelled_datasets(), st.integers(min_value=2, max_value=9))
+@settings(max_examples=40, deadline=None)
+def test_partition_with_noise_accounting(data, rho):
+    x, y = data
+    result = RDGBG(rho=rho, random_state=2).generate(x, y)
+    assert result.ball_set.is_partition()
+    covered = set(result.ball_set.member_indices.tolist())
+    noise = set(result.noise_indices.tolist())
+    assert covered.isdisjoint(noise)
+    assert covered | noise == set(range(x.shape[0]))
+
+
+@given(labelled_datasets())
+@settings(max_examples=25, deadline=None)
+def test_members_always_inside_their_ball(data):
+    x, y = data
+    result = RDGBG(rho=5, random_state=3).generate(x, y)
+    for ball in result.ball_set:
+        dist = np.linalg.norm(x[ball.indices] - ball.center, axis=1)
+        assert (dist <= ball.radius * (1 + 1e-9) + 1e-9).all()
+
+
+@given(labelled_datasets())
+@settings(max_examples=25, deadline=None)
+def test_determinism(data):
+    x, y = data
+    a = RDGBG(rho=5, random_state=7).generate(x, y)
+    b = RDGBG(rho=5, random_state=7).generate(x, y)
+    np.testing.assert_array_equal(
+        a.ball_set.member_indices, b.ball_set.member_indices
+    )
+    np.testing.assert_array_equal(a.noise_indices, b.noise_indices)

@@ -1,0 +1,84 @@
+"""Property-based tests of the baseline samplers (hypothesis)."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sampling.gbs import GGBS, KDivisionGBG
+from repro.sampling.tomek import TomekLinks, find_tomek_links
+
+
+@st.composite
+def labelled_datasets(draw):
+    n = draw(st.integers(min_value=8, max_value=60))
+    p = draw(st.integers(min_value=1, max_value=3))
+    x = draw(
+        arrays(
+            np.float64,
+            (n, p),
+            elements=st.floats(
+                min_value=-20, max_value=20, allow_nan=False, allow_infinity=False
+            ),
+        )
+    )
+    y = draw(arrays(np.int64, (n,), elements=st.integers(0, 2)))
+    return x, y
+
+
+@given(labelled_datasets(), st.floats(min_value=0.5, max_value=1.0))
+@settings(max_examples=30, deadline=None)
+def test_kdivision_partitions(data, threshold):
+    x, y = data
+    ball_set = KDivisionGBG(purity_threshold=threshold, random_state=0).generate(x, y)
+    assert ball_set.is_partition()
+    assert ball_set.coverage() == 1.0
+
+
+@given(labelled_datasets(), st.floats(min_value=0.5, max_value=1.0))
+@settings(max_examples=30, deadline=None)
+def test_kdivision_stopping_criterion(data, threshold):
+    x, y = data
+    p = x.shape[1]
+    ball_set = KDivisionGBG(purity_threshold=threshold, random_state=1).generate(x, y)
+    for purity, size, ball in zip(
+        ball_set.purity_against(y), ball_set.sizes, ball_set
+    ):
+        if purity < threshold and size > 2 * p:
+            # Only legitimate for degenerate splits (all-identical members,
+            # which cannot be separated by nearest-seed assignment).
+            members = x[ball.indices]
+            assert np.allclose(members, members[0]), (
+                "a large impure ball must be unsplittable"
+            )
+
+
+@given(labelled_datasets())
+@settings(max_examples=30, deadline=None)
+def test_ggbs_output_is_subset(data):
+    x, y = data
+    sampler = GGBS(random_state=0)
+    xs, ys = sampler.fit_resample(x, y)
+    idx = sampler.sample_indices_
+    assert idx.size == np.unique(idx).size
+    np.testing.assert_array_equal(xs, x[idx])
+    np.testing.assert_array_equal(ys, y[idx])
+
+
+@given(labelled_datasets())
+@settings(max_examples=30, deadline=None)
+def test_tomek_links_are_mutual_heterogeneous_pairs(data):
+    x, y = data
+    assume(np.unique(y).size >= 2)
+    links = find_tomek_links(x, y)
+    for i, j in links:
+        assert y[i] != y[j]
+        assert i < j
+
+
+@given(labelled_datasets())
+@settings(max_examples=30, deadline=None)
+def test_tomek_never_empties_dataset(data):
+    x, y = data
+    xs, _ = TomekLinks().fit_resample(x, y)
+    assert xs.shape[0] >= 1

@@ -1,0 +1,82 @@
+"""Property-based tests of the CART tree and samplers (hypothesis)."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.classifiers.tree import DecisionTreeClassifier
+from repro.sampling.smote import SMOTE
+from repro.sampling.srs import SimpleRandomSampler
+
+
+@st.composite
+def distinct_row_datasets(draw):
+    """Datasets with unique rows (CART can memorise them perfectly)."""
+    n = draw(st.integers(min_value=5, max_value=50))
+    p = draw(st.integers(min_value=1, max_value=4))
+    x = draw(
+        arrays(
+            np.float64,
+            (n, p),
+            elements=st.floats(
+                min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+            ),
+            unique=True,
+        )
+    )
+    y = draw(arrays(np.int64, (n,), elements=st.integers(0, 2)))
+    return x, y
+
+
+@given(distinct_row_datasets())
+@settings(max_examples=40, deadline=None)
+def test_unbounded_tree_memorises_distinct_rows(data):
+    x, y = data
+    # `unique=True` above guarantees distinct elements across the whole
+    # array; distinct rows is implied.
+    tree = DecisionTreeClassifier().fit(x, y)
+    assert tree.score(x, y) == 1.0
+
+
+@given(distinct_row_datasets(), st.integers(min_value=1, max_value=4))
+@settings(max_examples=30, deadline=None)
+def test_max_depth_is_hard_bound(data, depth):
+    x, y = data
+    tree = DecisionTreeClassifier(max_depth=depth).fit(x, y)
+    assert tree.depth_ <= depth
+
+
+@given(distinct_row_datasets())
+@settings(max_examples=30, deadline=None)
+def test_predictions_are_seen_labels(data):
+    x, y = data
+    tree = DecisionTreeClassifier(max_depth=3).fit(x, y)
+    assert set(np.unique(tree.predict(x))) <= set(np.unique(y))
+
+
+@given(
+    distinct_row_datasets(),
+    st.floats(min_value=0.1, max_value=1.0),
+    st.integers(min_value=0, max_value=99),
+)
+@settings(max_examples=40, deadline=None)
+def test_srs_ratio_property(data, ratio, seed):
+    x, y = data
+    sampler = SimpleRandomSampler(ratio=ratio, random_state=seed)
+    xs, _ = sampler.fit_resample(x, y)
+    expected = max(1, int(round(ratio * x.shape[0])))
+    assert xs.shape[0] == expected
+
+
+@given(distinct_row_datasets(), st.integers(min_value=0, max_value=99))
+@settings(max_examples=30, deadline=None)
+def test_smote_balances_everything(data, seed):
+    x, y = data
+    assume(np.unique(y).size >= 2)
+    xs, ys = SMOTE(random_state=seed).fit_resample(x, y)
+    counts = np.bincount(ys.astype(int))
+    counts = counts[counts > 0]
+    assert (counts == counts.max()).all()
+    # Originals are always kept.
+    assert xs.shape[0] >= x.shape[0]

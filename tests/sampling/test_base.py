@@ -1,0 +1,56 @@
+"""Unit tests for the sampler base contract and validation."""
+
+import numpy as np
+import pytest
+
+from repro.sampling.base import BaseSampler, IdentitySampler, check_xy
+
+
+class TestCheckXY:
+    def test_canonicalises_dtypes(self):
+        x, y = check_xy([[1, 2], [3, 4]], [0.0, 1.0])
+        assert x.dtype == np.float64
+        assert np.issubdtype(y.dtype, np.integer)
+
+    def test_rejects_1d_features(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_xy(np.zeros(5), np.zeros(5))
+
+    def test_rejects_misaligned_labels(self):
+        with pytest.raises(ValueError, match="aligned"):
+            check_xy(np.zeros((5, 2)), np.zeros(4))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            check_xy(np.empty((0, 2)), np.empty(0))
+
+    def test_rejects_2d_labels(self):
+        with pytest.raises(ValueError, match="aligned"):
+            check_xy(np.zeros((5, 2)), np.zeros((5, 1)))
+
+
+class TestIdentitySampler:
+    def test_returns_dataset_unchanged(self, blobs2):
+        x, y = blobs2
+        xs, ys = IdentitySampler().fit_resample(x, y)
+        np.testing.assert_array_equal(xs, x)
+        np.testing.assert_array_equal(ys, y)
+
+    def test_sample_indices_complete(self, blobs2):
+        x, y = blobs2
+        sampler = IdentitySampler()
+        sampler.fit_resample(x, y)
+        np.testing.assert_array_equal(
+            sampler.sample_indices_, np.arange(x.shape[0])
+        )
+        assert sampler.sampling_ratio(x.shape[0]) == 1.0
+
+
+class TestSamplingRatio:
+    def test_requires_fit(self):
+        class Dummy(BaseSampler):
+            def fit_resample(self, x, y):
+                return x, y
+
+        with pytest.raises(RuntimeError, match="undersamplers"):
+            Dummy().sampling_ratio(10)

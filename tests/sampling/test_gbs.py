@@ -1,0 +1,120 @@
+"""Unit tests for the GGBS / IGBS baselines and k-division GBG."""
+
+import numpy as np
+import pytest
+
+from repro.sampling.gbs import GGBS, IGBS, KDivisionGBG
+
+
+class TestKDivisionGBG:
+    def test_purity_threshold_reached_or_small(self, blobs3):
+        x, y = blobs3
+        p = x.shape[1]
+        ball_set = KDivisionGBG(purity_threshold=0.95, random_state=0).generate(x, y)
+        purity = ball_set.purity_against(y)
+        sizes = ball_set.sizes
+        for pu, sz in zip(purity, sizes):
+            assert pu >= 0.95 or sz <= 2 * p
+
+    def test_partition_property(self, blobs3):
+        x, y = blobs3
+        ball_set = KDivisionGBG(random_state=0).generate(x, y)
+        assert ball_set.is_partition()
+        assert ball_set.coverage() == 1.0
+
+    def test_eq1_geometry(self, blobs2):
+        """Centres are member means; radii are mean member distances."""
+        x, y = blobs2
+        ball_set = KDivisionGBG(random_state=0).generate(x, y)
+        ball = max(ball_set, key=lambda b: b.n_samples)
+        members = x[ball.indices]
+        np.testing.assert_allclose(ball.center, members.mean(axis=0), atol=1e-9)
+        mean_dist = np.linalg.norm(members - ball.center, axis=1).mean()
+        assert ball.radius == pytest.approx(mean_dist)
+
+    def test_duplicate_points_terminate(self):
+        x = np.repeat([[0.0, 0.0], [0.0, 0.0]], 20, axis=0)
+        y = np.array([0, 1] * 20)
+        ball_set = KDivisionGBG(random_state=0).generate(x, y)
+        assert ball_set.coverage() == 1.0
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            KDivisionGBG(purity_threshold=0.0)
+
+
+class TestGGBS:
+    def test_small_balls_kept_whole(self):
+        """With n <= 2p everything is one small ball: nothing is dropped."""
+        gen = np.random.default_rng(0)
+        x = gen.normal(size=(6, 4))  # 6 <= 2 * 4
+        y = np.array([0, 0, 0, 1, 1, 1])
+        sampler = GGBS(random_state=0)
+        xs, _ = sampler.fit_resample(x, y)
+        assert xs.shape[0] == 6
+
+    def test_large_balls_subsampled(self, blobs2):
+        x, y = blobs2
+        sampler = GGBS(random_state=0)
+        xs, _ = sampler.fit_resample(x, y)
+        assert 0 < xs.shape[0] < x.shape[0]
+
+    def test_output_subset_no_duplicates(self, blobs3):
+        x, y = blobs3
+        sampler = GGBS(random_state=0)
+        xs, ys = sampler.fit_resample(x, y)
+        idx = sampler.sample_indices_
+        assert idx.size == np.unique(idx).size
+        np.testing.assert_array_equal(xs, x[idx])
+        np.testing.assert_array_equal(ys, y[idx])
+
+    def test_ball_set_available_after_fit(self, blobs2):
+        x, y = blobs2
+        sampler = GGBS(random_state=0)
+        sampler.fit_resample(x, y)
+        assert sampler.ball_set_ is not None
+        assert len(sampler.ball_set_) >= 1
+
+    def test_noise_saturates_ratio(self, blobs2):
+        """Label noise forces deep splitting: GGBS keeps almost everything
+        (the failure mode motivating the paper, Fig. 6)."""
+        x, y = blobs2
+        gen = np.random.default_rng(9)
+        y_noisy = y.copy()
+        flip = gen.choice(y.size, size=int(0.3 * y.size), replace=False)
+        y_noisy[flip] = 1 - y_noisy[flip]
+        sampler = GGBS(random_state=0)
+        sampler.fit_resample(x, y_noisy)
+        assert sampler.sampling_ratio(x.shape[0]) > 0.9
+
+
+class TestIGBS:
+    def test_rebalances_toward_parity(self, imbalanced2):
+        x, y = imbalanced2
+        sampler = IGBS(random_state=0)
+        _, ys = sampler.fit_resample(x, y)
+        counts = np.bincount(ys)
+        # Sampled majority/minority ratio must be far below the input 9:1.
+        assert counts.max() / counts.min() < 4.0
+
+    def test_minority_preserved(self, imbalanced2):
+        x, y = imbalanced2
+        sampler = IGBS(random_state=0)
+        _, ys = sampler.fit_resample(x, y)
+        # The minority class is never undersampled away.
+        assert (ys == 1).sum() >= int(0.5 * (y == 1).sum())
+
+    def test_output_subset(self, imbalanced2):
+        x, y = imbalanced2
+        sampler = IGBS(random_state=0)
+        xs, ys = sampler.fit_resample(x, y)
+        idx = sampler.sample_indices_
+        np.testing.assert_array_equal(xs, x[idx])
+        np.testing.assert_array_equal(ys, y[idx])
+        assert idx.size == np.unique(idx).size
+
+    def test_multiclass(self, blobs3):
+        x, y = blobs3
+        sampler = IGBS(random_state=0)
+        _, ys = sampler.fit_resample(x, y)
+        assert set(np.unique(ys)) == {0, 1, 2}

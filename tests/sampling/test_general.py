@@ -1,0 +1,82 @@
+"""Unit tests for systematic / stratified / bootstrap sampling."""
+
+import numpy as np
+import pytest
+
+from repro.sampling.general import (
+    BootstrapSampler,
+    StratifiedSampler,
+    SystematicSampler,
+)
+
+
+class TestSystematicSampler:
+    def test_fixed_interval(self, blobs2):
+        x, y = blobs2
+        sampler = SystematicSampler(ratio=0.25, random_state=0)
+        sampler.fit_resample(x, y)
+        steps = np.diff(sampler.sample_indices_)
+        assert (steps == 4).all()
+
+    def test_ratio_approximate(self, blobs2):
+        x, y = blobs2
+        sampler = SystematicSampler(ratio=0.5, random_state=0)
+        xs, _ = sampler.fit_resample(x, y)
+        assert abs(xs.shape[0] / x.shape[0] - 0.5) < 0.05
+
+    def test_start_depends_on_seed(self, blobs2):
+        x, y = blobs2
+        starts = set()
+        for seed in range(10):
+            sampler = SystematicSampler(ratio=0.2, random_state=seed)
+            sampler.fit_resample(x, y)
+            starts.add(int(sampler.sample_indices_[0]))
+        assert len(starts) > 1
+
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(ValueError):
+            SystematicSampler(ratio=0.0)
+
+
+class TestStratifiedSampler:
+    def test_preserves_class_shares(self, imbalanced2):
+        x, y = imbalanced2
+        sampler = StratifiedSampler(ratio=0.5, random_state=0)
+        xs, ys = sampler.fit_resample(x, y)
+        orig_share = np.mean(y == 1)
+        new_share = np.mean(ys == 1)
+        assert abs(orig_share - new_share) < 0.02
+
+    def test_every_class_survives(self, imbalanced2):
+        x, y = imbalanced2
+        sampler = StratifiedSampler(ratio=0.05, random_state=0)
+        _, ys = sampler.fit_resample(x, y)
+        assert set(np.unique(ys)) == set(np.unique(y))
+
+    def test_indices_sorted_unique(self, blobs3):
+        x, y = blobs3
+        sampler = StratifiedSampler(ratio=0.4, random_state=1)
+        sampler.fit_resample(x, y)
+        idx = sampler.sample_indices_
+        assert (np.diff(idx) > 0).all()
+
+
+class TestBootstrapSampler:
+    def test_size_preserved(self, blobs2):
+        x, y = blobs2
+        xs, ys = BootstrapSampler(random_state=0).fit_resample(x, y)
+        assert xs.shape == x.shape
+        assert ys.shape == y.shape
+
+    def test_samples_with_replacement(self, blobs2):
+        x, y = blobs2
+        xs, _ = BootstrapSampler(random_state=0).fit_resample(x, y)
+        # A bootstrap of 200 samples almost surely repeats rows.
+        unique_rows = np.unique(xs, axis=0)
+        assert unique_rows.shape[0] < xs.shape[0]
+
+    def test_no_sample_indices(self, blobs2):
+        x, y = blobs2
+        sampler = BootstrapSampler(random_state=0)
+        sampler.fit_resample(x, y)
+        assert sampler.sample_indices_ is None

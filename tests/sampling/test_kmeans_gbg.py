@@ -1,0 +1,73 @@
+"""Unit tests for the classic 2-means GBG baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.rdgbg import RDGBG
+from repro.sampling.kmeans_gbg import KMeansGBG
+
+
+class TestKMeansGBG:
+    def test_partition_and_coverage(self, blobs3):
+        x, y = blobs3
+        ball_set = KMeansGBG(random_state=0).generate(x, y)
+        assert ball_set.is_partition()
+        assert ball_set.coverage() == 1.0
+
+    def test_purity_threshold_or_small(self, moons):
+        x, y = moons
+        threshold = 0.9
+        ball_set = KMeansGBG(
+            purity_threshold=threshold, min_samples=2, random_state=0
+        ).generate(x, y)
+        purity = ball_set.purity_against(y)
+        for pu, size, ball in zip(purity, ball_set.sizes, ball_set):
+            if pu < threshold and size > 2:
+                members = x[ball.indices]
+                assert np.allclose(members, members[0]), (
+                    "impure large balls only allowed for duplicate points"
+                )
+
+    def test_lower_threshold_fewer_balls(self, moons):
+        x, y = moons
+        strict = KMeansGBG(purity_threshold=1.0, random_state=0).generate(x, y)
+        loose = KMeansGBG(purity_threshold=0.7, random_state=0).generate(x, y)
+        assert len(loose) <= len(strict)
+
+    def test_eq1_geometry(self, blobs2):
+        x, y = blobs2
+        ball_set = KMeansGBG(random_state=0).generate(x, y)
+        ball = max(ball_set, key=lambda b: b.n_samples)
+        members = x[ball.indices]
+        np.testing.assert_allclose(ball.center, members.mean(axis=0), atol=1e-9)
+        mean_dist = np.linalg.norm(members - ball.center, axis=1).mean()
+        assert ball.radius == pytest.approx(mean_dist)
+
+    def test_overlap_versus_rdgbg(self, noisy_blobs2):
+        """The historical geometry overlaps under label noise; RD-GBG never
+        does (the motivating comparison of §III-A vs §IV-B)."""
+        x, y = noisy_blobs2
+        classic = KMeansGBG(random_state=0).generate(x, y)
+        modern = RDGBG(rho=5, random_state=0).generate(x, y).ball_set
+        assert classic.max_overlap() > 0
+        assert modern.max_overlap() <= 1e-9
+
+    def test_duplicate_points_terminate(self):
+        x = np.repeat([[1.0, 2.0]], 30, axis=0)
+        y = np.array([0, 1] * 15)
+        ball_set = KMeansGBG(random_state=0).generate(x, y)
+        assert ball_set.coverage() == 1.0
+
+    def test_deterministic(self, blobs2):
+        x, y = blobs2
+        a = KMeansGBG(random_state=3).generate(x, y)
+        b = KMeansGBG(random_state=3).generate(x, y)
+        np.testing.assert_array_equal(a.member_indices, b.member_indices)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            KMeansGBG(purity_threshold=0.0)
+        with pytest.raises(ValueError):
+            KMeansGBG(min_samples=0)
+        with pytest.raises(ValueError):
+            KMeansGBG().generate(np.empty((0, 2)), np.empty(0))

@@ -1,0 +1,53 @@
+"""Unit tests for the sampler registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.gbabs import GBABS
+from repro.sampling import SAMPLER_NAMES, make_sampler
+from repro.sampling.srs import SimpleRandomSampler
+
+
+class TestMakeSampler:
+    def test_all_names_constructible(self):
+        for name in SAMPLER_NAMES:
+            kwargs = {}
+            if name in ("srs", "systematic", "stratified"):
+                kwargs["ratio"] = 0.5
+            if name == "smnc":
+                kwargs["categorical_features"] = [0]
+            sampler = make_sampler(name, **kwargs)
+            assert hasattr(sampler, "fit_resample")
+
+    def test_gbabs_returns_core_class(self):
+        assert isinstance(make_sampler("gbabs", random_state=0), GBABS)
+
+    def test_srs_with_ratio(self):
+        sampler = make_sampler("srs", ratio=0.3, random_state=1)
+        assert isinstance(sampler, SimpleRandomSampler)
+        assert sampler.ratio == 0.3
+
+    def test_case_insensitive(self):
+        assert isinstance(make_sampler("SRS", ratio=0.5), SimpleRandomSampler)
+
+    def test_tomek_ignores_random_state(self):
+        sampler = make_sampler("tomek", random_state=5)
+        assert not hasattr(sampler, "random_state")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown sampler"):
+            make_sampler("does-not-exist")
+
+    def test_every_sampler_runs(self, imbalanced2):
+        x, y = imbalanced2
+        for name in SAMPLER_NAMES:
+            kwargs = {"random_state": 0}
+            if name in ("srs", "systematic", "stratified"):
+                kwargs["ratio"] = 0.5
+            if name == "smnc":
+                kwargs["categorical_features"] = [1]
+            sampler = make_sampler(name, **kwargs)
+            xs, ys = sampler.fit_resample(x, y)
+            assert xs.shape[0] == ys.shape[0]
+            assert xs.shape[0] > 0
+            assert set(np.unique(ys)) <= set(np.unique(y))

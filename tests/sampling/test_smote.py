@@ -1,0 +1,151 @@
+"""Unit tests for SMOTE, Borderline-SMOTE and SMOTENC."""
+
+import numpy as np
+import pytest
+
+from repro.sampling.smote import SMOTE, SMOTENC, BorderlineSMOTE
+
+
+class TestSMOTE:
+    def test_balances_all_classes(self, imbalanced2):
+        x, y = imbalanced2
+        xs, ys = SMOTE(random_state=0).fit_resample(x, y)
+        counts = np.bincount(ys)
+        assert counts[0] == counts[1]
+
+    def test_original_samples_preserved(self, imbalanced2):
+        x, y = imbalanced2
+        xs, ys = SMOTE(random_state=0).fit_resample(x, y)
+        np.testing.assert_array_equal(xs[: x.shape[0]], x)
+        np.testing.assert_array_equal(ys[: y.shape[0]], y)
+
+    def test_synthetic_points_in_class_bounding_box(self, imbalanced2):
+        """Interpolation stays on segments between same-class points."""
+        x, y = imbalanced2
+        xs, ys = SMOTE(random_state=0).fit_resample(x, y)
+        synth = xs[x.shape[0]:]
+        minority = x[y == 1]
+        lo, hi = minority.min(axis=0), minority.max(axis=0)
+        assert (synth >= lo - 1e-9).all()
+        assert (synth <= hi + 1e-9).all()
+
+    def test_multiclass_balancing(self, blobs3):
+        x, y = blobs3
+        y = y.copy()
+        # Make class 2 rare.
+        keep = np.concatenate(
+            [np.flatnonzero(y != 2), np.flatnonzero(y == 2)[:15]]
+        )
+        xs, ys = SMOTE(random_state=0).fit_resample(x[keep], y[keep])
+        counts = np.bincount(ys)
+        assert counts[0] == counts[1] == counts[2]
+
+    def test_single_sample_class_duplicates(self):
+        x = np.vstack([np.zeros((10, 2)), [[5.0, 5.0]]])
+        y = np.array([0] * 10 + [1])
+        xs, ys = SMOTE(random_state=0).fit_resample(x, y)
+        synth = xs[(ys == 1)][1:]
+        np.testing.assert_allclose(synth, 5.0)
+
+    def test_balanced_input_unchanged(self, blobs2):
+        x, y = blobs2
+        xs, ys = SMOTE(random_state=0).fit_resample(x, y)
+        assert xs.shape[0] == x.shape[0]
+
+    def test_deterministic(self, imbalanced2):
+        x, y = imbalanced2
+        a, _ = SMOTE(random_state=3).fit_resample(x, y)
+        b, _ = SMOTE(random_state=3).fit_resample(x, y)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            SMOTE(k_neighbors=0)
+
+
+class TestBorderlineSMOTE:
+    def test_balances_classes(self, imbalanced2):
+        x, y = imbalanced2
+        xs, ys = BorderlineSMOTE(random_state=0).fit_resample(x, y)
+        counts = np.bincount(ys)
+        assert counts[0] == counts[1]
+
+    def test_synthesis_prefers_danger_zone(self):
+        """Synthetic minority mass should concentrate near the boundary."""
+        gen = np.random.default_rng(0)
+        # Majority band on the left, minority blob touching it.
+        x_maj = gen.normal([0.0, 0.0], 0.7, (200, 2))
+        x_min = gen.normal([2.0, 0.0], 0.7, (40, 2))
+        x = np.vstack([x_maj, x_min])
+        y = np.array([0] * 200 + [1] * 40)
+        xs, ys = BorderlineSMOTE(random_state=0).fit_resample(x, y)
+        synth = xs[240:]
+        # DANGER minority samples sit at low x-coordinates (toward class 0),
+        # so synthetic points should lean left of the minority mean.
+        assert synth[:, 0].mean() < x_min[:, 0].mean() + 0.1
+
+    def test_fallback_when_no_danger_samples(self, blobs2):
+        """Well-separated classes have no DANGER zone; the sampler must
+        still balance (falls back to plain SMOTE seeds)."""
+        x, y = blobs2
+        y = y.copy()
+        keep = np.concatenate([np.flatnonzero(y == 0), np.flatnonzero(y == 1)[:30]])
+        xs, ys = BorderlineSMOTE(random_state=0).fit_resample(x[keep], y[keep])
+        counts = np.bincount(ys)
+        assert counts[0] == counts[1]
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            BorderlineSMOTE(m_neighbors=0)
+
+
+class TestSMOTENC:
+    @pytest.fixture
+    def mixed(self):
+        gen = np.random.default_rng(1)
+        x_cont = np.vstack(
+            [gen.normal(0, 1, (90, 2)), gen.normal(3, 1, (20, 2))]
+        )
+        x_cat = np.vstack(
+            [gen.integers(0, 3, (90, 1)), gen.integers(0, 3, (20, 1))]
+        ).astype(float)
+        x = np.hstack([x_cont, x_cat])
+        y = np.array([0] * 90 + [1] * 20)
+        return x, y
+
+    def test_balances_classes(self, mixed):
+        x, y = mixed
+        xs, ys = SMOTENC(categorical_features=[2], random_state=0).fit_resample(x, y)
+        counts = np.bincount(ys)
+        assert counts[0] == counts[1]
+
+    def test_categorical_values_are_existing_levels(self, mixed):
+        x, y = mixed
+        xs, ys = SMOTENC(categorical_features=[2], random_state=0).fit_resample(x, y)
+        synth = xs[x.shape[0]:]
+        levels = set(np.unique(x[:, 2]).tolist())
+        assert set(np.unique(synth[:, 2]).tolist()) <= levels
+
+    def test_boolean_mask_spec(self, mixed):
+        x, y = mixed
+        mask = np.array([False, False, True])
+        xs, _ = SMOTENC(categorical_features=mask, random_state=0).fit_resample(x, y)
+        assert xs.shape[0] > x.shape[0]
+
+    def test_all_categorical_degenerates_to_mismatch_metric(self):
+        gen = np.random.default_rng(2)
+        x = gen.integers(0, 4, (60, 3)).astype(float)
+        y = np.array([0] * 45 + [1] * 15)
+        xs, ys = SMOTENC(
+            categorical_features=[0, 1, 2], random_state=0
+        ).fit_resample(x, y)
+        counts = np.bincount(ys)
+        assert counts[0] == counts[1]
+        # All features categorical: synthetic rows only reuse seen levels.
+        for col in range(3):
+            assert set(np.unique(xs[:, col])) <= set(np.unique(x[:, col]))
+
+    def test_rejects_wrong_mask_length(self, mixed):
+        x, y = mixed
+        with pytest.raises(ValueError, match="wrong length"):
+            SMOTENC(categorical_features=np.array([True, False])).fit_resample(x, y)

@@ -1,0 +1,61 @@
+"""Unit tests for simple random sampling."""
+
+import numpy as np
+import pytest
+
+from repro.sampling.srs import SimpleRandomSampler
+
+
+class TestSimpleRandomSampler:
+    def test_ratio_respected(self, blobs2):
+        x, y = blobs2
+        sampler = SimpleRandomSampler(ratio=0.3, random_state=0)
+        xs, ys = sampler.fit_resample(x, y)
+        assert xs.shape[0] == round(0.3 * x.shape[0])
+        assert ys.shape[0] == xs.shape[0]
+
+    def test_no_replacement(self, blobs2):
+        x, y = blobs2
+        sampler = SimpleRandomSampler(ratio=0.5, random_state=1)
+        sampler.fit_resample(x, y)
+        idx = sampler.sample_indices_
+        assert idx.size == np.unique(idx).size
+
+    def test_output_is_subset(self, blobs2):
+        x, y = blobs2
+        sampler = SimpleRandomSampler(ratio=0.4, random_state=2)
+        xs, ys = sampler.fit_resample(x, y)
+        np.testing.assert_array_equal(xs, x[sampler.sample_indices_])
+        np.testing.assert_array_equal(ys, y[sampler.sample_indices_])
+
+    def test_deterministic(self, blobs2):
+        x, y = blobs2
+        a = SimpleRandomSampler(ratio=0.5, random_state=7)
+        b = SimpleRandomSampler(ratio=0.5, random_state=7)
+        a.fit_resample(x, y)
+        b.fit_resample(x, y)
+        np.testing.assert_array_equal(a.sample_indices_, b.sample_indices_)
+
+    def test_different_seeds_differ(self, blobs2):
+        x, y = blobs2
+        a = SimpleRandomSampler(ratio=0.5, random_state=1)
+        b = SimpleRandomSampler(ratio=0.5, random_state=2)
+        a.fit_resample(x, y)
+        b.fit_resample(x, y)
+        assert not np.array_equal(a.sample_indices_, b.sample_indices_)
+
+    def test_ratio_one_keeps_everything(self, blobs2):
+        x, y = blobs2
+        xs, _ = SimpleRandomSampler(ratio=1.0, random_state=0).fit_resample(x, y)
+        assert xs.shape[0] == x.shape[0]
+
+    def test_tiny_ratio_keeps_at_least_one(self):
+        x = np.zeros((10, 2))
+        y = np.zeros(10, dtype=int)
+        xs, _ = SimpleRandomSampler(ratio=0.001, random_state=0).fit_resample(x, y)
+        assert xs.shape[0] == 1
+
+    @pytest.mark.parametrize("ratio", [0.0, -0.5, 1.5])
+    def test_rejects_bad_ratio(self, ratio):
+        with pytest.raises(ValueError, match="ratio"):
+            SimpleRandomSampler(ratio=ratio)

@@ -1,0 +1,72 @@
+"""Unit tests for Tomek links."""
+
+import numpy as np
+
+from repro.sampling.tomek import TomekLinks, find_tomek_links
+
+
+class TestFindTomekLinks:
+    def test_hand_built_link(self):
+        # Two close heterogeneous points far from everything else.
+        x = np.array([[0.0, 0.0], [0.2, 0.0], [10.0, 0.0], [10.3, 0.0]])
+        y = np.array([0, 1, 0, 0])
+        links = find_tomek_links(x, y)
+        assert links.shape == (1, 2)
+        assert tuple(links[0]) == (0, 1)
+
+    def test_homogeneous_mutual_pairs_are_not_links(self):
+        x = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0], [5.1, 5.0]])
+        y = np.array([0, 0, 1, 1])
+        assert find_tomek_links(x, y).shape == (0, 2)
+
+    def test_non_mutual_neighbours_are_not_links(self):
+        # b's nearest is c, but c's nearest is d: no (b, c) link.
+        x = np.array([[0.0], [1.0], [1.6], [1.7]])
+        y = np.array([0, 0, 1, 1])
+        links = find_tomek_links(x, y)
+        assert all(tuple(link) != (1, 2) for link in links)
+
+    def test_tiny_input(self):
+        assert find_tomek_links(np.zeros((1, 2)), np.zeros(1)).shape == (0, 2)
+
+
+class TestTomekLinks:
+    def test_removes_majority_member(self):
+        x = np.array([[0.0, 0.0], [0.2, 0.0], [10.0, 0.0], [10.3, 0.0], [-5.0, 0.0]])
+        y = np.array([0, 1, 0, 0, 0])  # class 0 is the majority
+        sampler = TomekLinks()
+        xs, ys = sampler.fit_resample(x, y)
+        # The class-0 member of the (0, 1) link is dropped.
+        assert 0 not in sampler.sample_indices_
+        assert 1 in sampler.sample_indices_
+        assert xs.shape[0] == 4
+
+    def test_remove_both_variant(self):
+        x = np.array([[0.0, 0.0], [0.2, 0.0], [10.0, 0.0], [10.3, 0.0], [-5.0, 0.0]])
+        y = np.array([0, 1, 0, 0, 0])
+        sampler = TomekLinks(remove_both=True)
+        sampler.fit_resample(x, y)
+        assert 0 not in sampler.sample_indices_
+        assert 1 not in sampler.sample_indices_
+
+    def test_no_links_keeps_everything(self, blobs2):
+        x, y = blobs2
+        sampler = TomekLinks()
+        xs, _ = sampler.fit_resample(x, y)
+        # Well-separated blobs have no heterogeneous mutual pairs.
+        assert xs.shape[0] == x.shape[0]
+
+    def test_boundary_cleaning_on_overlap(self, noisy_blobs2):
+        x, y = noisy_blobs2
+        sampler = TomekLinks()
+        xs, _ = sampler.fit_resample(x, y)
+        # Flipped labels create heterogeneous mutual pairs to clean.
+        assert xs.shape[0] < x.shape[0]
+
+    def test_deterministic(self, moons):
+        x, y = moons
+        a = TomekLinks()
+        b = TomekLinks()
+        a.fit_resample(x, y)
+        b.fit_resample(x, y)
+        np.testing.assert_array_equal(a.sample_indices_, b.sample_indices_)

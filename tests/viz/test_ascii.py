@@ -1,0 +1,81 @@
+"""Unit tests for the ASCII figure renderers."""
+
+import numpy as np
+import pytest
+
+from repro.viz.ascii import bar_chart, heatmap, line_chart, ridge, scatter
+
+
+class TestBarChart:
+    def test_contains_labels_and_values(self):
+        out = bar_chart(
+            ["S1", "S2"],
+            {"GBABS": np.array([0.5, 0.8]), "GGBS": np.array([0.9, 1.0])},
+        )
+        assert "S1" in out and "S2" in out
+        assert "GBABS" in out and "GGBS" in out
+        assert "0.80" in out
+
+    def test_bar_length_proportional(self):
+        out = bar_chart(["d"], {"a": np.array([1.0]), "b": np.array([0.5])}, width=20)
+        lines = out.splitlines()
+        bar_a = lines[1].count("█")
+        bar_b = lines[2].count("█")
+        assert bar_a == 20 and bar_b == 10
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            bar_chart(["x"], {"a": np.array([1.0, 2.0])})
+
+
+class TestRidge:
+    def test_one_row_per_series(self):
+        gen = np.random.default_rng(0)
+        out = ridge({"m1": gen.normal(size=30), "m2": gen.normal(size=30)})
+        lines = out.splitlines()
+        assert len(lines) == 3  # header + 2 rows
+        assert "m1" in out and "m2" in out
+        assert "(n=30)" in out
+
+    def test_explicit_bounds(self):
+        out = ridge({"a": np.array([0.5])}, lo=0.0, hi=1.0)
+        assert "0.00" in out and "1.00" in out
+
+
+class TestHeatmap:
+    def test_numeric_grid(self):
+        out = heatmap(["r1", "r2"], ["c1", "c2"], np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assert "r1" in out and "c2" in out
+        assert "4" in out
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            heatmap(["r1"], ["c1"], np.zeros((2, 2)))
+
+
+class TestLineChart:
+    def test_axis_limits_shown(self):
+        x = np.array([1.0, 2.0, 3.0])
+        out = line_chart(x, {"s": np.array([0.2, 0.5, 0.9])}, height=6)
+        assert "0.900" in out and "0.200" in out
+        assert "s" in out.splitlines()[-1]
+
+    def test_multiple_series_markers(self):
+        x = np.arange(4, dtype=float)
+        out = line_chart(
+            x, {"a": np.arange(4.0), "b": np.arange(4.0)[::-1]}, height=5
+        )
+        assert "o=a" in out and "x=b" in out
+
+
+class TestScatter:
+    def test_glyph_per_class(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0], [0.0, 1.0]])
+        labels = np.array([0, 1, 1])
+        out = scatter(points, labels, height=5, width=10)
+        assert "o=class 0" in out
+        assert "x=class 1" in out
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            scatter(np.zeros((3, 3)), np.zeros(3))

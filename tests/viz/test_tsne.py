@@ -1,0 +1,66 @@
+"""Unit tests for the exact t-SNE implementation."""
+
+import numpy as np
+import pytest
+
+from repro.viz.tsne import TSNE
+
+
+class TestTSNE:
+    @pytest.fixture(scope="class")
+    def two_clusters(self):
+        gen = np.random.default_rng(0)
+        x = np.vstack(
+            [gen.normal(0, 0.3, (40, 5)), gen.normal(8, 0.3, (40, 5))]
+        )
+        y = np.repeat([0, 1], 40)
+        return x, y
+
+    def test_output_shape(self, two_clusters):
+        x, _ = two_clusters
+        emb = TSNE(perplexity=10, n_iter=150, random_state=0).fit_transform(x)
+        assert emb.shape == (80, 2)
+        assert np.isfinite(emb).all()
+
+    def test_deterministic(self, two_clusters):
+        x, _ = two_clusters
+        a = TSNE(perplexity=10, n_iter=120, random_state=5).fit_transform(x)
+        b = TSNE(perplexity=10, n_iter=120, random_state=5).fit_transform(x)
+        np.testing.assert_allclose(a, b)
+
+    def test_separated_clusters_stay_separated(self, two_clusters):
+        x, y = two_clusters
+        emb = TSNE(perplexity=10, n_iter=250, random_state=0).fit_transform(x)
+        c0 = emb[y == 0].mean(axis=0)
+        c1 = emb[y == 1].mean(axis=0)
+        between = np.linalg.norm(c0 - c1)
+        within = max(
+            np.linalg.norm(emb[y == 0] - c0, axis=1).mean(),
+            np.linalg.norm(emb[y == 1] - c1, axis=1).mean(),
+        )
+        assert between > 2 * within
+
+    def test_embedding_centered(self, two_clusters):
+        x, _ = two_clusters
+        emb = TSNE(perplexity=10, n_iter=100, random_state=0).fit_transform(x)
+        np.testing.assert_allclose(emb.mean(axis=0), 0.0, atol=1e-8)
+
+    def test_perplexity_clipped_for_small_n(self):
+        gen = np.random.default_rng(1)
+        x = gen.normal(size=(12, 3))
+        emb = TSNE(perplexity=30, n_iter=100, random_state=0).fit_transform(x)
+        assert emb.shape == (12, 2)
+
+    def test_rejects_too_few_points(self):
+        with pytest.raises(ValueError, match="at least 5"):
+            TSNE(n_iter=100).fit_transform(np.zeros((3, 2)))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            TSNE(perplexity=1.0)
+        with pytest.raises(ValueError):
+            TSNE(n_iter=10)
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValueError, match="2-D"):
+            TSNE(n_iter=100).fit_transform(np.zeros(10))
