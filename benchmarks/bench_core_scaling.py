@@ -2,8 +2,20 @@
 
 These complement the table/figure regenerators: they time RD-GBG and GBABS
 themselves (the paper claims linear-ish scaling, §IV-B3) and the sampling
-baselines on a common workload.
+baselines on a common workload.  Since the vectorised granulation engine
+landed, RD-GBG is benchmarked on both backends so the legacy-vs-engine
+speedup stays measurable from PR to PR.
+
+Run as a script for the speedup report (written to
+``benchmarks/output/core_scaling.txt``)::
+
+    PYTHONPATH=src python benchmarks/bench_core_scaling.py
+    PYTHONPATH=src python benchmarks/bench_core_scaling.py --factors 0.01 --rounds 1
 """
+
+import argparse
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -19,9 +31,12 @@ def workload():
     return x, y
 
 
-def test_bench_rdgbg_generate(benchmark, workload):
+@pytest.mark.parametrize("backend", ["legacy", "engine"])
+def test_bench_rdgbg_generate(benchmark, workload, backend):
     x, y = workload
-    result = benchmark(lambda: RDGBG(rho=5, random_state=0).generate(x, y))
+    result = benchmark(
+        lambda: RDGBG(rho=5, random_state=0, backend=backend).generate(x, y)
+    )
     assert result.ball_set.is_partition()
 
 
@@ -47,3 +62,98 @@ def test_bench_rdgbg_scaling(benchmark, factor):
     x, y = load_dataset("S10", size_factor=factor, random_state=0)
     result = benchmark(lambda: RDGBG(rho=5, random_state=0).generate(x, y))
     assert result.ball_set.coverage() > 0.8
+
+
+def test_bench_engine_speedup_smoke(workload):
+    """Engine must beat legacy on the shared workload (and stay bit-exact)."""
+    x, y = workload
+    timings = _time_backends(x, y, rounds=2)
+    assert timings["parity"]
+    assert timings["engine"] < timings["legacy"]
+
+
+# ----------------------------------------------------------------------
+# script mode: legacy-vs-engine speedup report
+# ----------------------------------------------------------------------
+
+
+def _time_backends(x, y, rounds: int = 3) -> dict:
+    """Best-of-``rounds`` wall time per backend plus a bit-parity check."""
+    out: dict = {}
+    results = {}
+    for backend in ("legacy", "engine"):
+        best = np.inf
+        for _ in range(rounds):
+            gen = RDGBG(rho=5, random_state=0, backend=backend)
+            t0 = time.perf_counter()
+            results[backend] = gen.generate(x, y)
+            best = min(best, time.perf_counter() - t0)
+        out[backend] = best
+    a, b = results["legacy"].ball_set, results["engine"].ball_set
+    out["parity"] = bool(
+        np.array_equal(a.radii, b.radii)
+        and np.array_equal(a.member_indices, b.member_indices)
+        and np.array_equal(
+            results["legacy"].noise_indices, results["engine"].noise_indices
+        )
+    )
+    out["n_balls"] = len(a)
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="RD-GBG backend speedup report")
+    parser.add_argument(
+        "--factors",
+        type=float,
+        nargs="+",
+        default=[0.05, 0.1, 0.25],
+        help="S10 size factors to benchmark (largest last)",
+    )
+    parser.add_argument("--rounds", type=int, default=3, help="best-of rounds")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail when the largest workload's speedup drops below this",
+    )
+    args = parser.parse_args(argv)
+
+    lines = [
+        "RD-GBG legacy vs engine backend (best of "
+        f"{args.rounds}, S10 surrogate, rho=5, seed=0)",
+        f"{'n':>7s} {'balls':>6s} {'legacy [s]':>11s} {'engine [s]':>11s} "
+        f"{'speedup':>8s} {'parity':>7s}",
+    ]
+    last_speedup = None
+    for factor in args.factors:
+        x, y = load_dataset("S10", size_factor=factor, random_state=0)
+        t = _time_backends(x, y, rounds=args.rounds)
+        last_speedup = t["legacy"] / t["engine"]
+        lines.append(
+            f"{x.shape[0]:7d} {t['n_balls']:6d} {t['legacy']:11.3f} "
+            f"{t['engine']:11.3f} {last_speedup:7.2f}x {str(t['parity']):>7s}"
+        )
+        if not t["parity"]:
+            lines.append("PARITY FAILURE: backends disagree — see engine tests")
+            print("\n".join(lines))
+            return 1
+
+    report = "\n".join(lines)
+    print(report)
+    out_dir = Path(__file__).parent / "output"
+    out_dir.mkdir(exist_ok=True)
+    (out_dir / "core_scaling.txt").write_text(report + "\n")
+    print(f"[report saved to {out_dir / 'core_scaling.txt'}]")
+
+    if args.min_speedup is not None and last_speedup < args.min_speedup:
+        print(
+            f"FAIL: speedup {last_speedup:.2f}x below required "
+            f"{args.min_speedup:.2f}x on the largest workload"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

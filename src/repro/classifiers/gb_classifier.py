@@ -14,7 +14,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.classifiers.base import BaseClassifier, check_fit_inputs, validate_fitted
-from repro.core.granular_ball import GranularBallSet
 from repro.core.rdgbg import RDGBG
 
 __all__ = ["GranularBallClassifier"]
@@ -33,6 +32,9 @@ class GranularBallClassifier(BaseClassifier):
         Keep the radius-0 orphan balls in the decision rule.  Orphans carry
         low-density/leftover samples; excluding them (the default keeps
         them) yields a smoother but less complete decision surface.
+    backend:
+        Granulation backend forwarded to :class:`RDGBG` (``"engine"`` or
+        ``"legacy"``; see :mod:`repro.core.engine`).
 
     Attributes
     ----------
@@ -47,21 +49,26 @@ class GranularBallClassifier(BaseClassifier):
         rho: int = 5,
         random_state: int | None = None,
         include_orphans: bool = True,
+        backend: str = "engine",
     ):
         self.rho = int(rho)
         self.random_state = random_state
         self.include_orphans = bool(include_orphans)
+        self.backend = str(backend)
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "GranularBallClassifier":
         x, y = check_fit_inputs(x, y)
         self._encode_labels(y)
-        result = RDGBG(rho=self.rho, random_state=self.random_state).generate(x, y)
-        balls = list(result.ball_set)
+        result = RDGBG(
+            rho=self.rho, random_state=self.random_state, backend=self.backend
+        ).generate(x, y)
+        ball_set = result.ball_set
         if not self.include_orphans:
-            non_orphans = [b for b in balls if not b.is_orphan]
+            keep = ~ball_set.orphan_mask
             # Never drop every ball (single-class or all-orphan sets).
-            balls = non_orphans or balls
-        self.ball_set_ = GranularBallSet(balls, n_source_samples=x.shape[0])
+            if keep.any() and not keep.all():
+                ball_set = ball_set.select(keep)
+        self.ball_set_ = ball_set
         self.n_balls_ = len(self.ball_set_)
         return self
 

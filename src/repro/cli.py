@@ -66,6 +66,7 @@ def _cmd_sample(args) -> int:
     kwargs: dict = {"random_state": args.seed}
     if args.method == "gbabs":
         kwargs["rho"] = args.rho
+        kwargs["backend"] = args.backend
         if args.projection_dims:
             kwargs["projection_dims"] = args.projection_dims
     if args.method in ("srs", "systematic", "stratified"):
@@ -96,9 +97,17 @@ def _cmd_sample(args) -> int:
 
 def _cmd_granulate(args) -> int:
     x, y = load_csv(args.csv, args.label_column)
-    result = RDGBG(rho=args.rho, random_state=args.seed).generate(x, y)
+    generator = RDGBG(rho=args.rho, random_state=args.seed, backend=args.backend)
+    if args.batch_size is not None:
+        try:
+            result = generator.generate_batches(x, y, batch_size=args.batch_size)
+        except ValueError as exc:
+            # e.g. batch_size < 1; the engine owns the validation rule.
+            raise SystemExit(f"granulate: {exc}")
+    else:
+        result = generator.generate(x, y)
     summary = result.ball_set.summary()
-    print(f"RD-GBG on {x.shape[0]} samples:")
+    print(f"RD-GBG [{args.backend}] on {x.shape[0]} samples:")
     for key, value in summary.items():
         print(f"  {key:12s} {value}")
     print(f"  noise        {result.noise_indices.size}")
@@ -115,7 +124,7 @@ def _cmd_info(args) -> int:
     print(f"features: {x.shape[1]}")
     print(f"classes:  {classes.size} {dict(zip(classes.tolist(), counts.tolist()))}")
     print(f"IR:       {imbalance_ratio(y):.2f}")
-    probe = GBABS(rho=args.rho, random_state=args.seed)
+    probe = GBABS(rho=args.rho, random_state=args.seed, backend=args.backend)
     probe.fit_resample(x, y)
     print(f"GBABS sampling ratio at rho={args.rho}: "
           f"{probe.report_.sampling_ratio:.2%}")
@@ -132,6 +141,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--rho", type=int, default=5,
                        help="density tolerance for GB methods")
+        p.add_argument("--backend", choices=("engine", "legacy"),
+                       default="engine",
+                       help="granulation backend (bit-identical results; "
+                            "'engine' is the vectorised default)")
 
     p_sample = sub.add_parser("sample", help="resample a dataset")
     common(p_sample)
@@ -147,6 +160,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_gran = sub.add_parser("granulate", help="run RD-GBG and report the balls")
     common(p_gran)
     p_gran.add_argument("--save", default=None, help="write ball set .npz here")
+    p_gran.add_argument("--batch-size", type=int, default=None,
+                        help="granulate in chunks of this many samples "
+                             "(bounded memory; no cross-chunk overlap checks)")
     p_gran.set_defaults(func=_cmd_granulate)
 
     p_info = sub.add_parser("info", help="dataset profile + GBABS ratio probe")

@@ -11,6 +11,10 @@ share the ball's label ("pure" GBs).
 :class:`GranularBallSet` bundles the balls produced by a generation run and
 offers vectorised geometry queries (overlap checks, coverage, nearest-ball
 assignment) that the sampling stage and the test-suite invariants rely on.
+Internally the set is stored struct-of-arrays (centre matrix, radius/label/
+size vectors, flattened member indices with offsets); the per-ball
+:class:`GranularBall` objects are materialised lazily so hot paths that only
+touch the arrays never pay for them.
 """
 
 from __future__ import annotations
@@ -83,6 +87,12 @@ class GranularBall:
 class GranularBallSet:
     """The result of a granular-ball generation run.
 
+    The canonical representation is struct-of-arrays: ``centers`` ``(m, p)``,
+    ``radii``/``labels``/``sizes`` ``(m,)`` and the member indices of all
+    balls flattened into one vector with per-ball start offsets.  All array
+    properties are computed once and cached; :class:`GranularBall` objects
+    are views materialised on first per-ball access.
+
     Parameters
     ----------
     balls:
@@ -93,52 +103,141 @@ class GranularBallSet:
     """
 
     def __init__(self, balls: list[GranularBall], n_source_samples: int):
-        self._balls = list(balls)
         self.n_source_samples = int(n_source_samples)
+        balls = list(balls)
+        self._balls: list[GranularBall] | None = balls
+        if balls:
+            self._centers = np.vstack([b.center for b in balls])
+            self._radii = np.array([b.radius for b in balls], dtype=np.float64)
+            self._labels = np.array([b.label for b in balls], dtype=np.intp)
+            sizes = np.array([b.indices.size for b in balls], dtype=np.intp)
+            self._flat_indices = np.concatenate([b.indices for b in balls])
+        else:
+            self._centers = np.empty((0, 0))
+            self._radii = np.empty(0, dtype=np.float64)
+            self._labels = np.empty(0, dtype=np.intp)
+            sizes = np.empty(0, dtype=np.intp)
+            self._flat_indices = np.empty(0, dtype=np.intp)
+        self._starts = np.concatenate(([0], np.cumsum(sizes)))
+        self._sizes = sizes
+
+    @classmethod
+    def from_arrays(
+        cls,
+        centers: np.ndarray,
+        radii: np.ndarray,
+        labels: np.ndarray,
+        flat_indices: np.ndarray,
+        offsets: np.ndarray,
+        n_source_samples: int,
+    ) -> "GranularBallSet":
+        """Build a set directly from struct-of-arrays storage.
+
+        ``offsets`` are the split points between consecutive balls inside
+        ``flat_indices`` (the convention of :meth:`save`): ``m - 1`` values
+        for ``m`` balls.
+        """
+        self = cls.__new__(cls)
+        self.n_source_samples = int(n_source_samples)
+        self._balls = None
+        radii = np.asarray(radii, dtype=np.float64)
+        m = radii.size
+        centers = np.asarray(centers, dtype=np.float64)
+        self._centers = centers if m else np.empty((0, 0))
+        self._radii = radii
+        self._labels = np.asarray(labels, dtype=np.intp)
+        self._flat_indices = np.asarray(flat_indices, dtype=np.intp)
+        offsets = np.asarray(offsets, dtype=np.intp)
+        if m == 0:
+            self._starts = np.zeros(1, dtype=np.intp)
+        else:
+            self._starts = np.concatenate(([0], offsets, [self._flat_indices.size]))
+        if self._starts.size != max(m, 1) + (m > 0):
+            raise ValueError("offsets do not match the number of balls")
+        self._sizes = np.diff(self._starts)
+        if m and (self._sizes <= 0).any():
+            raise ValueError("every ball must contain at least one sample")
+        return self
 
     # -- basic container protocol ------------------------------------------
 
+    def _ball_list(self) -> list[GranularBall]:
+        """Materialise (and cache) the per-ball object views."""
+        if self._balls is None:
+            self._balls = [
+                GranularBall(
+                    center=self._centers[i],
+                    radius=float(self._radii[i]),
+                    label=int(self._labels[i]),
+                    indices=self._flat_indices[self._starts[i] : self._starts[i + 1]],
+                )
+                for i in range(self._radii.size)
+            ]
+        return self._balls
+
     def __len__(self) -> int:
-        return len(self._balls)
+        return int(self._radii.size)
 
     def __iter__(self):
-        return iter(self._balls)
+        return iter(self._ball_list())
 
     def __getitem__(self, i: int) -> GranularBall:
-        return self._balls[i]
+        return self._ball_list()[i]
 
     # -- vectorised views ---------------------------------------------------
 
     @property
     def centers(self) -> np.ndarray:
         """Matrix of ball centres, shape ``(m, p)``."""
-        if not self._balls:
-            return np.empty((0, 0))
-        return np.vstack([b.center for b in self._balls])
+        return self._centers
 
     @property
     def radii(self) -> np.ndarray:
         """Vector of radii, shape ``(m,)``."""
-        return np.array([b.radius for b in self._balls], dtype=np.float64)
+        return self._radii
 
     @property
     def labels(self) -> np.ndarray:
         """Vector of ball labels, shape ``(m,)``."""
-        return np.array([b.label for b in self._balls], dtype=np.intp)
+        return self._labels
 
     @property
     def sizes(self) -> np.ndarray:
         """Vector of member counts, shape ``(m,)``."""
-        return np.array([b.n_samples for b in self._balls], dtype=np.intp)
+        return self._sizes
 
     @property
     def member_indices(self) -> np.ndarray:
         """Concatenated member indices over all balls (order of generation)."""
-        if not self._balls:
-            return np.empty(0, dtype=np.intp)
-        return np.concatenate([b.indices for b in self._balls])
+        return self._flat_indices
+
+    def members_of(self, i: int) -> np.ndarray:
+        """Member indices of ball ``i`` without materialising the ball object."""
+        return self._flat_indices[self._starts[i] : self._starts[i + 1]]
+
+    def select(self, which: np.ndarray) -> "GranularBallSet":
+        """Subset of balls (boolean mask or index array), preserving order."""
+        which = np.asarray(which)
+        keep = np.flatnonzero(which) if which.dtype == bool else which.astype(np.intp)
+        if keep.size == 0:
+            return GranularBallSet([], n_source_samples=self.n_source_samples)
+        chunks = [self.members_of(int(i)) for i in keep]
+        sizes = np.array([c.size for c in chunks], dtype=np.intp)
+        return GranularBallSet.from_arrays(
+            centers=self._centers[keep].copy(),
+            radii=self._radii[keep].copy(),
+            labels=self._labels[keep].copy(),
+            flat_indices=np.concatenate(chunks),
+            offsets=np.cumsum(sizes)[:-1],
+            n_source_samples=self.n_source_samples,
+        )
 
     # -- derived statistics ---------------------------------------------------
+
+    @property
+    def orphan_mask(self) -> np.ndarray:
+        """Boolean mask of the radius-0 single-sample orphan balls."""
+        return (self._radii == 0.0) & (self._sizes == 1)
 
     def coverage(self) -> float:
         """Fraction of source samples covered by some ball.
@@ -149,7 +248,7 @@ class GranularBallSet:
         """
         if self.n_source_samples == 0:
             return 0.0
-        return self.member_indices.size / self.n_source_samples
+        return self._flat_indices.size / self.n_source_samples
 
     def max_overlap(self) -> float:
         """Largest pairwise overlap depth ``(r_i + r_j) - dist(c_i, c_j)``.
@@ -159,9 +258,9 @@ class GranularBallSet:
         radius 0 are ignored: orphan balls may legitimately sit inside the
         closure of another ball's boundary without creating ambiguity.
         """
-        mask = self.radii > 0
-        centers = self.centers[mask]
-        radii = self.radii[mask]
+        mask = self._radii > 0
+        centers = self._centers[mask]
+        radii = self._radii[mask]
         m = centers.shape[0]
         if m < 2:
             return 0.0
@@ -178,15 +277,18 @@ class GranularBallSet:
         impure baseline generators (k-division GBG) can report purity too.
         """
         y = np.asarray(y)
-        out = np.empty(len(self._balls), dtype=np.float64)
-        for i, ball in enumerate(self._balls):
-            member_labels = y[ball.indices]
-            out[i] = np.mean(member_labels == ball.label) if member_labels.size else 0.0
-        return out
+        m = len(self)
+        if m == 0:
+            return np.empty(0, dtype=np.float64)
+        agree = (
+            y[self._flat_indices] == np.repeat(self._labels, self._sizes)
+        ).astype(np.float64)
+        totals = np.add.reduceat(agree, self._starts[:-1])
+        return totals / self._sizes
 
     def is_partition(self) -> bool:
         """True when no source sample appears in more than one ball."""
-        idx = self.member_indices
+        idx = self._flat_indices
         return idx.size == np.unique(idx).size
 
     def assign(self, points: np.ndarray) -> np.ndarray:
@@ -201,22 +303,22 @@ class GranularBallSet:
         numpy.ndarray
             Ball index per query point, shape ``(n,)``.
         """
-        if not self._balls:
+        if len(self) == 0:
             raise RuntimeError("cannot assign points with an empty ball set")
         points = np.atleast_2d(np.asarray(points, dtype=np.float64))
-        dist = pairwise_distances(points, self.centers) - self.radii[None, :]
+        dist = pairwise_distances(points, self._centers) - self._radii[None, :]
         return np.argmin(dist, axis=1)
 
     def predict(self, points: np.ndarray) -> np.ndarray:
         """Label of the nearest ball for each query point."""
-        return self.labels[self.assign(points)]
+        return self._labels[self.assign(points)]
 
     def summary(self) -> dict:
         """Compact statistics dictionary for logging and experiments."""
-        sizes = self.sizes
+        sizes = self._sizes
         return {
-            "n_balls": len(self._balls),
-            "n_orphans": int(sum(b.is_orphan for b in self._balls)),
+            "n_balls": len(self),
+            "n_orphans": int(self.orphan_mask.sum()),
             "coverage": self.coverage(),
             "max_overlap": self.max_overlap(),
             "mean_size": float(sizes.mean()) if sizes.size else 0.0,
@@ -231,21 +333,13 @@ class GranularBallSet:
         The member indices of all balls are stored flattened with split
         offsets, so arbitrarily sized sets round-trip exactly.
         """
-        if self._balls:
-            offsets = np.cumsum([b.indices.size for b in self._balls])[:-1]
-            flat_indices = self.member_indices
-            centers = self.centers
-        else:
-            offsets = np.empty(0, dtype=np.intp)
-            flat_indices = np.empty(0, dtype=np.intp)
-            centers = np.empty((0, 0))
         np.savez(
             path,
-            centers=centers,
-            radii=self.radii,
-            labels=self.labels,
-            flat_indices=flat_indices,
-            offsets=offsets,
+            centers=self._centers,
+            radii=self._radii,
+            labels=self._labels,
+            flat_indices=self._flat_indices,
+            offsets=self._starts[1:-1] if len(self) else np.empty(0, dtype=np.intp),
             n_source_samples=np.array([self.n_source_samples]),
         )
 
@@ -253,18 +347,11 @@ class GranularBallSet:
     def load(cls, path) -> "GranularBallSet":
         """Inverse of :meth:`save`."""
         with np.load(path) as data:
-            centers = data["centers"]
-            radii = data["radii"]
-            labels = data["labels"]
-            member_chunks = np.split(data["flat_indices"], data["offsets"])
-            n_source = int(data["n_source_samples"][0])
-        balls = [
-            GranularBall(
-                center=centers[i],
-                radius=float(radii[i]),
-                label=int(labels[i]),
-                indices=member_chunks[i],
+            return cls.from_arrays(
+                centers=data["centers"],
+                radii=data["radii"],
+                labels=data["labels"],
+                flat_indices=data["flat_indices"],
+                offsets=data["offsets"],
+                n_source_samples=int(data["n_source_samples"][0]),
             )
-            for i in range(radii.size)
-        ]
-        return cls(balls, n_source_samples=n_source)

@@ -165,18 +165,16 @@ class NearestNeighbors:
         treated as "self" whether or not the index matches the row number.
         """
         m, k = dist.shape
-        out_dist = np.empty((m, k - 1), dtype=dist.dtype)
-        out_idx = np.empty((m, k - 1), dtype=idx.dtype)
         rows = np.arange(m)
-        self_col = np.where(idx == rows[:, None], np.arange(k)[None, :], k)
+        cols = np.arange(k)[None, :]
+        self_col = np.where(idx == rows[:, None], cols, k)
         first_self = self_col.min(axis=1)
         # Rows where the query point is not among its own neighbours (possible
         # with duplicates) just drop the last column instead.
         first_self = np.where(first_self == k, k - 1, first_self)
-        for r in range(m):
-            c = first_self[r]
-            out_dist[r] = np.delete(dist[r], c)
-            out_idx[r] = np.delete(idx[r], c)
+        keep = cols != first_self[:, None]
+        out_dist = dist[keep].reshape(m, k - 1)
+        out_idx = idx[keep].reshape(m, k - 1)
         return out_dist, out_idx
 
     def _check_fitted(self) -> None:

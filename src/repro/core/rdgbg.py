@@ -19,6 +19,20 @@ Two ablation switches mirror the design choices the paper motivates:
 ``detect_noise=False`` disables the noise-removal rules, and
 ``enforce_no_overlap=False`` drops the conflict-radius clipping (recovering
 the overlap behaviour of earlier GBG methods).
+
+Two execution backends produce bit-identical results under a fixed seed:
+
+* ``backend="legacy"`` — the straight-line reference implementation below
+  (full-pool distance scan + ``argsort`` per candidate, centre matrix
+  rebuilt per conflict query); kept as the semantic ground truth.
+* ``backend="engine"`` (default) — the vectorised engine of
+  :mod:`repro.core.engine`: struct-of-arrays ball storage, a squared-norm
+  cached shrinking-pool distance kernel with tie-exact prefix selection, and
+  a spatial index over ball centres for conflict-radius queries.
+
+The candidate-selection rules (`_detect_center`), the radius clipping
+(`_clip_radius`) and member collection (`_collect_members`) are shared by
+both backends, so the engine cannot drift from the reference semantics.
 """
 
 from __future__ import annotations
@@ -78,6 +92,10 @@ class RDGBG:
     enforce_no_overlap:
         Clip radii by the conflict radius so balls never overlap.  Disabling
         this is ablation A1.
+    backend:
+        Execution backend: ``"engine"`` (vectorised, default) or
+        ``"legacy"`` (reference).  Both yield bit-identical results for the
+        same seed; see :mod:`repro.core.engine` for registering others.
     """
 
     def __init__(
@@ -86,6 +104,7 @@ class RDGBG:
         random_state: int | None = None,
         detect_noise: bool = True,
         enforce_no_overlap: bool = True,
+        backend: str = "engine",
     ):
         if rho < 2:
             raise ValueError("rho must be >= 2 so the detection rules are distinct")
@@ -93,6 +112,7 @@ class RDGBG:
         self.random_state = random_state
         self.detect_noise = bool(detect_noise)
         self.enforce_no_overlap = bool(enforce_no_overlap)
+        self.backend = str(backend)
 
     # ------------------------------------------------------------------
     # public API
@@ -112,18 +132,49 @@ class RDGBG:
         -------
         RDGBGResult
         """
+        x, y = self._validate(x, y)
+        from repro.core.engine import get_backend
+
+        return get_backend(self.backend).run(self, x, y)
+
+    def generate_batches(
+        self, x: np.ndarray, y: np.ndarray, batch_size: int
+    ) -> RDGBGResult:
+        """Granulate ``(x, y)`` in contiguous chunks and merge the results.
+
+        For datasets too large for a single shrinking-pool pass, each chunk
+        of ``batch_size`` samples is granulated independently (chunk ``i``
+        uses ``random_state + i`` when a seed is set) and the per-chunk
+        results are merged with member/noise/orphan indices mapped back to
+        the global dataset.  Purity and the within-chunk partition/no-overlap
+        guarantees are preserved; balls from *different* chunks may overlap,
+        which is the price of never holding more than one chunk's pool.
+        """
+        x, y = self._validate(x, y)
+        from repro.core.engine import generate_in_batches
+
+        return generate_in_batches(self, x, y, batch_size=batch_size)
+
+    def _validate(self, x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         x = np.asarray(x, dtype=np.float64)
         y = np.asarray(y)
         if x.ndim != 2:
             raise ValueError("x must be a 2-D feature matrix")
         if y.shape != (x.shape[0],):
             raise ValueError("y must be 1-D and aligned with x")
-        n = x.shape[0]
-        if n == 0:
+        if x.shape[0] == 0:
             raise ValueError("cannot granulate an empty dataset")
         if not np.isfinite(x).all():
             raise ValueError("x contains NaN or infinite values")
+        return x, y
 
+    # ------------------------------------------------------------------
+    # legacy reference backend
+    # ------------------------------------------------------------------
+
+    def _generate_legacy(self, x: np.ndarray, y: np.ndarray) -> RDGBGResult:
+        """The straight-line reference implementation of Algorithm 1."""
+        n = x.shape[0]
         rng = np.random.default_rng(self.random_state)
         in_u = np.ones(n, dtype=bool)       # undivided sample set U
         in_l = np.zeros(n, dtype=bool)      # low-density sample set L (⊆ U)
@@ -168,19 +219,34 @@ class RDGBG:
         )
 
     # ------------------------------------------------------------------
-    # internals
+    # internals shared with the engine backend
     # ------------------------------------------------------------------
 
     @staticmethod
     def _draw_candidates(
         t_idx: np.ndarray, y: np.ndarray, rng: np.random.Generator
     ) -> list[int]:
-        """One random candidate centre per class in T, larger classes first."""
-        classes, counts = np.unique(y[t_idx], return_counts=True)
+        """One random candidate centre per class in T, larger classes first.
+
+        Groups T by class with a single stable argsort: within each class
+        the candidates keep ascending index order, and each class pool is
+        byte-identical to the boolean-mask selection ``t_idx[y[t_idx] ==
+        cls]``, so the RNG consumption (one ``choice`` per class, larger
+        classes first, class value breaking count ties) is reproducible
+        across engine versions.
+        """
+        y_t = y[t_idx]
+        grouped = np.argsort(y_t, kind="stable")
+        sorted_y = y_t[grouped]
+        starts = np.concatenate(
+            ([0], np.flatnonzero(sorted_y[1:] != sorted_y[:-1]) + 1, [y_t.size])
+        )
+        counts = np.diff(starts)
         order = np.argsort(-counts, kind="stable")
         candidates = []
-        for cls in classes[order]:
-            pool = t_idx[y[t_idx] == cls]
+        for j in order:
+            # Stable argsort keeps ascending positions within each class.
+            pool = t_idx[grouped[starts[j] : starts[j + 1]]]
             candidates.append(int(rng.choice(pool)))
         return candidates
 
@@ -226,15 +292,7 @@ class RDGBG:
             in_l[ci] = True
             return
 
-        # Membership is capped at the homogeneous prefix ω: a heterogeneous
-        # neighbour can sit at *exactly* the radius distance (tied
-        # distances), and Eq. 7 must never absorb it into a pure ball.
-        member_mask = (
-            sorted_dist[:omega] <= radius * (1.0 + _RADIUS_RTOL) + 1e-15
-        )
-        members = np.concatenate(
-            (np.array([ci], dtype=np.intp), sorted_idx[:omega][member_mask])
-        )
+        members = self._collect_members(ci, sorted_idx, sorted_dist, omega, radius)
         balls.append(
             GranularBall(
                 center=x[ci].copy(),
@@ -263,7 +321,10 @@ class RDGBG:
         Called only when the candidate's nearest neighbour is heterogeneous.
         Returns ``(eligible, sorted_idx, sorted_dist)`` with the neighbour
         arrays possibly shortened when the nearest neighbour was removed as
-        noise (the ``h == 1`` rule).
+        noise (the ``h == 1`` rule).  ``sorted_idx`` may be any sorted prefix
+        of the undivided neighbours as long as it holds at least
+        ``min(rho, pool size)`` entries, which is what lets the engine
+        backend reuse this rule on its partial prefixes.
         """
         if not self.detect_noise:
             # Without noise handling the candidate simply cannot anchor a
@@ -318,7 +379,6 @@ class RDGBG:
         omega = int(homo.size if homo.all() else np.argmin(homo))
         if omega == 0:
             return 0.0, 0
-        cr = float(sorted_dist[omega - 1])
 
         if self.enforce_no_overlap and centers:
             center_mat = np.vstack(centers)
@@ -326,14 +386,40 @@ class RDGBG:
             r_conf = float(gap.min())
         else:
             r_conf = np.inf
+        return self._clip_radius(sorted_dist, omega, r_conf), omega
 
+    @staticmethod
+    def _clip_radius(sorted_dist: np.ndarray, omega: int, r_conf: float) -> float:
+        """``CR(c)`` (Eq. 3) clipped by the conflict radius (Eqs. 4–6)."""
+        cr = float(sorted_dist[omega - 1])
         if cr <= r_conf:
-            return cr, omega
+            return cr
         # Restricted maximum consistent radius r_max (Eq. 6): the farthest
         # undivided sample not crossing into an existing ball.  Because the
         # first heterogeneous neighbour lies at distance >= CR > r_conf, any
         # sample within r_conf is homogeneous and purity is preserved.
         within = sorted_dist[:omega] <= r_conf
         if not np.any(within):
-            return 0.0, omega
-        return float(sorted_dist[:omega][within].max()), omega
+            return 0.0
+        return float(sorted_dist[:omega][within].max())
+
+    @staticmethod
+    def _collect_members(
+        ci: int,
+        sorted_idx: np.ndarray,
+        sorted_dist: np.ndarray,
+        omega: int,
+        radius: float,
+    ) -> np.ndarray:
+        """Member indices of a new ball: the centre plus the in-radius prefix.
+
+        Membership is capped at the homogeneous prefix ω: a heterogeneous
+        neighbour can sit at *exactly* the radius distance (tied distances),
+        and Eq. 7 must never absorb it into a pure ball.
+        """
+        member_mask = (
+            sorted_dist[:omega] <= radius * (1.0 + _RADIUS_RTOL) + 1e-15
+        )
+        return np.concatenate(
+            (np.array([ci], dtype=np.intp), sorted_idx[:omega][member_mask])
+        )

@@ -33,6 +33,13 @@ class SamplingPipeline:
         Training-set size after resampling (set by :meth:`fit`).
     sampling_ratio_:
         ``resampled_size_ / original_size`` (> 1 for oversamplers).
+    granulation_summary_:
+        :meth:`~repro.core.granular_ball.GranularBallSet.summary` of the
+        sampler's ball set when the sampler is granulation-backed (GBABS,
+        GGBS, IGBS — anything exposing ``ball_set_``), else ``None``.  Gives
+        observability into the shared granulation engine without re-running
+        it.  Computed on demand: the summary's pairwise overlap check is
+        O(m²) in the number of balls and must not tax every ``fit``.
     """
 
     def __init__(self, sampler, classifier: BaseClassifier):
@@ -40,6 +47,7 @@ class SamplingPipeline:
         self.classifier = classifier
         self.resampled_size_: int | None = None
         self.sampling_ratio_: float | None = None
+        self._granulation_ball_set = None
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "SamplingPipeline":
         """Resample the training data, then fit the classifier on it."""
@@ -55,8 +63,16 @@ class SamplingPipeline:
             x_fit, y_fit = x, y
         self.resampled_size_ = int(x_fit.shape[0])
         self.sampling_ratio_ = self.resampled_size_ / max(x.shape[0], 1)
+        self._granulation_ball_set = getattr(self.sampler, "ball_set_", None)
         self.classifier.fit(x_fit, y_fit)
         return self
+
+    @property
+    def granulation_summary_(self) -> dict | None:
+        """Ball-set statistics of granulation-backed samplers (on demand)."""
+        if self._granulation_ball_set is None:
+            return None
+        return self._granulation_ball_set.summary()
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         """Predict with the fitted classifier (sampler is not involved)."""

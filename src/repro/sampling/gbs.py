@@ -27,7 +27,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.granular_ball import GranularBall, GranularBallSet
+from repro.core.engine import GranularBallSetBuilder
+from repro.core.granular_ball import GranularBallSet
 from repro.core.neighbors import distances_to
 from repro.sampling.base import BaseSampler, check_xy
 
@@ -90,16 +91,10 @@ class KDivisionGBG:
                 continue
             queue.extend(children)
 
-        balls = [
-            GranularBall(
-                center=b.center,
-                radius=b.radius,
-                label=b.label,
-                indices=b.indices,
-            )
-            for b in done
-        ]
-        return GranularBallSet(balls, n_source_samples=n)
+        builder = GranularBallSetBuilder(p, n, capacity=max(len(done), 4))
+        for b in done:
+            builder.add(b.center, b.radius, b.label, b.indices)
+        return builder.build()
 
     @staticmethod
     def _make_ball(x: np.ndarray, y: np.ndarray, indices: np.ndarray) -> _RawBall:
@@ -154,10 +149,26 @@ class KDivisionGBG:
             if part.size == 0:
                 continue
             if part.size == idx.size:
-                # No progress; caller will finalise the parent.
-                return []
+                # Nearest-seed assignment made no progress.  This happens
+                # when distinct members sit at distances that underflow to
+                # zero (denormal coordinates): fall back to peeling off the
+                # rows exactly equal to the first member so an impure ball
+                # is only ever finalised when it is truly unsplittable.
+                return self._identity_split(x, y, ball)
             children.append(self._make_ball(x, y, part))
         return children
+
+    def _identity_split(self, x: np.ndarray, y: np.ndarray, ball: _RawBall) -> list[_RawBall]:
+        """Last-resort split: first member's duplicates vs everything else."""
+        idx = ball.indices
+        same = np.all(x[idx] == x[idx[0]], axis=1)
+        if same.all():
+            # All members identical: genuinely indivisible.
+            return []
+        return [
+            self._make_ball(x, y, idx[same]),
+            self._make_ball(x, y, idx[~same]),
+        ]
 
 
 class GGBS(BaseSampler):
@@ -239,18 +250,25 @@ class IGBS(BaseSampler):
         class_counts = {int(c): int((y == c).sum()) for c in np.unique(y)}
         majority = max(class_counts, key=class_counts.get)
 
+        sizes = ball_set.sizes
+        labels = ball_set.labels
         chosen: set[int] = set()
-        for ball in ball_set:
-            if ball.n_samples <= small_size:
-                chosen.update(int(i) for i in ball.indices)
-            elif ball.label != majority:
+        for bi in range(len(ball_set)):
+            members = ball_set.members_of(bi)
+            label = int(labels[bi])
+            if sizes[bi] <= small_size:
+                chosen.update(int(i) for i in members)
+            elif label != majority:
                 # Large minority ball: keep all samples of the minority class.
-                members = ball.indices
-                minority_members = members[y[members] == ball.label]
+                minority_members = members[y[members] == label]
                 chosen.update(int(i) for i in minority_members)
             else:
                 chosen.update(
-                    int(i) for i in _axis_point_samples(x, y, ball, small_size)
+                    int(i)
+                    for i in _axis_point_samples(
+                        x, y, ball_set.centers[bi], float(ball_set.radii[bi]),
+                        label, members, small_size,
+                    )
                 )
 
         chosen_arr = np.array(sorted(chosen), dtype=np.intp)
@@ -289,17 +307,31 @@ def _ggbs_selection(
     """GGBS undersampling: all of small balls, axis points of large balls."""
     p = x.shape[1]
     small_size = 2 * p
+    sizes = ball_set.sizes
     chosen: set[int] = set()
-    for ball in ball_set:
-        if ball.n_samples <= small_size:
-            chosen.update(int(i) for i in ball.indices)
+    for bi in range(len(ball_set)):
+        members = ball_set.members_of(bi)
+        if sizes[bi] <= small_size:
+            chosen.update(int(i) for i in members)
         else:
-            chosen.update(int(i) for i in _axis_point_samples(x, y, ball, small_size))
+            chosen.update(
+                int(i)
+                for i in _axis_point_samples(
+                    x, y, ball_set.centers[bi], float(ball_set.radii[bi]),
+                    int(ball_set.labels[bi]), members, small_size,
+                )
+            )
     return np.array(sorted(chosen), dtype=np.intp)
 
 
 def _axis_point_samples(
-    x: np.ndarray, y: np.ndarray, ball: GranularBall, n_target: int
+    x: np.ndarray,
+    y: np.ndarray,
+    center: np.ndarray,
+    radius: float,
+    label: int,
+    members: np.ndarray,
+    n_target: int,
 ) -> np.ndarray:
     """The ``2·p`` homogeneous members nearest to the axis points ``c ± r·e_j``.
 
@@ -308,8 +340,7 @@ def _axis_point_samples(
     closest to each crossing (§III-B).  Falls back to nearest members when a
     ball has fewer homogeneous members than target points.
     """
-    members = ball.indices
-    homogeneous = members[y[members] == ball.label]
+    homogeneous = members[y[members] == label]
     if homogeneous.size == 0:
         return members[: min(members.size, n_target)]
     hx = x[homogeneous]
@@ -317,8 +348,8 @@ def _axis_point_samples(
     picked: set[int] = set()
     for dim in range(p):
         for sign in (-1.0, 1.0):
-            point = ball.center.copy()
-            point[dim] += sign * ball.radius
+            point = center.copy()
+            point[dim] += sign * radius
             nearest = int(homogeneous[np.argmin(distances_to(point, hx))])
             picked.add(nearest)
     return np.array(sorted(picked), dtype=np.intp)

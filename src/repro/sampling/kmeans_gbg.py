@@ -13,7 +13,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.granular_ball import GranularBall, GranularBallSet
+from repro.core.engine import GranularBallSetBuilder
+from repro.core.granular_ball import GranularBallSet
 from repro.core.neighbors import distances_to, pairwise_distances
 
 __all__ = ["KMeansGBG"]
@@ -77,8 +78,13 @@ class KMeansGBG:
             queue.append(left)
             queue.append(right)
 
-        balls = [self._make_ball(x, y, idx) for idx in done]
-        return GranularBallSet(balls, n_source_samples=x.shape[0])
+        builder = GranularBallSetBuilder(
+            x.shape[1], x.shape[0], capacity=max(len(done), 4)
+        )
+        for idx in done:
+            center, radius, label = self._ball_geometry(x, y, idx)
+            builder.add(center, radius, label, idx)
+        return builder.build()
 
     # ------------------------------------------------------------------
 
@@ -115,15 +121,12 @@ class KMeansGBG:
         return idx[assign == 0], idx[assign == 1]
 
     @staticmethod
-    def _make_ball(x: np.ndarray, y: np.ndarray, idx: np.ndarray) -> GranularBall:
-        """Eq. 1 geometry: mean centre and mean member distance."""
+    def _ball_geometry(
+        x: np.ndarray, y: np.ndarray, idx: np.ndarray
+    ) -> tuple[np.ndarray, float, int]:
+        """Eq. 1 geometry: mean centre, mean member distance, majority label."""
         members = x[idx]
         center = members.mean(axis=0)
         radius = float(distances_to(center, members).mean())
         labels, counts = np.unique(y[idx], return_counts=True)
-        return GranularBall(
-            center=center,
-            radius=radius,
-            label=int(labels[np.argmax(counts)]),
-            indices=idx,
-        )
+        return center, radius, int(labels[np.argmax(counts)])

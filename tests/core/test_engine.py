@@ -1,0 +1,253 @@
+"""Unit tests for the vectorised granulation engine building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import (
+    BallCenterIndex,
+    CandidateScan,
+    GranularBallSetBuilder,
+    LegacyBackend,
+    ShrinkingPool,
+    VectorisedBackend,
+    _prefix_slack,
+    get_backend,
+    register_backend,
+)
+from repro.core.granular_ball import GranularBallSet
+from repro.core.neighbors import distances_to
+from repro.core.rdgbg import RDGBG
+
+
+class TestBackendRegistry:
+    def test_builtin_backends_resolve(self):
+        assert isinstance(get_backend("legacy"), LegacyBackend)
+        assert isinstance(get_backend("engine"), VectorisedBackend)
+
+    def test_unknown_backend_raises_with_known_names(self):
+        with pytest.raises(ValueError, match="engine"):
+            get_backend("nope")
+
+    def test_rdgbg_rejects_unknown_backend_at_generate(self):
+        x = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        y = np.array([0, 0, 1])
+        with pytest.raises(ValueError, match="unknown granulation backend"):
+            RDGBG(backend="bogus").generate(x, y)
+
+    def test_custom_backend_registration(self):
+        class Recording(VectorisedBackend):
+            name = "recording-test"
+            calls = 0
+
+            def run(self, generator, x, y):
+                type(self).calls += 1
+                return super().run(generator, x, y)
+
+        register_backend(Recording())
+        x = np.array([[0.0], [0.1], [5.0], [5.1]])
+        y = np.array([0, 0, 1, 1])
+        result = RDGBG(random_state=0, backend="recording-test").generate(x, y)
+        assert Recording.calls == 1
+        assert result.ball_set.is_partition()
+
+
+class TestGranularBallSetBuilder:
+    def test_build_matches_list_construction(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(20, 3))
+        builder = GranularBallSetBuilder(3, 20, capacity=2)
+        chunks = [np.array([0, 1, 2]), np.array([3]), np.array([4, 5])]
+        for i, chunk in enumerate(chunks):
+            builder.add(x[chunk[0]], float(i), i % 2, chunk)
+        assert len(builder) == 3
+        ball_set = builder.build()
+        assert len(ball_set) == 3
+        np.testing.assert_array_equal(ball_set.sizes, [3, 1, 2])
+        np.testing.assert_array_equal(ball_set.labels, [0, 1, 0])
+        np.testing.assert_array_equal(
+            ball_set.member_indices, np.concatenate(chunks)
+        )
+        np.testing.assert_array_equal(ball_set.members_of(2), [4, 5])
+        # growth by doubling must not corrupt earlier rows
+        np.testing.assert_array_equal(ball_set.centers[0], x[0])
+
+    def test_empty_build(self):
+        ball_set = GranularBallSetBuilder(4, 10).build()
+        assert len(ball_set) == 0
+        assert ball_set.n_source_samples == 10
+
+    def test_partial_views(self):
+        builder = GranularBallSetBuilder(2, 5)
+        builder.add(np.array([1.0, 2.0]), 0.5, 0, np.array([0]))
+        assert builder.centers.shape == (1, 2)
+        assert builder.radii.shape == (1,)
+
+
+class TestShrinkingPoolAndScan:
+    def _brute_prefix(self, x, alive_idx, ci, k):
+        """Reference: legacy full sort over the alive pool minus ci."""
+        others = alive_idx[alive_idx != ci]
+        dist = distances_to(x[ci], x[others])
+        order = np.argsort(dist, kind="stable")
+        return others[order][:k], dist[order][:k]
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("tie_heavy", [False, True])
+    def test_prefix_matches_legacy_sort(self, seed, tie_heavy):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(120, 4))
+        if tie_heavy:
+            x = np.round(x, 1)  # force many duplicate distances
+        pool = ShrinkingPool(x)
+        slack = _prefix_slack(4)
+        # kill a batch so dead rows + tombstones are exercised
+        dead = rng.choice(120, size=30, replace=False)
+        dead = dead[dead != 7]
+        pool.kill(dead)
+        alive_idx = np.setdiff1d(np.arange(120), dead)
+        scan = CandidateScan(pool, 7, slack)
+        for k in (1, 5, 40, 200):
+            got_idx, got_dist = scan.prefix(k)
+            want_idx, want_dist = self._brute_prefix(x, alive_idx, 7, got_idx.size)
+            np.testing.assert_array_equal(got_idx, want_idx)
+            np.testing.assert_array_equal(got_dist, want_dist)
+            assert got_idx.size >= min(k, alive_idx.size - 1)
+
+    def test_exclude_mid_scan(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(50, 3))
+        pool = ShrinkingPool(x)
+        scan = CandidateScan(pool, 0, _prefix_slack(3))
+        first, _ = scan.prefix(1)
+        scan.exclude(int(first[0]))
+        pool.kill(np.array([first[0]]), compact=False)
+        got_idx, _ = scan.prefix(5)
+        assert int(first[0]) not in got_idx
+        alive_idx = np.setdiff1d(np.arange(50), [first[0]])
+        want_idx, _ = self._brute_prefix(x, alive_idx, 0, got_idx.size)
+        np.testing.assert_array_equal(got_idx, want_idx)
+
+    def test_compaction_preserves_order_and_values(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(100, 2))
+        pool = ShrinkingPool(x)
+        pool.kill(np.arange(0, 60, 2))  # triggers compaction (>25% dead)
+        assert pool.dead_positions() == []
+        assert pool.n_alive == 70
+        assert np.all(np.diff(pool.idx) > 0)
+        np.testing.assert_array_equal(pool.x, x[pool.idx])
+
+
+class TestBallCenterIndex:
+    @pytest.mark.parametrize("m", [1, 50, 500])
+    def test_conflict_radius_matches_linear_scan(self, m):
+        rng = np.random.default_rng(m)
+        centers = rng.normal(size=(m, 3)) * 5
+        radii = rng.uniform(0.01, 0.8, size=m)
+        index = BallCenterIndex(3)
+        for c, r in zip(centers, radii):
+            index.add(c, float(r))
+        for _ in range(25):
+            q = rng.normal(size=3) * 5
+            want = float((distances_to(q, centers) - radii).min())
+            assert index.conflict_radius(q) == want
+
+    def test_empty_index_returns_inf(self):
+        assert BallCenterIndex(2).conflict_radius(np.zeros(2)) == np.inf
+
+    def test_incremental_adds_after_tree_build(self):
+        # adds beyond the last rebuild must still be scanned exactly
+        rng = np.random.default_rng(9)
+        index = BallCenterIndex(2)
+        centers, radii = [], []
+        for i in range(400):
+            c = rng.normal(size=2) * 3
+            r = float(rng.uniform(0.01, 0.5))
+            centers.append(c)
+            radii.append(r)
+            index.add(c, r)
+            if i % 37 == 0:
+                q = rng.normal(size=2) * 3
+                mat = np.vstack(centers)
+                want = float((distances_to(q, mat) - np.asarray(radii)).min())
+                assert index.conflict_radius(q) == want
+
+
+class TestGenerateBatches:
+    def test_batches_cover_and_stay_pure(self, blobs2):
+        x, y = blobs2
+        result = RDGBG(random_state=0).generate_batches(x, y, batch_size=64)
+        ball_set = result.ball_set
+        assert ball_set.n_source_samples == x.shape[0]
+        assert ball_set.is_partition()
+        assert np.all(ball_set.purity_against(y) == 1.0)
+        covered = set(ball_set.member_indices.tolist())
+        noise = set(result.noise_indices.tolist())
+        assert covered | noise == set(range(x.shape[0]))
+
+    def test_single_batch_equals_plain_generate(self, blobs2):
+        x, y = blobs2
+        whole = RDGBG(random_state=0).generate(x, y)
+        batched = RDGBG(random_state=0).generate_batches(x, y, batch_size=x.shape[0])
+        np.testing.assert_array_equal(
+            whole.ball_set.member_indices, batched.ball_set.member_indices
+        )
+        np.testing.assert_array_equal(whole.ball_set.radii, batched.ball_set.radii)
+        np.testing.assert_array_equal(whole.noise_indices, batched.noise_indices)
+
+    def test_batch_size_validation(self, blobs2):
+        x, y = blobs2
+        with pytest.raises(ValueError, match="batch_size"):
+            RDGBG(random_state=0).generate_batches(x, y, batch_size=0)
+
+    def test_member_indices_are_global(self, blobs3):
+        x, y = blobs3
+        result = RDGBG(random_state=1).generate_batches(x, y, batch_size=50)
+        members = result.ball_set.member_indices
+        assert members.min() >= 0 and members.max() < x.shape[0]
+        # every ball's members must actually lie inside the ball
+        for ball in result.ball_set:
+            if ball.radius > 0:
+                dist = distances_to(ball.center, x[ball.indices])
+                assert np.all(dist <= ball.radius * (1 + 1e-9) + 1e-12)
+
+
+class TestSoABallSetViews:
+    def test_cached_properties_are_stable_objects(self, blobs2):
+        x, y = blobs2
+        ball_set = RDGBG(random_state=0).generate(x, y).ball_set
+        assert ball_set.centers is ball_set.centers  # cached, not rebuilt
+        assert ball_set.radii is ball_set.radii
+        assert ball_set.labels is ball_set.labels
+        assert ball_set.sizes is ball_set.sizes
+
+    def test_select_roundtrip(self, blobs2):
+        x, y = blobs2
+        ball_set = RDGBG(random_state=0).generate(x, y).ball_set
+        keep = ~ball_set.orphan_mask
+        sub = ball_set.select(keep)
+        assert len(sub) == int(keep.sum())
+        assert sub.n_source_samples == ball_set.n_source_samples
+        kept = np.flatnonzero(keep)
+        np.testing.assert_array_equal(sub.radii, ball_set.radii[kept])
+        for j, i in enumerate(kept):
+            np.testing.assert_array_equal(
+                sub.members_of(j), ball_set.members_of(int(i))
+            )
+
+    def test_members_of_matches_ball_objects(self, blobs3):
+        x, y = blobs3
+        ball_set = RDGBG(random_state=2).generate(x, y).ball_set
+        for i, ball in enumerate(ball_set):
+            np.testing.assert_array_equal(ball.indices, ball_set.members_of(i))
+
+    def test_from_arrays_rejects_mismatched_offsets(self):
+        with pytest.raises(ValueError):
+            GranularBallSet.from_arrays(
+                centers=np.zeros((2, 2)),
+                radii=np.array([1.0, 1.0]),
+                labels=np.array([0, 1]),
+                flat_indices=np.array([0, 1, 2]),
+                offsets=np.array([1, 2]),  # 2 offsets for 2 balls: invalid
+                n_source_samples=3,
+            )
