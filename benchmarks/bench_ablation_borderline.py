@@ -6,8 +6,8 @@ from conftest import run_once
 from repro.experiments import ablations
 
 
-def test_ablation_borderline(benchmark, cfg, save_report):
-    result = run_once(benchmark, ablations.ablation_borderline, cfg)
+def test_ablation_borderline(benchmark, cfg, save_report, jobs):
+    result = run_once(benchmark, ablations.ablation_borderline, cfg, n_jobs=jobs)
     save_report("ablation_borderline", ablations.format_ablation(result))
 
     rows = result["rows"]

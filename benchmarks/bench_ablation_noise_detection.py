@@ -6,8 +6,10 @@ from conftest import run_once
 from repro.experiments import ablations
 
 
-def test_ablation_noise_detection(benchmark, cfg, save_report):
-    result = run_once(benchmark, ablations.ablation_noise_detection, cfg, 0.2)
+def test_ablation_noise_detection(benchmark, cfg, save_report, jobs):
+    result = run_once(
+        benchmark, ablations.ablation_noise_detection, cfg, 0.2, n_jobs=jobs
+    )
     save_report("ablation_noise_detection", ablations.format_ablation(result))
 
     rows = result["rows"]

@@ -5,8 +5,8 @@ from conftest import run_once
 from repro.experiments import ablations
 
 
-def test_ablation_overlap(benchmark, cfg, save_report):
-    result = run_once(benchmark, ablations.ablation_overlap, cfg)
+def test_ablation_overlap(benchmark, cfg, save_report, jobs):
+    result = run_once(benchmark, ablations.ablation_overlap, cfg, n_jobs=jobs)
     save_report("ablation_overlap", ablations.format_ablation(result))
 
     for row in result["rows"]:

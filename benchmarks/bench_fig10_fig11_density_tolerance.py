@@ -10,8 +10,8 @@ from conftest import run_once
 from repro.experiments import figures
 
 
-def test_fig10_fig11_density_tolerance(benchmark, cfg, save_report):
-    result = run_once(benchmark, figures.fig10_fig11, cfg)
+def test_fig10_fig11_density_tolerance(benchmark, cfg, save_report, jobs):
+    result = run_once(benchmark, figures.fig10_fig11, cfg, n_jobs=jobs)
     save_report("fig10_fig11", figures.format_fig10_fig11(result))
 
     rho_grid = result["rho_grid"]

@@ -7,8 +7,8 @@ from conftest import run_once
 from repro.experiments import figures, tables
 
 
-def test_fig7_fig8_ridges(benchmark, cfg, save_report):
-    t4 = tables.table4(cfg)
+def test_fig7_fig8_ridges(benchmark, cfg, save_report, jobs):
+    t4 = tables.table4(cfg, n_jobs=jobs)
     result = run_once(benchmark, figures.fig7_fig8, cfg, t4)
     save_report("fig7_fig8", figures.format_fig7_fig8(result))
 

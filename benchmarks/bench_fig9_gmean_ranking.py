@@ -11,8 +11,8 @@ from repro.evaluation.ranking import average_ranks
 from repro.experiments import figures
 
 
-def test_fig9_gmean_ranking(benchmark, cfg, save_report):
-    result = run_once(benchmark, figures.fig9, cfg)
+def test_fig9_gmean_ranking(benchmark, cfg, save_report, jobs):
+    result = run_once(benchmark, figures.fig9, cfg, n_jobs=jobs)
     save_report("fig9", figures.format_fig9(result))
 
     n_methods = len(result["methods"])

@@ -1,0 +1,192 @@
+"""Serial vs parallel wall-clock of the Table-II experiment grid.
+
+The parallel experiment engine promises two things: a wall-clock speedup
+that tracks the core count, and **bit-identical** results at any ``n_jobs``.
+This benchmark measures both on the Table-II grid (datasets × sampling
+methods, DT classifier): one serial pass and one parallel pass over
+identical cells, each against a fresh memory-only store so nothing is
+reused between the passes, with datasets and SRS reference ratios
+prewarmed so the timings isolate cell computation.
+
+Run as a script for the scaling report (written to
+``benchmarks/output/grid_scaling.txt`` and ``BENCH_grid.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_grid_scaling.py --jobs 4
+    PYTHONPATH=src python benchmarks/bench_grid_scaling.py --jobs 2 --datasets S2 S5
+
+Pytest mode runs a small smoke version of the same comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from repro.experiments.config import FULL, MEDIUM, QUICK, ExperimentConfig
+from repro.experiments.executor import CellSpec, ExperimentExecutor
+from repro.experiments.runner import reference_gbabs_ratio
+from repro.experiments.store import CellStore
+from repro.experiments.tables import TABLE2_METHODS
+
+_PROFILES = {"quick": QUICK, "medium": MEDIUM, "full": FULL}
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+#: BENCH_grid.json lives at the repository root so CI can upload it as the
+#: perf-trajectory artifact.
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_grid.json"
+
+
+def table2_specs(cfg: ExperimentConfig) -> list[CellSpec]:
+    """The Table-II grid: every dataset × sampling method, DT classifier."""
+    return [
+        CellSpec(code, method, "dt")
+        for code in cfg.datasets
+        for method in TABLE2_METHODS
+    ]
+
+
+def _prewarm(cfg: ExperimentConfig) -> None:
+    """Populate the shared dataset / reference-ratio caches outside timing."""
+    for code in cfg.datasets:
+        reference_gbabs_ratio(code, cfg, 0.0)
+
+
+def _timed_run(cfg: ExperimentConfig, specs: list[CellSpec], n_jobs: int):
+    """One pass over the grid against a fresh memory-only store."""
+    executor = ExperimentExecutor(cfg, n_jobs=n_jobs, store=CellStore(None))
+    start = time.perf_counter()
+    results = executor.run(specs)
+    return time.perf_counter() - start, results
+
+
+def _identical(a, b) -> bool:
+    """Float-for-float equality of two CVResult lists."""
+    return all(u.exactly_equal(v) for u, v in zip(a, b))
+
+
+def compare_grid(cfg: ExperimentConfig, jobs: int) -> dict:
+    """Serial-vs-parallel comparison of the Table-II grid; returns the record."""
+    specs = table2_specs(cfg)
+    _prewarm(cfg)
+    serial_s, serial_results = _timed_run(cfg, specs, n_jobs=1)
+    parallel_s, parallel_results = _timed_run(cfg, specs, n_jobs=jobs)
+    return {
+        "bench": "grid_scaling",
+        "grid": "table2",
+        "profile": cfg.name,
+        "datasets": list(cfg.datasets),
+        "n_cells": len(specs),
+        "n_folds_per_cell": cfg.n_splits * cfg.n_repeats,
+        "cpu_count": os.cpu_count(),
+        "jobs": jobs,
+        "serial_seconds": serial_s,
+        "parallel_seconds": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s > 0 else float("inf"),
+        "bit_identical": _identical(serial_results, parallel_results),
+        "python": platform.python_version(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+
+
+def format_report(record: dict) -> str:
+    lines = [
+        "Experiment grid scaling — serial vs parallel "
+        f"(Table-II grid, profile: {record['profile']})",
+        f"cells: {record['n_cells']}  folds/cell: {record['n_folds_per_cell']}  "
+        f"cpu_count: {record['cpu_count']}",
+        f"{'mode':>10s} {'jobs':>5s} {'wall [s]':>10s}",
+        f"{'serial':>10s} {1:5d} {record['serial_seconds']:10.2f}",
+        f"{'parallel':>10s} {record['jobs']:5d} {record['parallel_seconds']:10.2f}",
+        f"speedup: {record['speedup']:.2f}x   "
+        f"bit-identical: {record['bit_identical']}",
+    ]
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# pytest smoke: tiny grid, parity is the contract
+# ----------------------------------------------------------------------
+
+_SMOKE = ExperimentConfig(
+    name="grid-smoke",
+    size_factor=0.05,
+    datasets=("S2", "S5"),
+    n_splits=2,
+    n_repeats=2,
+    n_estimators=3,
+)
+
+
+def test_parallel_grid_matches_serial():
+    record = compare_grid(_SMOKE, jobs=2)
+    assert record["bit_identical"]
+    assert record["n_cells"] == len(_SMOKE.datasets) * len(TABLE2_METHODS)
+    assert record["serial_seconds"] > 0 and record["parallel_seconds"] > 0
+
+
+def test_report_and_json_round_trip(tmp_path):
+    record = compare_grid(_SMOKE.scaled(n_repeats=1), jobs=2)
+    text = format_report(record)
+    assert "bit-identical: True" in text
+    path = tmp_path / "BENCH_grid.json"
+    path.write_text(json.dumps(record, indent=2))
+    assert json.loads(path.read_text())["grid"] == "table2"
+
+
+# ----------------------------------------------------------------------
+# script mode
+# ----------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="serial vs parallel experiment grid scaling report"
+    )
+    parser.add_argument("--jobs", type=int, default=4, metavar="N",
+                        help="parallel worker processes (default: 4)")
+    parser.add_argument("--profile", choices=sorted(_PROFILES), default="quick")
+    parser.add_argument("--datasets", nargs="+", default=None,
+                        help="restrict the grid to these dataset codes")
+    parser.add_argument("--size-factor", type=float, default=None,
+                        help="override the profile's dataset size factor")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail when the speedup drops below this")
+    args = parser.parse_args(argv)
+
+    cfg = _PROFILES[args.profile]
+    overrides = {}
+    if args.datasets:
+        overrides["datasets"] = tuple(args.datasets)
+    if args.size_factor is not None:
+        overrides["size_factor"] = args.size_factor
+    if overrides:
+        cfg = cfg.scaled(**overrides)
+
+    record = compare_grid(cfg, jobs=args.jobs)
+    report = format_report(record)
+    print(report)
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "grid_scaling.txt").write_text(report + "\n")
+    BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"[report saved to {OUTPUT_DIR / 'grid_scaling.txt'}]")
+    print(f"[record saved to {BENCH_JSON}]")
+
+    if not record["bit_identical"]:
+        print("PARITY FAILURE: parallel results differ from serial")
+        return 1
+    if args.min_speedup is not None and record["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: speedup {record['speedup']:.2f}x below required "
+            f"{args.min_speedup:.2f}x (cpu_count={record['cpu_count']})"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

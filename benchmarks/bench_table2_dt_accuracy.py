@@ -10,8 +10,8 @@ from conftest import run_once
 from repro.experiments import tables
 
 
-def test_table2_dt_accuracy(benchmark, cfg, save_report):
-    result = run_once(benchmark, tables.table2, cfg)
+def test_table2_dt_accuracy(benchmark, cfg, save_report, jobs):
+    result = run_once(benchmark, tables.table2, cfg, n_jobs=jobs)
     save_report("table2", tables.format_table2(result))
 
     acc = result["accuracy"]

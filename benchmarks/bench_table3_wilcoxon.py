@@ -6,8 +6,8 @@ from conftest import run_once
 from repro.experiments import tables
 
 
-def test_table3_wilcoxon(benchmark, cfg, save_report):
-    t2 = tables.table2(cfg)
+def test_table3_wilcoxon(benchmark, cfg, save_report, jobs):
+    t2 = tables.table2(cfg, n_jobs=jobs)
     result = run_once(benchmark, tables.table3, cfg, t2)
     save_report("table3", tables.format_table3(result))
 

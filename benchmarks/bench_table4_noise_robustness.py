@@ -11,8 +11,8 @@ from conftest import run_once
 from repro.experiments import tables
 
 
-def test_table4_noise_robustness(benchmark, cfg, save_report):
-    result = run_once(benchmark, tables.table4, cfg)
+def test_table4_noise_robustness(benchmark, cfg, save_report, jobs):
+    result = run_once(benchmark, tables.table4, cfg, n_jobs=jobs)
     save_report("table4", tables.format_table4(result))
 
     mean_acc = result["mean_accuracy"]

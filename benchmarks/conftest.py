@@ -4,6 +4,15 @@ Every benchmark regenerates one table or figure of the paper on the active
 profile (``REPRO_PROFILE`` env var, default ``quick``) and writes its
 rendered report to ``benchmarks/output/`` so the artefacts survive pytest's
 output capturing.
+
+Options::
+
+    pytest benchmarks --jobs 4       # fan CV grids over 4 worker processes
+    pytest benchmarks --no-cache     # ignore the persistent cell store
+
+Completed cells persist in ``benchmarks/output/cellstore/`` (content-keyed
+``.npz`` files), so a killed benchmark session resumes from the finished
+cells on the next run instead of recomputing them.
 """
 
 from __future__ import annotations
@@ -15,6 +24,35 @@ import pytest
 from repro.experiments.config import active_config
 
 OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs", type=int, default=1,
+        help="worker processes for CV grids (0 = all cores; "
+             "results are bit-identical to serial)",
+    )
+    parser.addoption(
+        "--no-cache", action="store_true",
+        help="disable the persistent cell store for this session",
+    )
+
+
+@pytest.fixture(scope="session")
+def jobs(request):
+    """Worker-process count selected with ``--jobs`` (default: serial)."""
+    return request.config.getoption("--jobs")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _store_mode(request):
+    """Point the cell store at benchmarks/output/cellstore (or disable it)."""
+    from repro.experiments.runner import configure_store
+
+    if request.config.getoption("--no-cache"):
+        configure_store(persist=False)
+    else:
+        configure_store(root=OUTPUT_DIR / "cellstore")
 
 
 @pytest.fixture(scope="session")

@@ -37,25 +37,30 @@ class KNeighborsClassifier(BaseClassifier):
         self._nn = NearestNeighbors(n_neighbors=self._k).fit(x)
         return self
 
+    def _vote_counts(self, x: np.ndarray) -> np.ndarray:
+        """Per-query class vote counts, shape ``(n_queries, n_classes)``.
+
+        One flattened ``bincount`` over ``query_index * n_classes + vote``
+        scatter-adds every neighbour vote at once (no per-row Python work).
+        """
+        _, idx = self._nn.kneighbors(x, n_neighbors=self._k)
+        votes = self._y_encoded[idx]
+        n_queries = votes.shape[0]
+        n_classes = self.classes_.size
+        flat = np.arange(n_queries, dtype=np.intp)[:, None] * n_classes + votes
+        return np.bincount(
+            flat.ravel(), minlength=n_queries * n_classes
+        ).reshape(n_queries, n_classes)
+
     def predict(self, x: np.ndarray) -> np.ndarray:
         validate_fitted(self)
         x = np.asarray(x, dtype=np.float64)
-        _, idx = self._nn.kneighbors(x, n_neighbors=self._k)
-        votes = self._y_encoded[idx]
-        n_classes = self.classes_.size
-        counts = np.apply_along_axis(
-            lambda row: np.bincount(row, minlength=n_classes), 1, votes
-        )
+        counts = self._vote_counts(x)
         return self.classes_[np.argmax(counts, axis=1)]
 
     def predict_proba(self, x: np.ndarray) -> np.ndarray:
         """Vote shares per class, ordered as ``classes_``."""
         validate_fitted(self)
         x = np.asarray(x, dtype=np.float64)
-        _, idx = self._nn.kneighbors(x, n_neighbors=self._k)
-        votes = self._y_encoded[idx]
-        n_classes = self.classes_.size
-        counts = np.apply_along_axis(
-            lambda row: np.bincount(row, minlength=n_classes), 1, votes
-        )
+        counts = self._vote_counts(x)
         return counts / counts.sum(axis=1, keepdims=True)

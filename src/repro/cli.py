@@ -6,10 +6,18 @@ For users who want the paper's methods without writing Python::
     python -m repro.cli sample data.csv --method ggbs --label-column 0
     python -m repro.cli granulate data.csv --save balls.npz
     python -m repro.cli info data.csv
+    python -m repro.cli bench table2 --jobs 4
+    python -m repro.cli bench --profile full --jobs 0 --no-cache
 
 CSV convention: one sample per row, features as floats, the class label in
 the last column by default (``--label-column`` overrides).  A header row is
 detected and skipped automatically.
+
+``bench`` regenerates the paper's tables/figures: ``--jobs N`` fans the
+cross-validation grid over N worker processes (``0`` = all cores,
+bit-identical results), completed cells persist under
+``benchmarks/output/cellstore/`` so interrupted runs resume, and
+``--no-cache`` disables that disk store.
 """
 
 from __future__ import annotations
@@ -117,6 +125,19 @@ def _cmd_granulate(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    """Forward to the experiment harness (tables/figures regeneration)."""
+    from repro.experiments.run_all import main as run_all_main
+
+    argv = list(args.experiments)
+    argv += ["--profile", args.profile, "--jobs", str(args.jobs)]
+    if args.no_cache:
+        argv.append("--no-cache")
+    if args.json:
+        argv += ["--json", args.json]
+    return run_all_main(argv)
+
+
 def _cmd_info(args) -> int:
     x, y = load_csv(args.csv, args.label_column)
     classes, counts = np.unique(y, return_counts=True)
@@ -168,6 +189,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_info = sub.add_parser("info", help="dataset profile + GBABS ratio probe")
     common(p_info)
     p_info.set_defaults(func=_cmd_info)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="regenerate paper tables/figures (parallel grid + result store)",
+    )
+    p_bench.add_argument("experiments", nargs="*",
+                         help="experiment names, e.g. table2 fig9 (default: all)")
+    p_bench.add_argument("--profile", choices=("quick", "medium", "full"),
+                         default="quick")
+    p_bench.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes for the CV grid "
+                              "(0 = all cores; results identical to serial)")
+    p_bench.add_argument("--no-cache", action="store_true",
+                         help="disable the persistent cell store")
+    p_bench.add_argument("--json", metavar="DIR", default=None,
+                         help="also dump raw results as JSON files")
+    p_bench.set_defaults(func=_cmd_bench)
     return parser
 
 

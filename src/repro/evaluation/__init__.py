@@ -2,7 +2,10 @@
 
 from repro.evaluation.cross_validation import (
     CVResult,
+    FoldPlan,
     evaluate_pipeline,
+    plan_folds,
+    run_fold,
     stratified_kfold_indices,
 )
 from repro.evaluation.metrics import (
@@ -28,7 +31,10 @@ from repro.evaluation.stats import (
 
 __all__ = [
     "CVResult",
+    "FoldPlan",
     "evaluate_pipeline",
+    "plan_folds",
+    "run_fold",
     "stratified_kfold_indices",
     "METRICS",
     "accuracy_score",

@@ -5,10 +5,23 @@ times, sampling applied to the *training* portion of each fold only, the
 classifier trained on the resampled fold and scored on the untouched test
 fold.  :func:`evaluate_pipeline` implements exactly that and returns both
 per-fold values and aggregate statistics.
+
+Fold scheduling is split into pure pieces so serial and parallel execution
+are bit-identical:
+
+* :func:`plan_folds` derives every fold's split seed and sampler/classifier
+  seed from the master seed (``SeedSequence`` → per-repetition state, plus
+  a global fold counter) without running anything.
+* :func:`run_fold` evaluates exactly one planned fold.
+* :func:`evaluate_pipeline` executes the plan — inline for ``n_jobs=1``, or
+  fanned over a ``ProcessPoolExecutor`` for ``n_jobs > 1`` — and assembles
+  the per-fold results *in plan order*, so the returned :class:`CVResult`
+  is float-for-float identical regardless of ``n_jobs``.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -16,7 +29,18 @@ import numpy as np
 
 from repro.evaluation.metrics import compute_metric
 
-__all__ = ["stratified_kfold_indices", "CVResult", "evaluate_pipeline"]
+__all__ = [
+    "stratified_kfold_indices",
+    "CVResult",
+    "FoldPlan",
+    "plan_folds",
+    "run_fold",
+    "resolve_n_jobs",
+    "collect_cv_result",
+    "splits_for_plan",
+    "run_folds_pooled",
+    "evaluate_pipeline",
+]
 
 
 def stratified_kfold_indices(
@@ -77,6 +101,195 @@ class CVResult:
         """Average kept fraction of the training folds (1.0 for oversamplers)."""
         return float(self.sampling_ratios.mean())
 
+    def exactly_equal(self, other: "CVResult") -> bool:
+        """Float-for-float equality — the serial/parallel parity contract.
+
+        ``means``/``stds`` are derived from ``metric_values``, so comparing
+        the per-fold arrays (plus ratios and the fold count) is exhaustive.
+        """
+        if (
+            self.n_folds != other.n_folds
+            or set(self.metric_values) != set(other.metric_values)
+        ):
+            return False
+        if not all(
+            np.array_equal(values, other.metric_values[name])
+            for name, values in self.metric_values.items()
+        ):
+            return False
+        return bool(np.array_equal(self.sampling_ratios, other.sampling_ratios))
+
+
+@dataclass(frozen=True)
+class FoldPlan:
+    """Everything needed to execute one CV fold, derived without running it.
+
+    Attributes
+    ----------
+    rep, fold:
+        Repetition index and fold index within that repetition.
+    index:
+        Global fold position (``rep * n_splits + fold``); per-fold results
+        are always assembled in this order.
+    split_seed:
+        Seed of :func:`stratified_kfold_indices` for this repetition (shared
+        by all folds of the repetition).
+    fold_seed:
+        Seed handed to the sampler and classifier factories for this fold.
+    """
+
+    rep: int
+    fold: int
+    index: int
+    split_seed: int
+    fold_seed: int
+
+
+def plan_folds(
+    n_splits: int, n_repeats: int, random_state: int | None
+) -> list[FoldPlan]:
+    """Pure seed derivation for every fold of a repeated stratified CV.
+
+    Reproduces the historical serial derivation exactly: one
+    ``SeedSequence(random_state)`` yields ``n_repeats`` split seeds and
+    ``n_repeats`` fold-seed bases; fold ``index`` (counted across
+    repetitions) gets ``base[rep] + index``.
+    """
+    seeds = np.random.SeedSequence(random_state).generate_state(n_repeats * 2 + 1)
+    plans = []
+    index = 0
+    for rep in range(n_repeats):
+        for fold in range(n_splits):
+            plans.append(
+                FoldPlan(
+                    rep=rep,
+                    fold=fold,
+                    index=index,
+                    split_seed=int(seeds[rep]),
+                    fold_seed=int(seeds[n_repeats + rep]) + index,
+                )
+            )
+            index += 1
+    return plans
+
+
+def run_fold(
+    x: np.ndarray,
+    y: np.ndarray,
+    train: np.ndarray,
+    test: np.ndarray,
+    classifier_factory: Callable[[int], object],
+    sampler_factory: Callable[[int], object] | None,
+    fold_seed: int,
+    metrics: tuple[str, ...],
+) -> tuple[dict[str, float], float]:
+    """Evaluate one fold; returns (metric values, realised sampling ratio)."""
+    x_train, y_train = x[train], y[train]
+    if sampler_factory is not None:
+        sampler = sampler_factory(fold_seed)
+        x_fit, y_fit = sampler.fit_resample(x_train, y_train)
+        if np.unique(y_fit).size < 2 and np.unique(y_train).size >= 2:
+            # A sampler must not collapse the fold to one class;
+            # fall back to the raw fold (keeps the protocol total).
+            x_fit, y_fit = x_train, y_train
+            ratio = 1.0
+        else:
+            ratio = y_fit.size / y_train.size
+    else:
+        x_fit, y_fit = x_train, y_train
+        ratio = 1.0
+
+    clf = classifier_factory(fold_seed)
+    clf.fit(x_fit, y_fit)
+    y_pred = clf.predict(x[test])
+    return {m: compute_metric(m, y[test], y_pred) for m in metrics}, ratio
+
+
+def resolve_n_jobs(n_jobs: int | None) -> int:
+    """Normalise an ``n_jobs`` request to a positive worker count.
+
+    ``None`` or ``0`` mean "all cores"; negative values count back from the
+    core count (``-1`` = all cores, ``-2`` = all but one, …).
+    """
+    cores = os.cpu_count() or 1
+    if n_jobs is None or n_jobs == 0:
+        return cores
+    if n_jobs < 0:
+        return max(1, cores + 1 + n_jobs)
+    return int(n_jobs)
+
+
+def collect_cv_result(
+    fold_results: list[tuple[dict[str, float], float]],
+    metrics: tuple[str, ...],
+    n_folds: int,
+) -> CVResult:
+    """Assemble per-fold (metrics, ratio) pairs — in plan order — into a
+    :class:`CVResult`."""
+    return CVResult(
+        metric_values={
+            m: np.asarray([fr[0][m] for fr in fold_results]) for m in metrics
+        },
+        sampling_ratios=np.asarray([fr[1] for fr in fold_results]),
+        n_folds=n_folds,
+    )
+
+
+def splits_for_plan(
+    y: np.ndarray, n_splits: int, plan: list[FoldPlan]
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """All split index pairs of a fold plan, indexed by ``FoldPlan.index``."""
+    splits: list[tuple[np.ndarray, np.ndarray]] = []
+    for rep in range(len(plan) // n_splits):
+        splits.extend(
+            stratified_kfold_indices(
+                y,
+                n_splits=n_splits,
+                shuffle=True,
+                random_state=plan[rep * n_splits].split_seed,
+            )
+        )
+    return splits
+
+
+# ----------------------------------------------------------------------
+# Process-pool fold execution, shared by evaluate_pipeline (one payload)
+# and the experiment executor (one payload per grid cell).  Payloads —
+# (x, y, splits, classifier_factory, sampler_factory, metrics) tuples —
+# are shipped once per worker through the pool initializer (inherited for
+# free under fork); each task is then just a (payload index, fold index,
+# fold seed) triple.
+# ----------------------------------------------------------------------
+
+_POOL_STATE: dict = {}
+
+
+def _init_pool_worker(payloads):
+    _POOL_STATE["payloads"] = payloads
+
+
+def _pool_fold_task(task: tuple[int, int, int]) -> tuple[dict[str, float], float]:
+    payload_index, fold_index, fold_seed = task
+    x, y, splits, classifier_factory, sampler_factory, metrics = _POOL_STATE[
+        "payloads"
+    ][payload_index]
+    train, test = splits[fold_index]
+    return run_fold(
+        x, y, train, test, classifier_factory, sampler_factory, fold_seed, metrics
+    )
+
+
+def run_folds_pooled(payloads, tasks, n_jobs: int, chunksize: int = 1):
+    """Fan fold tasks over a worker pool, yielding results in task order."""
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(
+        max_workers=min(n_jobs, len(tasks)),
+        initializer=_init_pool_worker,
+        initargs=(payloads,),
+    ) as pool:
+        yield from pool.map(_pool_fold_task, tasks, chunksize=chunksize)
+
 
 def evaluate_pipeline(
     x: np.ndarray,
@@ -87,6 +300,7 @@ def evaluate_pipeline(
     n_repeats: int = 5,
     metrics: tuple[str, ...] = ("accuracy",),
     random_state: int | None = 0,
+    n_jobs: int | None = 1,
 ) -> CVResult:
     """Repeated stratified CV of a (sampler → classifier) pipeline.
 
@@ -106,6 +320,11 @@ def evaluate_pipeline(
         Names resolved through :mod:`repro.evaluation.metrics`.
     random_state:
         Master seed; folds, samplers and classifiers get derived seeds.
+    n_jobs:
+        Worker processes to fan folds over (``1`` = serial in-process,
+        ``None``/``0`` = all cores).  Results are bit-identical to serial
+        for any value.  For portability beyond fork-based platforms the
+        factories should be picklable (module-level callables).
 
     Returns
     -------
@@ -113,41 +332,30 @@ def evaluate_pipeline(
     """
     x = np.asarray(x, dtype=np.float64)
     y = np.asarray(y)
-    seeds = np.random.SeedSequence(random_state).generate_state(n_repeats * 2 + 1)
+    plan = plan_folds(n_splits, n_repeats, random_state)
+    splits = splits_for_plan(y, n_splits, plan)
 
-    values: dict[str, list[float]] = {m: [] for m in metrics}
-    ratios: list[float] = []
-    fold_counter = 0
-    for rep in range(n_repeats):
-        splits = stratified_kfold_indices(
-            y, n_splits=n_splits, shuffle=True, random_state=int(seeds[rep])
+    n_jobs = resolve_n_jobs(n_jobs)
+    if n_jobs > 1 and len(plan) > 1:
+        payloads = [(x, y, splits, classifier_factory, sampler_factory, metrics)]
+        tasks = [(0, p.index, p.fold_seed) for p in plan]
+        chunksize = max(1, len(tasks) // (n_jobs * 4))
+        fold_results = list(
+            run_folds_pooled(payloads, tasks, n_jobs, chunksize=chunksize)
         )
-        for train, test in splits:
-            fold_seed = int(seeds[n_repeats + rep]) + fold_counter
-            fold_counter += 1
-            x_train, y_train = x[train], y[train]
-            if sampler_factory is not None:
-                sampler = sampler_factory(fold_seed)
-                x_fit, y_fit = sampler.fit_resample(x_train, y_train)
-                if np.unique(y_fit).size < 2 and np.unique(y_train).size >= 2:
-                    # A sampler must not collapse the fold to one class;
-                    # fall back to the raw fold (keeps the protocol total).
-                    x_fit, y_fit = x_train, y_train
-                    ratios.append(1.0)
-                else:
-                    ratios.append(y_fit.size / y_train.size)
-            else:
-                x_fit, y_fit = x_train, y_train
-                ratios.append(1.0)
+    else:
+        fold_results = [
+            run_fold(
+                x,
+                y,
+                splits[p.index][0],
+                splits[p.index][1],
+                classifier_factory,
+                sampler_factory,
+                p.fold_seed,
+                metrics,
+            )
+            for p in plan
+        ]
 
-            clf = classifier_factory(fold_seed)
-            clf.fit(x_fit, y_fit)
-            y_pred = clf.predict(x[test])
-            for m in metrics:
-                values[m].append(compute_metric(m, y[test], y_pred))
-
-    return CVResult(
-        metric_values={m: np.asarray(v) for m, v in values.items()},
-        sampling_ratios=np.asarray(ratios),
-        n_folds=n_splits * n_repeats,
-    )
+    return collect_cv_result(fold_results, metrics, n_splits * n_repeats)

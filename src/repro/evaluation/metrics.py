@@ -50,11 +50,26 @@ def confusion_matrix(
     if labels is None:
         labels = np.unique(np.concatenate([y_true, y_pred]))
     labels = np.asarray(labels)
-    index = {int(lab): i for i, lab in enumerate(labels)}
     k = labels.size
+
+    # Factorise both vectors against the label vocabulary in one pass:
+    # positions come from a sorted view of ``labels``, mapped back to the
+    # caller's ordering, so explicit label orderings are preserved.
+    order = np.argsort(labels, kind="stable")
+    sorted_labels = labels[order]
+
+    def _encode(values: np.ndarray) -> np.ndarray:
+        if k == 0:
+            raise KeyError(values[0])
+        pos = np.searchsorted(sorted_labels, values)
+        pos = np.minimum(pos, k - 1)
+        known = sorted_labels[pos] == values
+        if not np.all(known):
+            raise KeyError(np.asarray(values)[~known][0])
+        return order[pos]
+
     out = np.zeros((k, k), dtype=np.intp)
-    for t, p in zip(y_true, y_pred):
-        out[index[int(t)], index[int(p)]] += 1
+    np.add.at(out, (_encode(y_true), _encode(y_pred)), 1)
     return out
 
 

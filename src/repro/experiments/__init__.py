@@ -1,7 +1,14 @@
 """Experiment harness regenerating every table and figure of the paper."""
 
 from repro.experiments.config import FULL, MEDIUM, QUICK, ExperimentConfig, active_config
-from repro.experiments.runner import clear_cache, run_cell
+from repro.experiments.executor import CellSpec, ExperimentExecutor, prefetch_cells
+from repro.experiments.runner import (
+    clear_cache,
+    configure_store,
+    get_store,
+    run_cell,
+)
+from repro.experiments.store import CellStore, stable_key
 
 __all__ = [
     "ExperimentConfig",
@@ -11,4 +18,11 @@ __all__ = [
     "active_config",
     "run_cell",
     "clear_cache",
+    "CellSpec",
+    "ExperimentExecutor",
+    "prefetch_cells",
+    "CellStore",
+    "configure_store",
+    "get_store",
+    "stable_key",
 ]

@@ -34,23 +34,47 @@ __all__ = [
 ]
 
 
+class _DTFactory:
+    """Picklable ``factory(seed) -> DecisionTreeClassifier`` (unseeded)."""
+
+    def __call__(self, seed: int):
+        return DecisionTreeClassifier()
+
+
+class _GBABSFactory:
+    """Picklable ``factory(seed) -> GBABS`` carrying the ablation switches."""
+
+    def __init__(self, **gbabs_kwargs):
+        self.gbabs_kwargs = gbabs_kwargs
+
+    def __call__(self, seed: int):
+        return GBABS(random_state=seed, **self.gbabs_kwargs)
+
+
 def _gbabs_dt_accuracy(
-    x: np.ndarray, y: np.ndarray, cfg: ExperimentConfig, **gbabs_kwargs
+    x: np.ndarray,
+    y: np.ndarray,
+    cfg: ExperimentConfig,
+    n_jobs: int | None = 1,
+    **gbabs_kwargs,
 ) -> float:
     """CV accuracy of a DT trained on a configurable GBABS variant."""
     result = evaluate_pipeline(
         x,
         y,
-        classifier_factory=lambda seed: DecisionTreeClassifier(),
-        sampler_factory=lambda seed: GBABS(random_state=seed, **gbabs_kwargs),
+        classifier_factory=_DTFactory(),
+        sampler_factory=_GBABSFactory(**gbabs_kwargs),
         n_splits=cfg.n_splits,
         n_repeats=cfg.n_repeats,
         random_state=cfg.random_state,
+        n_jobs=n_jobs,
     )
     return result.means["accuracy"]
 
 
-def ablation_overlap(cfg: ExperimentConfig | None = None) -> dict:
+def ablation_overlap(
+    cfg: ExperimentConfig | None = None, n_jobs: int | None = 1
+) -> dict:
     """A1: RD-GBG with vs without the conflict-radius constraint."""
     cfg = cfg or active_config()
     rows = []
@@ -67,7 +91,7 @@ def ablation_overlap(cfg: ExperimentConfig | None = None) -> dict:
             row[f"{label}_balls"] = len(result.ball_set)
             row[f"{label}_max_overlap"] = result.ball_set.max_overlap()
             row[f"{label}_accuracy"] = _gbabs_dt_accuracy(
-                x, y, cfg,
+                x, y, cfg, n_jobs=n_jobs,
                 generator=RDGBG(
                     rho=cfg.rho,
                     random_state=cfg.random_state,
@@ -79,7 +103,9 @@ def ablation_overlap(cfg: ExperimentConfig | None = None) -> dict:
 
 
 def ablation_noise_detection(
-    cfg: ExperimentConfig | None = None, noise_ratio: float = 0.2
+    cfg: ExperimentConfig | None = None,
+    noise_ratio: float = 0.2,
+    n_jobs: int | None = 1,
 ) -> dict:
     """A2: noise-detection rules on vs off, at ``noise_ratio`` label noise."""
     cfg = cfg or active_config()
@@ -99,7 +125,7 @@ def ablation_noise_detection(
             row[f"{label}_ratio"] = sampler.report_.sampling_ratio
             row[f"{label}_noise_removed"] = sampler.report_.n_noise_removed
             row[f"{label}_accuracy"] = _gbabs_dt_accuracy(
-                x, y, cfg,
+                x, y, cfg, n_jobs=n_jobs,
                 generator=RDGBG(
                     rho=cfg.rho,
                     random_state=cfg.random_state,
@@ -115,7 +141,9 @@ def ablation_noise_detection(
     }
 
 
-def ablation_borderline(cfg: ExperimentConfig | None = None) -> dict:
+def ablation_borderline(
+    cfg: ExperimentConfig | None = None, n_jobs: int | None = 1
+) -> dict:
     """A3: borderline-only sampling vs sampling every ball's extremes."""
     cfg = cfg or active_config()
     rows = []
@@ -131,7 +159,7 @@ def ablation_borderline(cfg: ExperimentConfig | None = None) -> dict:
             sampler.fit_resample(x, y)
             row[f"{label}_ratio"] = sampler.report_.sampling_ratio
             row[f"{label}_accuracy"] = _gbabs_dt_accuracy(
-                x, y, cfg, rho=cfg.rho, sample_all_balls=sample_all
+                x, y, cfg, n_jobs=n_jobs, rho=cfg.rho, sample_all_balls=sample_all
             )
         rows.append(row)
     return {"rows": rows, "ablation": "A3-borderline", "profile": cfg.name}

@@ -1,0 +1,213 @@
+"""Parallel experiment engine: fan a CV cell grid over worker processes.
+
+The paper's protocol multiplies out to hundreds of cross-validation
+*cells* — (dataset, noise, sampler, classifier, rho) combinations — each
+holding ``n_splits × n_repeats`` independent folds.  The
+:class:`ExperimentExecutor` turns that grid into a flat stream of fold
+tasks and fans the stream over one shared ``ProcessPoolExecutor``, so all
+cores stay busy even while one cell's last stragglers finish.  (Cell
+*payload* resolution — dataset generation, SRS reference ratios — is
+currently a serial prefix in the parent; see the ROADMAP open item.)
+
+Guarantees:
+
+* **Bit-identical results.**  Every fold's seed comes from the pure
+  :func:`~repro.evaluation.cross_validation.plan_folds` derivation and the
+  per-fold computation is the same :func:`run_fold` the serial path uses;
+  fold results are re-assembled in plan order, so a parallel run's
+  :class:`CVResult` equals the serial one float for float.
+* **Incremental durability.**  Finished cells are written to the
+  :class:`~repro.experiments.store.CellStore` as soon as their last fold
+  returns (cell-major task ordering makes cells complete roughly in
+  sequence), so a killed run resumes from the persistent store instead of
+  recomputing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.evaluation.cross_validation import (
+    CVResult,
+    collect_cv_result,
+    plan_folds,
+    resolve_n_jobs,
+    run_fold,
+    run_folds_pooled,
+    splits_for_plan,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.store import CellStore
+
+__all__ = ["CellSpec", "ExperimentExecutor", "prefetch_cells"]
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One cell of the experiment grid (the non-config coordinates)."""
+
+    code: str
+    method: str
+    classifier: str
+    noise_ratio: float = 0.0
+    metrics: tuple[str, ...] = ("accuracy",)
+    rho: int | None = None
+
+
+class ExperimentExecutor:
+    """Executes batches of experiment cells, cached and optionally parallel.
+
+    Parameters
+    ----------
+    cfg:
+        The experiment profile (CV protocol, sizes, master seed).
+    n_jobs:
+        Worker processes (``1`` = serial in-process, ``None``/``0`` = all
+        cores).  Any value yields bit-identical results.
+    store:
+        Result store consulted before and updated after computing; defaults
+        to the process-wide store.
+    """
+
+    def __init__(
+        self,
+        cfg: ExperimentConfig,
+        n_jobs: int | None = 1,
+        store: CellStore | None = None,
+    ):
+        from repro.experiments import runner
+
+        self.cfg = cfg
+        self.n_jobs = resolve_n_jobs(n_jobs)
+        self.store = store if store is not None else runner.get_store()
+
+    # -- public API ----------------------------------------------------
+
+    def run(self, specs: list[CellSpec]) -> list[CVResult]:
+        """Evaluate every cell (store hits are free), preserving spec order."""
+        from repro.experiments import runner
+
+        keys = [
+            runner.cell_key(
+                s.code,
+                s.method,
+                s.classifier,
+                self.cfg,
+                noise_ratio=s.noise_ratio,
+                metrics=s.metrics,
+                rho=s.rho,
+            )
+            for s in specs
+        ]
+        results: dict[str, CVResult] = {}
+        missing: set[str] = set()
+        misses: list[tuple[str, CellSpec]] = []
+        for key, spec in zip(keys, specs):
+            if key in results or key in missing:
+                continue
+            cached = self.store.get("cell", key)
+            if cached is not None:
+                results[key] = cached
+            else:
+                missing.add(key)
+                misses.append((key, spec))
+
+        if misses:
+            if self.n_jobs > 1:
+                results.update(self._run_parallel(misses))
+            else:
+                results.update(self._run_serial(misses))
+        return [results[key] for key in keys]
+
+    # -- execution strategies ------------------------------------------
+
+    def _payload(self, spec: CellSpec):
+        """Resolve one cell into (x, y, splits, factories, metrics).
+
+        Mirrors ``evaluate_pipeline`` exactly: same float64 cast, same
+        per-repetition split seeds.
+        """
+        from repro.experiments import runner
+
+        x, y = runner.dataset_with_noise(spec.code, self.cfg, spec.noise_ratio)
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y)
+        plan = plan_folds(self.cfg.n_splits, self.cfg.n_repeats, self.cfg.random_state)
+        splits = splits_for_plan(y, self.cfg.n_splits, plan)
+        sampler_factory = runner.sampler_factory_for(
+            spec.method, spec.code, self.cfg, spec.noise_ratio, rho=spec.rho
+        )
+        classifier_factory = runner.classifier_factory_for(spec.classifier, self.cfg)
+        return (x, y, splits, classifier_factory, sampler_factory, spec.metrics), plan
+
+    def _finish(self, key: str, spec: CellSpec, fold_results) -> CVResult:
+        result = collect_cv_result(
+            list(fold_results),
+            spec.metrics,
+            self.cfg.n_splits * self.cfg.n_repeats,
+        )
+        self.store.put("cell", key, result)
+        return result
+
+    def _run_serial(self, misses) -> dict[str, CVResult]:
+        done: dict[str, CVResult] = {}
+        for key, spec in misses:
+            (x, y, splits, clf_f, smp_f, metrics), plan = self._payload(spec)
+            fold_results = [
+                run_fold(
+                    x,
+                    y,
+                    splits[p.index][0],
+                    splits[p.index][1],
+                    clf_f,
+                    smp_f,
+                    p.fold_seed,
+                    metrics,
+                )
+                for p in plan
+            ]
+            done[key] = self._finish(key, spec, fold_results)
+        return done
+
+    def _run_parallel(self, misses) -> dict[str, CVResult]:
+        payloads = []
+        tasks: list[tuple[int, int, int]] = []
+        folds_per_cell = None
+        for cell_index, (_, spec) in enumerate(misses):
+            payload, plan = self._payload(spec)
+            payloads.append(payload)
+            folds_per_cell = len(plan)
+            tasks.extend((cell_index, p.index, p.fold_seed) for p in plan)
+
+        # run_folds_pooled yields in submission (= plan) order; flush each
+        # cell to the store the moment its last fold arrives so interrupted
+        # runs keep every completed cell.
+        done: dict[str, CVResult] = {}
+        buffer: list = []
+        cell_cursor = 0
+        for fold_result in run_folds_pooled(payloads, tasks, self.n_jobs):
+            buffer.append(fold_result)
+            if len(buffer) == folds_per_cell:
+                key, spec = misses[cell_cursor]
+                done[key] = self._finish(key, spec, buffer)
+                buffer = []
+                cell_cursor += 1
+        return done
+
+
+def prefetch_cells(
+    cfg: ExperimentConfig,
+    specs: list[CellSpec],
+    n_jobs: int | None,
+) -> None:
+    """Warm the store for a batch of cells (no-op when ``n_jobs`` is serial).
+
+    Tables and figures call this before their serial assembly loops: the
+    loops then hit the store's memory layer, so existing reporting code
+    stays untouched while the actual computation saturates the machine.
+    """
+    if resolve_n_jobs(n_jobs) <= 1 or not specs:
+        return
+    ExperimentExecutor(cfg, n_jobs=n_jobs).run(specs)

@@ -13,6 +13,7 @@ from repro.core.gbabs import GBABS
 from repro.evaluation.posthoc import friedman_test, nemenyi_critical_difference
 from repro.evaluation.ranking import rank_methods
 from repro.experiments.config import ExperimentConfig, active_config
+from repro.experiments.executor import CellSpec, prefetch_cells
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import (
     dataset_with_noise,
@@ -112,7 +113,9 @@ def format_fig6(result: dict) -> str:
 
 
 def fig7_fig8(
-    cfg: ExperimentConfig | None = None, table4_result: dict | None = None
+    cfg: ExperimentConfig | None = None,
+    table4_result: dict | None = None,
+    n_jobs: int | None = 1,
 ) -> dict:
     """Figs. 7–8: accuracy distributions (ridge plots).
 
@@ -123,7 +126,7 @@ def fig7_fig8(
     if table4_result is None:
         from repro.experiments.tables import table4
 
-        table4_result = table4(cfg)
+        table4_result = table4(cfg, n_jobs=n_jobs)
     panels = {}
     for fig, clf, noises in (
         ("fig7", "xgboost", (0.10, 0.30)),
@@ -151,7 +154,7 @@ def format_fig7_fig8(result: dict) -> str:
     return "\n".join(sections)
 
 
-def fig9(cfg: ExperimentConfig | None = None) -> dict:
+def fig9(cfg: ExperimentConfig | None = None, n_jobs: int | None = 1) -> dict:
     """Fig. 9: per-dataset rank of testing G-mean for eight samplers × DT.
 
     One rank matrix per noise ratio (0% plus the noise grid); rank 1 is the
@@ -159,6 +162,17 @@ def fig9(cfg: ExperimentConfig | None = None) -> dict:
     """
     cfg = cfg or active_config()
     noise_grid = (0.0,) + tuple(cfg.noise_ratios)
+    prefetch_cells(
+        cfg,
+        [
+            CellSpec(code, method, "dt", noise_ratio=noise,
+                     metrics=("accuracy", "g_mean"))
+            for noise in noise_grid
+            for method in FIG9_METHODS
+            for code in cfg.datasets
+        ],
+        n_jobs,
+    )
     rank_matrices = {}
     gmeans = {}
     for noise in noise_grid:
@@ -217,13 +231,24 @@ def format_fig9(result: dict) -> str:
     return "\n".join(sections)
 
 
-def fig10_fig11(cfg: ExperimentConfig | None = None) -> dict:
+def fig10_fig11(
+    cfg: ExperimentConfig | None = None, n_jobs: int | None = 1
+) -> dict:
     """Figs. 10–11: density tolerance ρ sweep.
 
     For every ρ in the grid: the GBABS sampling ratio on each clean dataset
     (Fig. 10) and the GBABS-DT testing accuracy (Fig. 11).
     """
     cfg = cfg or active_config()
+    prefetch_cells(
+        cfg,
+        [
+            CellSpec(code, "gbabs", "dt", rho=rho)
+            for rho in cfg.rho_grid
+            for code in cfg.datasets
+        ],
+        n_jobs,
+    )
     ratio_curves = {code: [] for code in cfg.datasets}
     accuracy_curves = {code: [] for code in cfg.datasets}
     for rho in cfg.rho_grid:

@@ -6,9 +6,18 @@ Usage::
     python -m repro.experiments.run_all table2 fig6     # selected only
     python -m repro.experiments.run_all --profile medium
     python -m repro.experiments.run_all --profile full  # the paper's grid
+    python -m repro.experiments.run_all --jobs 4        # parallel CV grid
+    python -m repro.experiments.run_all --no-cache      # ignore disk store
 
 Results are printed as text reports and, with ``--json DIR``, also dumped
 as JSON for post-processing.
+
+``--jobs N`` fans every cross-validation cell's folds over ``N`` worker
+processes (``--jobs 0`` = all cores); results are bit-identical to serial.
+Completed cells land in the persistent store under
+``benchmarks/output/cellstore/`` as soon as they finish, so an interrupted
+run resumes instead of recomputing; ``--no-cache`` disables that disk
+layer for the session.
 """
 
 from __future__ import annotations
@@ -40,30 +49,34 @@ def _jsonable(obj):
     return obj
 
 
-def _experiments(cfg):
+def _experiments(cfg, n_jobs: int | None = 1):
     """(name, compute, render) triples for every table/figure/ablation."""
     t2_cache: dict = {}
 
     def table2_cached():
         if "result" not in t2_cache:
-            t2_cache["result"] = tables.table2(cfg)
+            t2_cache["result"] = tables.table2(cfg, n_jobs=n_jobs)
         return t2_cache["result"]
 
     return [
         ("table1", lambda: tables.table1(cfg), tables.format_table1),
         ("table2", table2_cached, tables.format_table2),
         ("table3", lambda: tables.table3(cfg, table2_cached()), tables.format_table3),
-        ("table4", lambda: tables.table4(cfg), tables.format_table4),
+        ("table4", lambda: tables.table4(cfg, n_jobs=n_jobs), tables.format_table4),
         ("fig5", lambda: figures.fig5(cfg), figures.format_fig5),
         ("fig6", lambda: figures.fig6(cfg), figures.format_fig6),
-        ("fig7_fig8", lambda: figures.fig7_fig8(cfg), figures.format_fig7_fig8),
-        ("fig9", lambda: figures.fig9(cfg), figures.format_fig9),
-        ("fig10_fig11", lambda: figures.fig10_fig11(cfg), figures.format_fig10_fig11),
-        ("ablation_overlap", lambda: ablations.ablation_overlap(cfg),
+        ("fig7_fig8", lambda: figures.fig7_fig8(cfg, n_jobs=n_jobs),
+         figures.format_fig7_fig8),
+        ("fig9", lambda: figures.fig9(cfg, n_jobs=n_jobs), figures.format_fig9),
+        ("fig10_fig11", lambda: figures.fig10_fig11(cfg, n_jobs=n_jobs),
+         figures.format_fig10_fig11),
+        ("ablation_overlap", lambda: ablations.ablation_overlap(cfg, n_jobs=n_jobs),
          ablations.format_ablation),
-        ("ablation_noise", lambda: ablations.ablation_noise_detection(cfg),
+        ("ablation_noise",
+         lambda: ablations.ablation_noise_detection(cfg, n_jobs=n_jobs),
          ablations.format_ablation),
-        ("ablation_borderline", lambda: ablations.ablation_borderline(cfg),
+        ("ablation_borderline",
+         lambda: ablations.ablation_borderline(cfg, n_jobs=n_jobs),
          ablations.format_ablation),
     ]
 
@@ -75,10 +88,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--profile", choices=sorted(_PROFILES), default="quick")
     parser.add_argument("--json", metavar="DIR", default=None,
                         help="also dump raw results as JSON files")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the CV grids "
+                             "(0 = all cores; results identical to serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent cell store for this run")
     args = parser.parse_args(argv)
 
+    if args.no_cache:
+        from repro.experiments.runner import configure_store
+
+        configure_store(persist=False)
+
     cfg = _PROFILES[args.profile]
-    available = _experiments(cfg)
+    available = _experiments(cfg, n_jobs=args.jobs)
     names = [n for n, _, _ in available]
     selected = args.experiments or names
     unknown = sorted(set(selected) - set(names))

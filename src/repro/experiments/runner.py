@@ -2,40 +2,121 @@
 
 Several tables and figures reuse the same (dataset, noise, sampler,
 classifier) cross-validation cells — e.g. Figs. 7–8 re-plot slices of
-Table IV.  :func:`run_cell` computes one cell; results are memoised
-in-process so a benchmark session never recomputes a cell.
+Table IV.  :func:`run_cell` computes one cell; results are cached in the
+process-wide :class:`~repro.experiments.store.CellStore` (an in-memory
+layer plus a persistent content-keyed disk layer), so a benchmark session
+never recomputes a cell and an *interrupted* session resumes where it
+stopped instead of starting over.
+
+Sampler and classifier factories are picklable spec objects
+(:class:`SamplerSpec` / :class:`ClassifierSpec`), so the parallel executor
+can ship them to worker processes on any platform.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
 from repro.classifiers import make_classifier
 from repro.core.gbabs import GBABS
 from repro.datasets import get_spec, inject_class_noise, load_dataset
-from repro.evaluation.cross_validation import CVResult, evaluate_pipeline
+from repro.evaluation.cross_validation import CVResult
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.store import CellStore, default_store_root, stable_key
 from repro.sampling import make_sampler
 
 __all__ = [
+    "SamplerSpec",
+    "ClassifierSpec",
     "dataset_with_noise",
     "reference_gbabs_ratio",
     "sampler_factory_for",
     "classifier_factory_for",
     "run_cell",
+    "cell_key",
+    "get_store",
+    "configure_store",
     "clear_cache",
 ]
 
-_CELL_CACHE: dict[tuple, CVResult] = {}
-_RATIO_CACHE: dict[tuple, float] = {}
-_DATA_CACHE: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+_STORE: CellStore | None = None
+
+
+def get_store() -> CellStore:
+    """The process-wide result store (created lazily from the environment)."""
+    global _STORE
+    if _STORE is None:
+        _STORE = CellStore(default_store_root())
+    return _STORE
+
+
+def configure_store(
+    root: str | None | object = ...,
+    persist: bool | None = None,
+    store: CellStore | None = None,
+) -> CellStore:
+    """Replace or adjust the process-wide store.
+
+    ``configure_store(store=s)`` installs ``s`` as-is;
+    ``configure_store(root=path)`` rebuilds the store over ``path``
+    (``None`` = memory-only); ``configure_store(persist=False)`` keeps the
+    current layout but disables disk writes/reads (the ``--no-cache`` path).
+    """
+    global _STORE
+    if store is not None:
+        _STORE = store
+    elif root is not ...:
+        _STORE = CellStore(root, persist=True if persist is None else persist)
+    elif persist is not None:
+        current = get_store()
+        _STORE = CellStore(current.root, persist=persist)
+    return get_store()
 
 
 def clear_cache() -> None:
-    """Drop all memoised cells (used by tests)."""
-    _CELL_CACHE.clear()
-    _RATIO_CACHE.clear()
-    _DATA_CACHE.clear()
+    """Drop the in-memory layer (used by tests; disk entries survive)."""
+    get_store().clear_memory()
+
+
+# ----------------------------------------------------------------------
+# Picklable factories
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SamplerSpec:
+    """Picklable ``factory(seed) -> sampler`` for one experiment cell."""
+
+    method: str
+    params: tuple[tuple[str, Any], ...] = ()
+
+    def __call__(self, seed: int):
+        kwargs = {k: list(v) if isinstance(v, tuple) else v for k, v in self.params}
+        return make_sampler(self.method, random_state=seed, **kwargs)
+
+
+@dataclass(frozen=True)
+class ClassifierSpec:
+    """Picklable ``factory(seed) -> classifier``; seeds only when asked."""
+
+    name: str
+    params: tuple[tuple[str, Any], ...] = ()
+    seeded: bool = False
+
+    def __call__(self, seed: int):
+        kwargs = dict(self.params)
+        if self.seeded:
+            kwargs["random_state"] = seed
+        return make_classifier(self.name, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Cached inputs: datasets (memory-only) and GBABS reference ratios
+# (persisted — each one costs a full-dataset granulation)
+# ----------------------------------------------------------------------
 
 
 def dataset_with_noise(
@@ -47,15 +128,27 @@ def dataset_with_noise(
     dataset (train *and* test folds carry noise), which is why reported
     accuracies at 40% noise sit near 0.55 rather than near the clean rate.
     """
-    key = (code, cfg.size_factor, cfg.random_state, round(noise_ratio, 4))
-    if key not in _DATA_CACHE:
+    key = stable_key(
+        {
+            "kind": "dataset",
+            "code": code,
+            "size_factor": cfg.size_factor,
+            "random_state": cfg.random_state,
+            "noise_ratio": round(noise_ratio, 4),
+        }
+    )
+    store = get_store()
+    cached = store.get("data", key)
+    if cached is None:
         x, y = load_dataset(code, cfg.size_factor, cfg.random_state)
         if noise_ratio > 0:
             y, _ = inject_class_noise(
                 y, noise_ratio, random_state=cfg.random_state + 9173
             )
-        _DATA_CACHE[key] = (x, y)
-    return _DATA_CACHE[key]
+        cached = (x, y)
+        # Datasets are cheap to regenerate and large on disk: memory-only.
+        store.put("data", key, cached, persist=False)
+    return cached
 
 
 def reference_gbabs_ratio(
@@ -66,15 +159,26 @@ def reference_gbabs_ratio(
     §V-A3: "the sampling ratio of the SRS on each dataset is consistent
     with that of GBABS" — this reference ratio parameterises SRS.
     """
-    key = (code, cfg.size_factor, cfg.random_state, round(noise_ratio, 4), cfg.rho)
-    if key not in _RATIO_CACHE:
+    key = stable_key(
+        {
+            "kind": "gbabs-ratio",
+            "code": code,
+            "size_factor": cfg.size_factor,
+            "random_state": cfg.random_state,
+            "noise_ratio": round(noise_ratio, 4),
+            "rho": cfg.rho,
+        }
+    )
+    store = get_store()
+    cached = store.get("ratio", key)
+    if cached is None:
         x, y = dataset_with_noise(code, cfg, noise_ratio)
         sampler = GBABS(rho=cfg.rho, random_state=cfg.random_state)
         sampler.fit_resample(x, y)
         # Guard: SRS needs a ratio in (0, 1].
-        ratio = min(1.0, max(sampler.report_.sampling_ratio, 1.0 / x.shape[0]))
-        _RATIO_CACHE[key] = ratio
-    return _RATIO_CACHE[key]
+        cached = min(1.0, max(sampler.report_.sampling_ratio, 1.0 / x.shape[0]))
+        store.put("ratio", key, cached)
+    return cached
 
 
 def sampler_factory_for(
@@ -83,7 +187,7 @@ def sampler_factory_for(
     cfg: ExperimentConfig,
     noise_ratio: float,
     rho: int | None = None,
-):
+) -> SamplerSpec | None:
     """Seedable sampler factory for one (method, dataset, noise) cell.
 
     Returns ``None`` for the un-sampled baseline (``"ori"``), which
@@ -94,40 +198,64 @@ def sampler_factory_for(
     if method == "ori":
         return None
     if method == "gbabs":
-        return lambda seed: make_sampler("gbabs", rho=rho, random_state=seed)
+        return SamplerSpec("gbabs", params=(("rho", rho),))
     if method == "srs":
         ratio = reference_gbabs_ratio(code, cfg, noise_ratio)
-        return lambda seed: make_sampler("srs", ratio=ratio, random_state=seed)
+        return SamplerSpec("srs", params=(("ratio", ratio),))
     if method == "smnc":
-        cats = get_spec(code).categorical_features
-        return lambda seed: make_sampler(
-            "smnc", categorical_features=list(cats), random_state=seed
-        )
+        cats = tuple(get_spec(code).categorical_features)
+        return SamplerSpec("smnc", params=(("categorical_features", cats),))
     if method in ("ggbs", "igbs", "sm", "bsm", "tomek"):
-        return lambda seed: make_sampler(method, random_state=seed)
+        return SamplerSpec(method)
     raise ValueError(f"no factory rule for sampler {method!r}")
 
 
-def classifier_factory_for(name: str, cfg: ExperimentConfig):
+def classifier_factory_for(name: str, cfg: ExperimentConfig) -> ClassifierSpec:
     """Seedable classifier factory with profile-scaled ensemble sizes."""
     name = name.lower()
-    if name == "dt":
-        return lambda seed: make_classifier("dt")
-    if name == "knn":
-        return lambda seed: make_classifier("knn")
+    if name in ("dt", "knn"):
+        return ClassifierSpec(name)
     if name == "rf":
-        return lambda seed: make_classifier(
-            "rf", n_estimators=cfg.n_estimators, random_state=seed
+        return ClassifierSpec(
+            "rf", params=(("n_estimators", cfg.n_estimators),), seeded=True
         )
-    if name == "xgboost":
-        return lambda seed: make_classifier(
-            "xgboost", n_estimators=cfg.n_estimators
-        )
-    if name == "lightgbm":
-        return lambda seed: make_classifier(
-            "lightgbm", n_estimators=cfg.n_estimators
-        )
+    if name in ("xgboost", "lightgbm"):
+        return ClassifierSpec(name, params=(("n_estimators", cfg.n_estimators),))
     raise ValueError(f"no factory rule for classifier {name!r}")
+
+
+# ----------------------------------------------------------------------
+# Cells
+# ----------------------------------------------------------------------
+
+
+def cell_key(
+    code: str,
+    method: str,
+    classifier: str,
+    cfg: ExperimentConfig,
+    noise_ratio: float = 0.0,
+    metrics: tuple[str, ...] = ("accuracy",),
+    rho: int | None = None,
+) -> str:
+    """Stable JSON key identifying one CV cell's full parameterisation."""
+    return stable_key(
+        {
+            "kind": "cv-cell",
+            "code": code,
+            "method": method,
+            "classifier": classifier,
+            "profile": cfg.name,
+            "size_factor": cfg.size_factor,
+            "n_splits": cfg.n_splits,
+            "n_repeats": cfg.n_repeats,
+            "n_estimators": cfg.n_estimators,
+            "random_state": cfg.random_state,
+            "noise_ratio": round(noise_ratio, 4),
+            "metrics": list(metrics),
+            "rho": rho if rho is not None else cfg.rho,
+        }
+    )
 
 
 def run_cell(
@@ -138,32 +266,21 @@ def run_cell(
     noise_ratio: float = 0.0,
     metrics: tuple[str, ...] = ("accuracy",),
     rho: int | None = None,
+    n_jobs: int | None = 1,
 ) -> CVResult:
-    """One memoised CV evaluation of (dataset, noise, sampler, classifier)."""
-    key = (
-        code,
-        method,
-        classifier,
-        cfg.name,
-        cfg.size_factor,
-        cfg.n_splits,
-        cfg.n_repeats,
-        cfg.n_estimators,
-        cfg.random_state,
-        round(noise_ratio, 4),
-        metrics,
-        rho if rho is not None else cfg.rho,
+    """One cached CV evaluation of (dataset, noise, sampler, classifier).
+
+    ``n_jobs > 1`` fans the cell's folds over worker processes; results are
+    bit-identical to serial execution.
+    """
+    from repro.experiments.executor import CellSpec, ExperimentExecutor
+
+    spec = CellSpec(
+        code=code,
+        method=method,
+        classifier=classifier,
+        noise_ratio=noise_ratio,
+        metrics=tuple(metrics),
+        rho=rho,
     )
-    if key not in _CELL_CACHE:
-        x, y = dataset_with_noise(code, cfg, noise_ratio)
-        _CELL_CACHE[key] = evaluate_pipeline(
-            x,
-            y,
-            classifier_factory=classifier_factory_for(classifier, cfg),
-            sampler_factory=sampler_factory_for(method, code, cfg, noise_ratio, rho),
-            n_splits=cfg.n_splits,
-            n_repeats=cfg.n_repeats,
-            metrics=metrics,
-            random_state=cfg.random_state,
-        )
-    return _CELL_CACHE[key]
+    return ExperimentExecutor(cfg, n_jobs=n_jobs, store=get_store()).run([spec])[0]

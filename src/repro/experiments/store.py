@@ -1,0 +1,215 @@
+"""Persistent, content-keyed result store for experiment cells.
+
+Every expensive intermediate of the benchmark protocol — a cross-validated
+(dataset, noise, sampler, classifier, rho) *cell*, a GBABS reference
+sampling ratio, a generated dataset — is identified by a **stable JSON
+key**: a ``json.dumps(..., sort_keys=True)`` rendering of every parameter
+that influences the value.  The :class:`CellStore` maps such keys to
+values through two layers:
+
+* an in-process **memory layer** (a plain dict), which preserves the old
+  ``_CELL_CACHE``-style object identity within a session, and
+* a **disk layer** under ``benchmarks/output/cellstore/`` (one file per
+  entry, named ``<kind>-<sha256 prefix>.npz|.json``), which lets an
+  interrupted table/figure regeneration *resume* instead of recompute and
+  lets parallel workers share results across runs.
+
+Disk writes go through a temp file + ``os.replace`` so concurrent writers
+can never expose a torn file; unreadable/corrupt entries are deleted and
+treated as misses, so a damaged store heals itself by recomputation.
+
+Environment knobs: ``REPRO_CELLSTORE_DIR`` overrides the store directory,
+``REPRO_CELLSTORE=off`` disables the disk layer entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.evaluation.cross_validation import CVResult
+
+__all__ = ["CellStore", "stable_key", "default_store_root"]
+
+#: Bump when the on-disk layout of stored values changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+def stable_key(params: dict) -> str:
+    """Canonical JSON rendering of a parameter dict (stable across runs)."""
+    return json.dumps(params, sort_keys=True, separators=(",", ":"))
+
+
+def default_store_root() -> Path | None:
+    """Store directory: ``$REPRO_CELLSTORE_DIR`` or benchmarks/output/cellstore.
+
+    The default is anchored to the source checkout (three levels above this
+    file), not the current working directory, so resumed runs find the same
+    store no matter where the process was launched; outside a checkout
+    (installed package) it falls back to the working directory.  Returns
+    ``None`` when ``REPRO_CELLSTORE`` is ``off``/``0`` (disk layer
+    disabled).
+    """
+    if os.environ.get("REPRO_CELLSTORE", "").lower() in ("off", "0", "false"):
+        return None
+    env_dir = os.environ.get("REPRO_CELLSTORE_DIR")
+    if env_dir:
+        return Path(env_dir)
+    checkout = Path(__file__).resolve().parents[3]
+    if (checkout / "benchmarks").is_dir():
+        return checkout / "benchmarks" / "output" / "cellstore"
+    return Path("benchmarks") / "output" / "cellstore"
+
+
+class CellStore:
+    """Two-layer (memory + disk) store of content-keyed experiment results.
+
+    Parameters
+    ----------
+    root:
+        Directory for the disk layer; ``None`` makes the store memory-only.
+    persist:
+        Master switch for the disk layer (``False`` keeps only the memory
+        layer even when ``root`` is set) — this is what ``--no-cache``
+        toggles.
+    """
+
+    #: kind -> file extension of the disk representation.
+    _EXT = {"cell": ".npz", "ratio": ".json"}
+
+    def __init__(self, root: str | Path | None, persist: bool = True):
+        self.root = Path(root) if root is not None else None
+        self.persist = bool(persist) and self.root is not None
+        self._memory: dict[tuple[str, str], Any] = {}
+
+    # -- public API ----------------------------------------------------
+
+    def get(self, kind: str, key: str) -> Any | None:
+        """Look up ``key`` in memory, then on disk; ``None`` on miss."""
+        mem_key = (kind, key)
+        if mem_key in self._memory:
+            return self._memory[mem_key]
+        if not self.persist or kind not in self._EXT:
+            return None
+        value = self._read(kind, key)
+        if value is not None:
+            self._memory[mem_key] = value
+        return value
+
+    def put(self, kind: str, key: str, value: Any, persist: bool = True) -> None:
+        """Store ``value`` in memory and (for persistable kinds) on disk."""
+        self._memory[(kind, key)] = value
+        if persist and self.persist and kind in self._EXT:
+            self._write(kind, key, value)
+
+    def clear_memory(self) -> None:
+        """Drop the in-process layer (disk entries survive)."""
+        self._memory.clear()
+
+    def clear_disk(self) -> None:
+        """Delete every stored file (memory entries survive)."""
+        if self.root is None or not self.root.exists():
+            return
+        for path in self.root.iterdir():
+            if path.suffix in (".npz", ".json", ".tmp"):
+                path.unlink(missing_ok=True)
+
+    def disk_entries(self) -> list[Path]:
+        """Paths of all persisted entries (diagnostics and tests)."""
+        if self.root is None or not self.root.exists():
+            return []
+        return sorted(
+            p for p in self.root.iterdir() if p.suffix in (".npz", ".json")
+        )
+
+    # -- disk representation -------------------------------------------
+
+    def _path(self, kind: str, key: str) -> Path:
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:32]
+        return self.root / f"{kind}-{digest}{self._EXT[kind]}"
+
+    def _read(self, kind: str, key: str) -> Any | None:
+        path = self._path(kind, key)
+        if not path.exists():
+            return None
+        try:
+            if kind == "cell":
+                return self._decode_cell(path, key)
+            return self._decode_json(path, key)
+        except Exception:
+            # Torn/corrupt/stale-format entry: heal by dropping it so the
+            # caller recomputes and rewrites.
+            path.unlink(missing_ok=True)
+            return None
+
+    def _write(self, kind: str, key: str, value: Any) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(kind, key)
+        if kind == "cell":
+            payload = self._encode_cell(key, value)
+        else:
+            payload = json.dumps(
+                {"schema": SCHEMA_VERSION, "key": key, "value": value}
+            ).encode("utf-8")
+        fd, tmp = tempfile.mkstemp(dir=self.root, prefix=path.stem, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            Path(tmp).unlink(missing_ok=True)
+            raise
+
+    # -- cell (CVResult) codec -----------------------------------------
+
+    @staticmethod
+    def _encode_cell(key: str, result: CVResult) -> bytes:
+        arrays = {
+            f"metric:{name}": np.asarray(values)
+            for name, values in result.metric_values.items()
+        }
+        buffer = io.BytesIO()
+        np.savez(
+            buffer,
+            sampling_ratios=np.asarray(result.sampling_ratios),
+            n_folds=np.asarray(result.n_folds),
+            schema=np.asarray(SCHEMA_VERSION),
+            key=np.frombuffer(key.encode("utf-8"), dtype=np.uint8),
+            **arrays,
+        )
+        return buffer.getvalue()
+
+    @staticmethod
+    def _decode_cell(path: Path, key: str) -> CVResult:
+        with np.load(path) as data:
+            if int(data["schema"]) != SCHEMA_VERSION:
+                raise ValueError("cell store schema mismatch")
+            stored_key = bytes(data["key"]).decode("utf-8")
+            if stored_key != key:
+                raise ValueError("cell store digest collision")
+            metric_values = {
+                name[len("metric:"):]: data[name]
+                for name in data.files
+                if name.startswith("metric:")
+            }
+            if not metric_values:
+                raise ValueError("cell entry has no metric arrays")
+            return CVResult(
+                metric_values=metric_values,
+                sampling_ratios=data["sampling_ratios"],
+                n_folds=int(data["n_folds"]),
+            )
+
+    @staticmethod
+    def _decode_json(path: Path, key: str) -> Any:
+        payload = json.loads(path.read_text())
+        if payload.get("schema") != SCHEMA_VERSION or payload.get("key") != key:
+            raise ValueError("ratio entry schema/key mismatch")
+        return payload["value"]

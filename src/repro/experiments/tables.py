@@ -12,6 +12,7 @@ import numpy as np
 from repro.datasets import dataset_table
 from repro.evaluation.stats import wilcoxon_signed_rank
 from repro.experiments.config import ExperimentConfig, active_config
+from repro.experiments.executor import CellSpec, prefetch_cells
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import run_cell
 
@@ -52,13 +53,23 @@ def format_table1(result: dict) -> str:
     return format_table(headers, rows, float_format="{:.2f}")
 
 
-def table2(cfg: ExperimentConfig | None = None) -> dict:
+def table2(cfg: ExperimentConfig | None = None, n_jobs: int | None = 1) -> dict:
     """Table II: testing accuracy of DT under each sampling method.
 
     Returns per-dataset accuracies, per-method averages and the mean
-    sampling ratios (which Fig. 6's noise-0 panel reuses).
+    sampling ratios (which Fig. 6's noise-0 panel reuses).  ``n_jobs > 1``
+    fans the cell grid over worker processes (bit-identical results).
     """
     cfg = cfg or active_config()
+    prefetch_cells(
+        cfg,
+        [
+            CellSpec(code, method, "dt")
+            for code in cfg.datasets
+            for method in TABLE2_METHODS
+        ],
+        n_jobs,
+    )
     accuracy: dict[str, list[float]] = {m: [] for m in TABLE2_METHODS}
     ratios: dict[str, list[float]] = {m: [] for m in TABLE2_METHODS}
     for code in cfg.datasets:
@@ -86,11 +97,13 @@ def format_table2(result: dict) -> str:
 
 
 def table3(
-    cfg: ExperimentConfig | None = None, table2_result: dict | None = None
+    cfg: ExperimentConfig | None = None,
+    table2_result: dict | None = None,
+    n_jobs: int | None = 1,
 ) -> dict:
     """Table III: Wilcoxon signed-rank of GBABS-DT vs the other pipelines."""
     cfg = cfg or active_config()
-    t2 = table2_result or table2(cfg)
+    t2 = table2_result or table2(cfg, n_jobs=n_jobs)
     gbabs = t2["accuracy"]["gbabs"]
     comparisons = {}
     for method in ("ggbs", "srs", "ori"):
@@ -115,14 +128,27 @@ def format_table3(result: dict) -> str:
     return format_table(headers, rows)
 
 
-def table4(cfg: ExperimentConfig | None = None) -> dict:
+def table4(cfg: ExperimentConfig | None = None, n_jobs: int | None = 1) -> dict:
     """Table IV: average accuracy across datasets per classifier × sampler ×
     noise ratio.
 
     ``per_dataset`` keeps the underlying per-dataset vectors so Figs. 7–8
-    can re-plot their distributions without recomputation.
+    can re-plot their distributions without recomputation.  ``n_jobs > 1``
+    fans the full classifier × sampler × noise × dataset grid over worker
+    processes.
     """
     cfg = cfg or active_config()
+    prefetch_cells(
+        cfg,
+        [
+            CellSpec(code, method, clf, noise_ratio=noise)
+            for clf in TABLE4_CLASSIFIERS
+            for method in TABLE2_METHODS
+            for noise in cfg.noise_ratios
+            for code in cfg.datasets
+        ],
+        n_jobs,
+    )
     mean_accuracy: dict[tuple[str, str], list[float]] = {}
     per_dataset: dict[tuple[str, str, float], np.ndarray] = {}
     for clf in TABLE4_CLASSIFIERS:

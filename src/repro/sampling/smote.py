@@ -25,6 +25,28 @@ from repro.sampling.base import BaseSampler, check_xy
 __all__ = ["SMOTE", "BorderlineSMOTE", "SMOTENC"]
 
 
+def _rowwise_mode(a: np.ndarray) -> np.ndarray:
+    """Most frequent value of every row (smallest value wins ties).
+
+    Sort each row, mark run boundaries, scatter-add run lengths and pick
+    each row's first-longest run — equivalent to ``np.unique`` +
+    ``argmax`` per row (unique returns ascending values, argmax takes the
+    first maximum), without the per-row Python loop.
+    """
+    n, k = a.shape
+    sorted_rows = np.sort(a, axis=1)
+    change = np.ones((n, k), dtype=bool)
+    change[:, 1:] = sorted_rows[:, 1:] != sorted_rows[:, :-1]
+    run_id = np.cumsum(change, axis=1) - 1
+    counts = np.zeros((n, k), dtype=np.intp)
+    rows = np.broadcast_to(np.arange(n)[:, None], (n, k))
+    np.add.at(counts, (rows, run_id), 1)
+    run_values = np.zeros((n, k), dtype=sorted_rows.dtype)
+    r, c = np.nonzero(change)
+    run_values[r, run_id[r, c]] = sorted_rows[r, c]
+    return run_values[np.arange(n), np.argmax(counts, axis=1)]
+
+
 class SMOTE(BaseSampler):
     """Synthetic minority over-sampling technique.
 
@@ -166,16 +188,28 @@ class BorderlineSMOTE(SMOTE):
         # Seeds may equal a pool member, so exclude self matches.
         _, neighbor_idx = nn.kneighbors(x[seed_pool], n_neighbors=k + 1)
 
+        # Per-seed partner tables: drop the (at most one) self match and
+        # keep the first k survivors in distance order — every row then
+        # holds exactly k partner candidates.
+        candidates = pool[neighbor_idx]
+        keep = candidates != seed_pool[:, None]
+        first_k = np.argsort(~keep, axis=1, kind="stable")[:, :k]
+        partner_table = np.take_along_axis(candidates, first_k, axis=1)
+
         base_pos = rng.integers(0, seed_pool.size, size=n_new)
-        synth = np.empty((n_new, x.shape[1]), dtype=np.float64)
-        for i, bp in enumerate(base_pos):
-            seed_idx = seed_pool[bp]
-            options = pool[neighbor_idx[bp]]
-            options = options[options != seed_idx][:k]
-            partner = options[rng.integers(0, options.size)]
-            gap = rng.random()
-            synth[i] = x[seed_idx] + gap * (x[partner] - x[seed_idx])
-        return synth
+        # The partner choice and gap must stay interleaved per sample to
+        # preserve the historical RNG draw order; both bounds are
+        # constant (k partners, unit interval), so only the draws remain
+        # scalar — the gather and blend below are fully batched.
+        choice = np.empty(n_new, dtype=np.intp)
+        gap = np.empty((n_new, 1))
+        for i in range(n_new):
+            choice[i] = rng.integers(0, k)
+            gap[i, 0] = rng.random()
+
+        seeds = seed_pool[base_pos]
+        partners = partner_table[base_pos, choice]
+        return x[seeds] + gap * (x[partners] - x[seeds])
 
 
 class SMOTENC(BaseSampler):
@@ -278,10 +312,12 @@ class SMOTENC(BaseSampler):
         partner = px[partner_pos]
         synth[:, cont] = base[:, cont] + gap * (partner[:, cont] - base[:, cont])
         # Categorical values: mode among the k neighbours of the base sample.
+        # The mode depends only on the base row, so compute one mode table
+        # over the pool and gather per synthetic sample.
         cat_cols = np.flatnonzero(cat)
-        for i, bp in enumerate(base_pos):
-            neigh_vals = px[neighbor_idx[bp]][:, cat_cols]
-            for j, col in enumerate(cat_cols):
-                vals, cnts = np.unique(neigh_vals[:, j], return_counts=True)
-                synth[i, col] = vals[np.argmax(cnts)]
+        if cat_cols.size:
+            neigh_vals = px[neighbor_idx][:, :, cat_cols]
+            flat = neigh_vals.transpose(0, 2, 1).reshape(-1, neighbor_idx.shape[1])
+            mode_table = _rowwise_mode(flat).reshape(pool.size, cat_cols.size)
+            synth[:, cat_cols] = mode_table[base_pos]
         return synth

@@ -6,6 +6,20 @@ import numpy as np
 import pytest
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_cellstore(tmp_path_factory):
+    """Point the experiment result store at a per-session temp directory.
+
+    Keeps the test suite hermetic: no test reads cells persisted by an
+    earlier run (stale results would mask behaviour changes) and no test
+    pollutes ``benchmarks/output/cellstore``.
+    """
+    from repro.experiments.runner import configure_store
+
+    configure_store(root=tmp_path_factory.mktemp("cellstore"))
+    yield
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)

@@ -1,0 +1,165 @@
+"""Unit tests for the parallel experiment executor and its store wiring."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.cross_validation import plan_folds
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.executor import CellSpec, ExperimentExecutor, prefetch_cells
+from repro.experiments.store import CellStore
+
+TINY = ExperimentConfig(
+    name="tiny-exec",
+    size_factor=0.05,
+    datasets=("S2", "S5"),
+    n_splits=2,
+    n_repeats=1,
+    n_estimators=3,
+)
+
+GRID = [
+    CellSpec("S5", "gbabs", "dt"),
+    CellSpec("S5", "ori", "dt"),
+    CellSpec("S2", "srs", "dt"),
+    CellSpec("S2", "ori", "knn", noise_ratio=0.2),
+]
+
+
+def assert_results_equal(a, b):
+    assert a.exactly_equal(b)
+
+
+class TestPlanFolds:
+    def test_matches_protocol_shape(self):
+        plan = plan_folds(5, 5, 0)
+        assert len(plan) == 25
+        assert [p.index for p in plan] == list(range(25))
+        assert plan[7].rep == 1 and plan[7].fold == 2
+
+    def test_reproduces_seed_derivation(self):
+        """The plan must equal the historical inline derivation."""
+        n_splits, n_repeats, random_state = 3, 4, 17
+        seeds = np.random.SeedSequence(random_state).generate_state(n_repeats * 2 + 1)
+        plan = plan_folds(n_splits, n_repeats, random_state)
+        counter = 0
+        for rep in range(n_repeats):
+            for fold in range(n_splits):
+                p = plan[counter]
+                assert p.split_seed == int(seeds[rep])
+                assert p.fold_seed == int(seeds[n_repeats + rep]) + counter
+                counter += 1
+
+    def test_deterministic(self):
+        assert plan_folds(5, 2, 42) == plan_folds(5, 2, 42)
+
+
+class TestExecutor:
+    def test_preserves_spec_order(self, tmp_path):
+        ex = ExperimentExecutor(TINY, store=CellStore(tmp_path))
+        results = ex.run(GRID)
+        assert len(results) == len(GRID)
+        # Reversed specs give the same cells in reversed order.
+        rev = ExperimentExecutor(TINY, store=CellStore(tmp_path)).run(GRID[::-1])
+        for a, b in zip(results, rev[::-1]):
+            assert_results_equal(a, b)
+
+    def test_duplicate_specs_share_one_result(self, tmp_path):
+        ex = ExperimentExecutor(TINY, store=CellStore(tmp_path))
+        a, b = ex.run([GRID[0], GRID[0]])
+        assert a is b
+
+    def test_parallel_matches_serial_bitwise(self, tmp_path):
+        serial = ExperimentExecutor(
+            TINY, n_jobs=1, store=CellStore(tmp_path / "s")
+        ).run(GRID)
+        parallel = ExperimentExecutor(
+            TINY, n_jobs=3, store=CellStore(tmp_path / "p")
+        ).run(GRID)
+        for a, b in zip(serial, parallel):
+            assert_results_equal(a, b)
+
+    def test_matches_evaluate_pipeline_contract(self, tmp_path):
+        """Executor cells equal a direct evaluate_pipeline call."""
+        from repro.evaluation.cross_validation import evaluate_pipeline
+        from repro.experiments.runner import (
+            classifier_factory_for,
+            dataset_with_noise,
+            sampler_factory_for,
+        )
+
+        (cell,) = ExperimentExecutor(TINY, store=CellStore(None)).run(
+            [CellSpec("S5", "gbabs", "dt")]
+        )
+        x, y = dataset_with_noise("S5", TINY, 0.0)
+        direct = evaluate_pipeline(
+            x,
+            y,
+            classifier_factory=classifier_factory_for("dt", TINY),
+            sampler_factory=sampler_factory_for("gbabs", "S5", TINY, 0.0),
+            n_splits=TINY.n_splits,
+            n_repeats=TINY.n_repeats,
+            random_state=TINY.random_state,
+        )
+        assert_results_equal(cell, direct)
+
+
+class TestResume:
+    def test_interrupted_session_resumes_from_disk(self, tmp_path, monkeypatch):
+        """Cells persisted by a killed run must not be recomputed."""
+        first = ExperimentExecutor(TINY, store=CellStore(tmp_path))
+        first.run(GRID[:2])  # the "killed" run finished two cells
+
+        # A fresh process (fresh memory layer) must hit the disk for the
+        # two finished cells and only compute the remaining ones.
+        computed = []
+        second = ExperimentExecutor(TINY, store=CellStore(tmp_path))
+        original = ExperimentExecutor._run_serial
+
+        def counting(self, misses):
+            computed.extend(spec for _, spec in misses)
+            return original(self, misses)
+
+        monkeypatch.setattr(ExperimentExecutor, "_run_serial", counting)
+        results = second.run(GRID)
+        assert len(results) == len(GRID)
+        assert computed == GRID[2:]
+
+    def test_parallel_run_flushes_cells_incrementally(self, tmp_path):
+        store = CellStore(tmp_path)
+        ExperimentExecutor(TINY, n_jobs=2, store=store).run(GRID)
+        # All four cells persisted, individually addressable on disk.
+        assert len([p for p in store.disk_entries() if p.suffix == ".npz"]) == 4
+
+
+class TestPrefetch:
+    def test_serial_prefetch_is_noop(self, tmp_path, monkeypatch):
+        calls = []
+        monkeypatch.setattr(
+            ExperimentExecutor, "run", lambda self, specs: calls.append(specs)
+        )
+        prefetch_cells(TINY, GRID, n_jobs=1)
+        assert calls == []
+
+    def test_parallel_prefetch_warms_store(self, tmp_path):
+        from repro.experiments import runner
+
+        runner.clear_cache()
+        prefetch_cells(TINY, [CellSpec("S5", "ori", "dt")], n_jobs=2)
+        # The serial path must now hit the warm store.
+        cell = runner.run_cell("S5", "ori", "dt", TINY)
+        assert cell is runner.run_cell("S5", "ori", "dt", TINY)
+
+
+class TestRunCellParallel:
+    def test_run_cell_n_jobs_parity(self):
+        from repro.experiments import runner
+
+        runner.clear_cache()
+        a = runner.run_cell("S5", "gbabs", "dt", TINY, n_jobs=1)
+        runner.clear_cache()
+        runner.configure_store(persist=False)
+        try:
+            b = runner.run_cell("S5", "gbabs", "dt", TINY, n_jobs=2)
+        finally:
+            runner.configure_store(persist=True)
+        assert_results_equal(a, b)

@@ -1,0 +1,159 @@
+"""Unit tests for the persistent content-keyed cell store."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.evaluation.cross_validation import CVResult
+from repro.experiments.store import CellStore, stable_key
+
+
+def make_result(seed: int = 0) -> CVResult:
+    gen = np.random.default_rng(seed)
+    return CVResult(
+        metric_values={
+            "accuracy": gen.uniform(0.5, 1.0, 10),
+            "g_mean": gen.uniform(0.3, 1.0, 10),
+        },
+        sampling_ratios=gen.uniform(0.1, 1.0, 10),
+        n_folds=10,
+    )
+
+
+class TestStableKey:
+    def test_order_insensitive(self):
+        assert stable_key({"a": 1, "b": 2}) == stable_key({"b": 2, "a": 1})
+
+    def test_value_sensitive(self):
+        assert stable_key({"a": 1}) != stable_key({"a": 2})
+
+    def test_deterministic_across_calls(self):
+        params = {"code": "S5", "noise": 0.1, "metrics": ["accuracy"]}
+        assert stable_key(params) == stable_key(dict(params))
+
+
+class TestMemoryLayer:
+    def test_put_get_identity(self, tmp_path):
+        store = CellStore(tmp_path)
+        result = make_result()
+        store.put("cell", "k1", result)
+        assert store.get("cell", "k1") is result
+
+    def test_miss_returns_none(self, tmp_path):
+        assert CellStore(tmp_path).get("cell", "nope") is None
+
+    def test_memory_only_store_never_touches_disk(self, tmp_path):
+        store = CellStore(None)
+        store.put("cell", "k1", make_result())
+        store.put("ratio", "k2", 0.5)
+        assert store.get("cell", "k1") is not None
+        assert store.disk_entries() == []
+
+    def test_data_kind_is_memory_only(self, tmp_path):
+        store = CellStore(tmp_path)
+        store.put("data", "k", (np.zeros(3), np.ones(3)))
+        assert store.disk_entries() == []
+        assert store.get("data", "k") is not None
+
+    def test_clear_memory_keeps_disk(self, tmp_path):
+        store = CellStore(tmp_path)
+        store.put("cell", "k1", make_result())
+        store.clear_memory()
+        assert len(store.disk_entries()) == 1
+        assert store.get("cell", "k1") is not None
+
+
+class TestDiskRoundTrip:
+    def test_cell_round_trip_exact(self, tmp_path):
+        a = CellStore(tmp_path)
+        original = make_result(3)
+        a.put("cell", "key", original)
+
+        b = CellStore(tmp_path)  # fresh memory layer, same directory
+        loaded = b.get("cell", "key")
+        assert loaded is not original
+        assert loaded.means == original.means
+        assert loaded.stds == original.stds
+        assert loaded.n_folds == original.n_folds
+        for name in original.metric_values:
+            np.testing.assert_array_equal(
+                loaded.metric_values[name], original.metric_values[name]
+            )
+        np.testing.assert_array_equal(
+            loaded.sampling_ratios, original.sampling_ratios
+        )
+
+    def test_ratio_round_trip(self, tmp_path):
+        CellStore(tmp_path).put("ratio", "r", 0.321)
+        assert CellStore(tmp_path).get("ratio", "r") == 0.321
+
+    def test_distinct_keys_distinct_files(self, tmp_path):
+        store = CellStore(tmp_path)
+        store.put("cell", "k1", make_result(1))
+        store.put("cell", "k2", make_result(2))
+        assert len(store.disk_entries()) == 2
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        store = CellStore(tmp_path)
+        for i in range(5):
+            store.put("cell", f"k{i}", make_result(i))
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_persist_false_disables_disk(self, tmp_path):
+        store = CellStore(tmp_path, persist=False)
+        store.put("cell", "k", make_result())
+        assert store.disk_entries() == []
+        # And reads skip the disk even when a file exists.
+        CellStore(tmp_path).put("cell", "k", make_result())
+        fresh = CellStore(tmp_path, persist=False)
+        assert fresh.get("cell", "k") is None
+
+
+class TestCorruptionRecovery:
+    @pytest.mark.parametrize("garbage", [b"", b"not an npz", b"\x00" * 100])
+    def test_corrupt_cell_treated_as_miss_and_removed(self, tmp_path, garbage):
+        store = CellStore(tmp_path)
+        store.put("cell", "k", make_result())
+        (path,) = store.disk_entries()
+        path.write_bytes(garbage)
+
+        fresh = CellStore(tmp_path)
+        assert fresh.get("cell", "k") is None
+        assert not path.exists()  # healed by deletion
+
+    def test_corrupt_then_recompute_round_trips(self, tmp_path):
+        store = CellStore(tmp_path)
+        store.put("cell", "k", make_result())
+        (path,) = store.disk_entries()
+        path.write_bytes(b"torn write")
+
+        fresh = CellStore(tmp_path)
+        assert fresh.get("cell", "k") is None
+        fresh.put("cell", "k", make_result(9))
+        again = CellStore(tmp_path)
+        assert again.get("cell", "k").n_folds == 10
+
+    def test_corrupt_ratio_json(self, tmp_path):
+        store = CellStore(tmp_path)
+        store.put("ratio", "k", 0.5)
+        (path,) = store.disk_entries()
+        path.write_text("{invalid json")
+        assert CellStore(tmp_path).get("ratio", "k") is None
+
+    def test_key_mismatch_rejected(self, tmp_path):
+        """A digest collision (stored key != requested key) must not serve
+        the wrong cell."""
+        store = CellStore(tmp_path)
+        store.put("ratio", "k1", 0.7)
+        (path,) = store.disk_entries()
+        payload = json.loads(path.read_text())
+        payload["key"] = "something-else"
+        path.write_text(json.dumps(payload))
+        assert CellStore(tmp_path).get("ratio", "k1") is None
+
+    def test_clear_disk(self, tmp_path):
+        store = CellStore(tmp_path)
+        store.put("cell", "k", make_result())
+        store.clear_disk()
+        assert store.disk_entries() == []
