@@ -45,19 +45,41 @@ class _Binner:
         self.edges_: list[np.ndarray] | None = None
 
     def fit(self, x: np.ndarray) -> "_Binner":
-        self.edges_ = []
         quantiles = np.linspace(0, 1, self.max_bins + 1)[1:-1]
-        for col in x.T:
-            edges = np.unique(np.quantile(col, quantiles))
-            self.edges_.append(edges)
+        # One quantile call over the whole matrix; each row of ``table``
+        # is one feature's ascending quantile sequence.
+        table = np.quantile(x, quantiles, axis=0).T
+        # Dedupe each row in place of the per-column np.unique: keep first
+        # occurrences, pack them left (stable sort preserves ascending
+        # order) and pad the tail with +inf so padded slots never match a
+        # finite value in transform.
+        keep = np.ones(table.shape, dtype=bool)
+        keep[:, 1:] = table[:, 1:] != table[:, :-1]
+        counts = keep.sum(axis=1)
+        packed = np.take_along_axis(
+            table, np.argsort(~keep, axis=1, kind="stable"), axis=1
+        )
+        packed[np.arange(table.shape[1])[None, :] >= counts[:, None]] = np.inf
+        self._edge_matrix = packed
+        self._edge_counts = counts
+        self.edges_ = [packed[f, : counts[f]] for f in range(table.shape[0])]
         return self
 
     def transform(self, x: np.ndarray) -> np.ndarray:
         if self.edges_ is None:
             raise RuntimeError("binner is not fitted")
-        codes = np.empty(x.shape, dtype=np.int32)
-        for f, edges in enumerate(self.edges_):
-            codes[:, f] = np.searchsorted(edges, x[:, f], side="left")
+        # searchsorted(edges, v, "left") == number of edges strictly below
+        # v, computed for all features at once via a broadcast compare
+        # (row-chunked to bound the boolean temporary).
+        edges = self._edge_matrix
+        n, p = x.shape
+        codes = np.empty((n, p), dtype=np.int32)
+        step = max(1, (1 << 24) // max(1, p * edges.shape[1]))
+        for start in range(0, n, step):
+            stop = min(n, start + step)
+            codes[start:stop] = (
+                x[start:stop, :, None] > edges[None, :, :]
+            ).sum(axis=2, dtype=np.int32)
         return codes
 
     @property

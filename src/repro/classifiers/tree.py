@@ -152,14 +152,20 @@ class DecisionTreeClassifier(BaseClassifier):
     def depth_(self) -> int:
         """Depth of the fitted tree (root = 0)."""
         validate_fitted(self)
-        depth = np.zeros(self.n_nodes_, dtype=np.intp)
-        for nid in range(self.n_nodes_):
-            left = self.children_left_[nid]
-            right = self.children_right_[nid]
-            if self.feature_[nid] != _LEAF:
-                depth[left] = depth[nid] + 1
-                depth[right] = depth[nid] + 1
-        return int(depth.max()) if self.n_nodes_ else 0
+        if not self.n_nodes_:
+            return 0
+        # Level-order frontier walk: one array pass per level instead of a
+        # Python loop over every node.
+        depth = 0
+        frontier = np.array([0], dtype=np.intp)
+        while True:
+            internal = frontier[self.feature_[frontier] != _LEAF]
+            if internal.size == 0:
+                return depth
+            frontier = np.concatenate(
+                (self.children_left_[internal], self.children_right_[internal])
+            )
+            depth += 1
 
     # ------------------------------------------------------------------
 

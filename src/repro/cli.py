@@ -15,8 +15,9 @@ detected and skipped automatically.
 
 ``bench`` regenerates the paper's tables/figures: ``--jobs N`` fans the
 cross-validation grid over N worker processes (``0`` = all cores,
-bit-identical results), completed cells persist under
-``benchmarks/output/cellstore/`` so interrupted runs resume, and
+bit-identical results) with payload resolution pooled and datasets shipped
+zero-copy through the shared-memory data plane, completed cells persist
+under ``benchmarks/output/cellstore/`` so interrupted runs resume, and
 ``--no-cache`` disables that disk store.
 """
 
@@ -200,7 +201,9 @@ def build_parser() -> argparse.ArgumentParser:
                          default="quick")
     p_bench.add_argument("--jobs", type=int, default=1, metavar="N",
                          help="worker processes for the CV grid "
-                              "(0 = all cores; results identical to serial)")
+                              "(0 = all cores; payloads resolve in the pool, "
+                              "datasets ship via shared memory; results "
+                              "identical to serial)")
     p_bench.add_argument("--no-cache", action="store_true",
                          help="disable the persistent cell store")
     p_bench.add_argument("--json", metavar="DIR", default=None,

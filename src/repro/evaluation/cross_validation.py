@@ -254,41 +254,62 @@ def splits_for_plan(
 
 # ----------------------------------------------------------------------
 # Process-pool fold execution, shared by evaluate_pipeline (one payload)
-# and the experiment executor (one payload per grid cell).  Payloads —
-# (x, y, splits, classifier_factory, sampler_factory, metrics) tuples —
-# are shipped once per worker through the pool initializer (inherited for
-# free under fork); each task is then just a (payload index, fold index,
-# fold seed) triple.
+# and the experiment executor (one payload per grid cell).  Payload
+# arrays — (x, y, splits) — live in the zero-copy shared-memory data
+# plane (:mod:`repro.experiments.data_plane`): the parent publishes each
+# unique block once, workers attach read-only views by block id, and a
+# task stays a small (block meta, fold index, fold seed, factories,
+# metrics) tuple, so per-worker shipped bytes are O(unique blocks) rather
+# than O(payloads × workers).
 # ----------------------------------------------------------------------
 
-_POOL_STATE: dict = {}
 
+def _pool_fold_task(task) -> tuple[tuple[dict[str, float], float], float]:
+    """Run one planned fold against a shared block; returns (result, secs)."""
+    import time
 
-def _init_pool_worker(payloads):
-    _POOL_STATE["payloads"] = payloads
+    from repro.experiments.data_plane import cv_block_views
 
-
-def _pool_fold_task(task: tuple[int, int, int]) -> tuple[dict[str, float], float]:
-    payload_index, fold_index, fold_seed = task
-    x, y, splits, classifier_factory, sampler_factory, metrics = _POOL_STATE[
-        "payloads"
-    ][payload_index]
+    meta, fold_index, fold_seed, classifier_factory, sampler_factory, metrics = task
+    start = time.perf_counter()
+    x, y, splits = cv_block_views(meta)
     train, test = splits[fold_index]
-    return run_fold(
+    result = run_fold(
         x, y, train, test, classifier_factory, sampler_factory, fold_seed, metrics
     )
+    return result, time.perf_counter() - start
 
 
 def run_folds_pooled(payloads, tasks, n_jobs: int, chunksize: int = 1):
-    """Fan fold tasks over a worker pool, yielding results in task order."""
+    """Fan fold tasks over a worker pool; returns results in task order.
+
+    ``payloads`` are ``(x, y, splits, classifier_factory, sampler_factory,
+    metrics)`` tuples; ``tasks`` are ``(payload index, fold index, fold
+    seed)`` triples.  Each payload's arrays are published to the shared
+    data plane once and unlinked when all tasks have finished.
+    """
     from concurrent.futures import ProcessPoolExecutor
 
-    with ProcessPoolExecutor(
-        max_workers=min(n_jobs, len(tasks)),
-        initializer=_init_pool_worker,
-        initargs=(payloads,),
-    ) as pool:
-        yield from pool.map(_pool_fold_task, tasks, chunksize=chunksize)
+    from repro.experiments.data_plane import SharedArrayPlane, publish_cv_block
+
+    with SharedArrayPlane() as plane:
+        metas, extras = [], []
+        for i, (x, y, splits, clf_factory, smp_factory, metrics) in enumerate(
+            payloads
+        ):
+            metas.append(publish_cv_block(plane, i, x, y, splits))
+            extras.append((clf_factory, smp_factory, metrics))
+        pool_tasks = [
+            (metas[pi], fold_index, fold_seed, *extras[pi])
+            for pi, fold_index, fold_seed in tasks
+        ]
+        with ProcessPoolExecutor(max_workers=min(n_jobs, len(tasks))) as pool:
+            return [
+                result
+                for result, _seconds in pool.map(
+                    _pool_fold_task, pool_tasks, chunksize=chunksize
+                )
+            ]
 
 
 def evaluate_pipeline(
@@ -340,9 +361,7 @@ def evaluate_pipeline(
         payloads = [(x, y, splits, classifier_factory, sampler_factory, metrics)]
         tasks = [(0, p.index, p.fold_seed) for p in plan]
         chunksize = max(1, len(tasks) // (n_jobs * 4))
-        fold_results = list(
-            run_folds_pooled(payloads, tasks, n_jobs, chunksize=chunksize)
-        )
+        fold_results = run_folds_pooled(payloads, tasks, n_jobs, chunksize=chunksize)
     else:
         fold_results = [
             run_fold(

@@ -1,0 +1,301 @@
+"""Zero-copy shared-memory data plane for the parallel experiment engine.
+
+The old pooled path shipped every resolved cell payload — the full
+``(x, y, splits)`` arrays of every grid cell — into every worker through
+the pool initializer: an O(workers × payloads) pickle that dominated
+startup on spawn platforms and duplicated each dataset once per worker.
+The data plane replaces that with ``multiprocessing.shared_memory``:
+
+* the parent (the **owner**) packs each unique block of arrays once into
+  one shared segment via :meth:`SharedArrayPlane.publish` and gets back a
+  tiny picklable :class:`BlockMeta` (segment name + dtype/shape/offset
+  table);
+* workers call :func:`attach_block` with that meta and receive **read-only
+  numpy views** over the same physical pages — nothing is copied, task
+  tuples stay index-sized, and per-worker shipped bytes are O(unique
+  blocks), not O(payloads × workers);
+* the owner guarantees unlink: :class:`SharedArrayPlane` is a context
+  manager whose ``close()`` is also registered with ``atexit``, so
+  segments disappear from ``/dev/shm`` on normal exit, on exceptions
+  (including ``KeyboardInterrupt``) and on pool crashes.  Only SIGKILL of
+  the owner itself can leak a segment, and then the stdlib resource
+  tracker is the net.
+
+Resource-tracker note: under ``fork`` every process shares the parent's
+tracker and duplicate registrations collapse into one set entry, so the
+owner's explicit unlink keeps the tracker clean.  Under ``spawn`` each
+worker runs its *own* tracker, which would unlink the owner's live
+segment when the worker exits (bpo-39959); :func:`attach_block`
+unregisters the attach-side registration there (or passes ``track=False``
+on Python ≥ 3.13).
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "ArraySpec",
+    "BlockMeta",
+    "SharedArrayPlane",
+    "attach_block",
+    "detach_all",
+    "publish_cv_block",
+    "cv_block_views",
+    "segment_exists",
+]
+
+#: Segment-internal alignment of each packed array (cache-line sized).
+_ALIGN = 64
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Location of one packed array inside a shared segment."""
+
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+
+
+@dataclass(frozen=True)
+class BlockMeta:
+    """Picklable handle to one published block (ships in task tuples)."""
+
+    segment: str
+    nbytes: int
+    arrays: tuple[ArraySpec, ...]
+
+
+def _aligned(nbytes: int) -> int:
+    return -(-nbytes // _ALIGN) * _ALIGN
+
+
+#: Owner-side segment name -> read-only views.  Same-process "attaches"
+#: (serial fallbacks, thread pools, fork children created after publish)
+#: short-circuit here instead of re-mapping the segment.
+_OWNED: dict[str, tuple[np.ndarray, ...]] = {}
+
+#: Worker-side attachment cache: segment name -> (shm handle, views).
+_ATTACHED: dict[str, tuple[shared_memory.SharedMemory, tuple[np.ndarray, ...]]] = {}
+_DETACH_REGISTERED = False
+
+
+class SharedArrayPlane:
+    """Owns shared-memory segments holding immutable numpy array blocks.
+
+    ``publish(block_id, arrays)`` packs the arrays contiguously (64-byte
+    aligned) into one fresh segment and returns its :class:`BlockMeta`;
+    publishing the same ``block_id`` again returns the existing meta.
+    ``close()`` unlinks every segment and is idempotent; it runs on
+    ``with``-exit and, as a crash net, at interpreter exit.
+    """
+
+    def __init__(self) -> None:
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._metas: dict[object, BlockMeta] = {}
+        self._total_bytes = 0
+        # Start the resource tracker *now*, before any worker pool forks:
+        # children forked later inherit this tracker, so attach-side
+        # registrations dedup against the owner's instead of spawning
+        # per-worker trackers that would unlink live segments at worker
+        # exit.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:
+            pass
+        atexit.register(self.close)
+
+    # -- publishing ----------------------------------------------------
+
+    def publish(self, block_id, arrays) -> BlockMeta:
+        """Pack ``arrays`` into one shared segment; returns its meta."""
+        existing = self._metas.get(block_id)
+        if existing is not None:
+            return existing
+        packed = [np.ascontiguousarray(a) for a in arrays]
+        specs = []
+        offset = 0
+        for a in packed:
+            specs.append(ArraySpec(a.dtype.str, a.shape, offset))
+            offset += _aligned(a.nbytes)
+        nbytes = max(offset, 1)
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        views = []
+        for a, spec in zip(packed, specs):
+            view = np.ndarray(
+                spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf,
+                offset=spec.offset,
+            )
+            view[...] = a
+            view.flags.writeable = False
+            views.append(view)
+        meta = BlockMeta(segment=shm.name, nbytes=nbytes, arrays=tuple(specs))
+        self._segments[shm.name] = shm
+        self._metas[block_id] = meta
+        self._total_bytes += nbytes
+        _OWNED[shm.name] = tuple(views)
+        return meta
+
+    def meta(self, block_id) -> BlockMeta:
+        return self._metas[block_id]
+
+    def __contains__(self, block_id) -> bool:
+        return block_id in self._metas
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes held in shared segments (the per-machine data volume)."""
+        return self._total_bytes
+
+    def segment_names(self) -> list[str]:
+        return list(self._segments)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Unlink every segment (idempotent; safe on partial failure)."""
+        atexit.unregister(self.close)
+        for name in list(self._segments):
+            shm = self._segments.pop(name)
+            _OWNED.pop(name, None)
+            try:
+                shm.close()
+            except BufferError:
+                # A straggler view still references the buffer; unlink
+                # below still removes the name, the pages free with the
+                # last unmap.
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                # Someone else removed the file; still drop our tracker
+                # registration so shutdown does not warn about it.
+                try:
+                    from multiprocessing import resource_tracker
+
+                    resource_tracker.unregister(shm._name, "shared_memory")
+                except Exception:
+                    pass
+        self._metas.clear()
+
+    def __enter__(self) -> "SharedArrayPlane":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+def _maybe_untrack(shm: shared_memory.SharedMemory) -> None:
+    """Drop the attach-side resource-tracker registration under spawn.
+
+    See the module docstring: needed only where the attaching process runs
+    its own tracker (spawn); under fork the shared tracker's set collapses
+    duplicate names and the owner's unlink unregisters the single entry.
+    """
+    try:
+        if multiprocessing.get_start_method() == "fork":
+            return
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def attach_block(meta: BlockMeta) -> tuple[np.ndarray, ...]:
+    """Read-only views of a published block (cached per process)."""
+    owned = _OWNED.get(meta.segment)
+    if owned is not None:
+        return owned
+    cached = _ATTACHED.get(meta.segment)
+    if cached is not None:
+        return cached[1]
+    try:
+        shm = shared_memory.SharedMemory(name=meta.segment, track=False)
+    except TypeError:  # Python < 3.13 has no track parameter
+        shm = shared_memory.SharedMemory(name=meta.segment)
+        _maybe_untrack(shm)
+    views = []
+    for spec in meta.arrays:
+        view = np.ndarray(
+            spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf,
+            offset=spec.offset,
+        )
+        view.flags.writeable = False
+        views.append(view)
+    global _DETACH_REGISTERED
+    if not _DETACH_REGISTERED:
+        atexit.register(detach_all)
+        _DETACH_REGISTERED = True
+    _ATTACHED[meta.segment] = (shm, tuple(views))
+    return _ATTACHED[meta.segment][1]
+
+
+def detach_all() -> None:
+    """Close every cached attachment (runs at worker exit)."""
+    for name in list(_ATTACHED):
+        shm, _views = _ATTACHED.pop(name)
+        try:
+            shm.close()
+        except BufferError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# CV payload block convention: [x, y, train_0, test_0, train_1, test_1, …]
+# ----------------------------------------------------------------------
+
+
+def publish_cv_block(plane: SharedArrayPlane, block_id, x, y, splits) -> BlockMeta:
+    """Publish one ``(x, y, splits)`` CV payload as a single block.
+
+    ``x`` is cast to float64 exactly like the serial path does before fold
+    execution, so pooled folds see bit-identical inputs.
+    """
+    arrays = [np.asarray(x, dtype=np.float64), np.asarray(y)]
+    for train, test in splits:
+        arrays.append(np.asarray(train))
+        arrays.append(np.asarray(test))
+    return plane.publish(block_id, arrays)
+
+
+def cv_block_views(meta: BlockMeta):
+    """Unpack a CV payload block into ``(x, y, splits)`` read-only views."""
+    views = attach_block(meta)
+    x, y = views[0], views[1]
+    rest = views[2:]
+    splits = [(rest[i], rest[i + 1]) for i in range(0, len(rest), 2)]
+    return x, y, splits
+
+
+def segment_exists(name: str) -> bool:
+    """Whether a shared segment is still linked (diagnostics and tests)."""
+    shm_dir = Path("/dev/shm")
+    if shm_dir.is_dir():
+        return (shm_dir / name).exists()
+    try:
+        probe = shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        try:
+            probe = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            return False
+        _maybe_untrack(probe)
+    except FileNotFoundError:
+        return False
+    probe.close()
+    return True

@@ -3,28 +3,46 @@
 The paper's protocol multiplies out to hundreds of cross-validation
 *cells* — (dataset, noise, sampler, classifier, rho) combinations — each
 holding ``n_splits × n_repeats`` independent folds.  The
-:class:`ExperimentExecutor` turns that grid into a flat stream of fold
-tasks and fans the stream over one shared ``ProcessPoolExecutor``, so all
-cores stay busy even while one cell's last stragglers finish.  (Cell
-*payload* resolution — dataset generation, SRS reference ratios — is
-currently a serial prefix in the parent; see the ROADMAP open item.)
+:class:`ExperimentExecutor` turns that grid into a flat stream of tasks
+and fans the stream over one shared ``ProcessPoolExecutor``.
+
+Cold runs use a **dependency-aware scheduler** over two task kinds:
+
+* **payload tasks** resolve a cell's inputs in the pool — dataset
+  generation (:func:`~repro.experiments.runner.resolve_dataset_task`) and
+  GBABS reference ratios (:func:`~repro.experiments.runner.resolve_ratio_task`)
+  — so the parent never granulates and cores are busy from the first
+  second; resolved values flush through the
+  :class:`~repro.experiments.store.CellStore` exactly as the serial path
+  would write them;
+* **fold tasks** dispatch per cell the moment the cell's payload lands
+  (no global barrier between the phases).
+
+Data movement is zero-copy: each unique ``(x, y, splits)`` block is
+published once to the :class:`~repro.experiments.data_plane.SharedArrayPlane`
+and workers attach read-only views, so task tuples stay index-sized and
+per-worker shipped bytes are O(unique datasets), not O(cells × workers).
 
 Guarantees:
 
 * **Bit-identical results.**  Every fold's seed comes from the pure
-  :func:`~repro.evaluation.cross_validation.plan_folds` derivation and the
-  per-fold computation is the same :func:`run_fold` the serial path uses;
-  fold results are re-assembled in plan order, so a parallel run's
-  :class:`CVResult` equals the serial one float for float.
-* **Incremental durability.**  Finished cells are written to the
-  :class:`~repro.experiments.store.CellStore` as soon as their last fold
-  returns (cell-major task ordering makes cells complete roughly in
-  sequence), so a killed run resumes from the persistent store instead of
-  recomputing.
+  :func:`~repro.evaluation.cross_validation.plan_folds` derivation, the
+  per-fold computation is the same :func:`run_fold` the serial path uses
+  and fold results are re-assembled in plan order, so a parallel run's
+  :class:`CVResult` equals the serial one float for float — for any
+  worker count and any task completion interleaving.
+* **Incremental durability.**  Finished cells are written to the store
+  as soon as their last fold returns, so a killed run resumes from the
+  persistent store instead of recomputing.
+* **No shared-memory leaks.**  The plane is context-managed (plus an
+  ``atexit`` net), so segments are unlinked on normal exit, worker
+  crashes and ``KeyboardInterrupt``.
 """
 
 from __future__ import annotations
 
+import pickle
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -35,8 +53,8 @@ from repro.evaluation.cross_validation import (
     plan_folds,
     resolve_n_jobs,
     run_fold,
-    run_folds_pooled,
     splits_for_plan,
+    _pool_fold_task,
 )
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.store import CellStore
@@ -56,6 +74,26 @@ class CellSpec:
     rho: int | None = None
 
 
+class _CellState:
+    """Parent-side bookkeeping for one in-flight cell."""
+
+    __slots__ = (
+        "key", "spec", "block_id", "needs_ratio", "classifier_factory",
+        "sampler_factory", "results", "remaining",
+    )
+
+    def __init__(self, key, spec, block_id, needs_ratio, classifier_factory,
+                 sampler_factory, n_folds):
+        self.key = key
+        self.spec = spec
+        self.block_id = block_id
+        self.needs_ratio = needs_ratio
+        self.classifier_factory = classifier_factory
+        self.sampler_factory = sampler_factory
+        self.results = [None] * n_folds
+        self.remaining = n_folds
+
+
 class ExperimentExecutor:
     """Executes batches of experiment cells, cached and optionally parallel.
 
@@ -69,6 +107,11 @@ class ExperimentExecutor:
     store:
         Result store consulted before and updated after computing; defaults
         to the process-wide store.
+
+    After :meth:`run`, :attr:`last_stats` holds the phase breakdown of the
+    pass that computed missing cells: worker seconds spent on payload
+    resolution vs folds, plane bytes published, pickled task bytes and
+    task counts (all zero-filled for pure store hits).
     """
 
     def __init__(
@@ -82,6 +125,12 @@ class ExperimentExecutor:
         self.cfg = cfg
         self.n_jobs = resolve_n_jobs(n_jobs)
         self.store = store if store is not None else runner.get_store()
+        self.last_stats: dict | None = None
+        # Test seams: _pool_factory builds the worker pool (defaults to a
+        # ProcessPoolExecutor), _completion_order permutes the order
+        # completed futures are processed in (parity must hold for any).
+        self._pool_factory = None
+        self._completion_order = None
 
     # -- public API ----------------------------------------------------
 
@@ -114,6 +163,7 @@ class ExperimentExecutor:
                 missing.add(key)
                 misses.append((key, spec))
 
+        self.last_stats = self._fresh_stats()
         if misses:
             if self.n_jobs > 1:
                 results.update(self._run_parallel(misses))
@@ -122,6 +172,19 @@ class ExperimentExecutor:
         return [results[key] for key in keys]
 
     # -- execution strategies ------------------------------------------
+
+    @staticmethod
+    def _fresh_stats() -> dict:
+        return {
+            "payload_seconds": 0.0,
+            "fold_seconds": 0.0,
+            "plane_bytes": 0,
+            "task_bytes": 0,
+            "n_blocks": 0,
+            "n_data_tasks": 0,
+            "n_ratio_tasks": 0,
+            "n_fold_tasks": 0,
+        }
 
     def _payload(self, spec: CellSpec):
         """Resolve one cell into (x, y, splits, factories, metrics).
@@ -152,9 +215,13 @@ class ExperimentExecutor:
         return result
 
     def _run_serial(self, misses) -> dict[str, CVResult]:
+        stats = self.last_stats
         done: dict[str, CVResult] = {}
         for key, spec in misses:
+            start = time.perf_counter()
             (x, y, splits, clf_f, smp_f, metrics), plan = self._payload(spec)
+            stats["payload_seconds"] += time.perf_counter() - start
+            start = time.perf_counter()
             fold_results = [
                 run_fold(
                     x,
@@ -168,32 +235,187 @@ class ExperimentExecutor:
                 )
                 for p in plan
             ]
+            stats["fold_seconds"] += time.perf_counter() - start
             done[key] = self._finish(key, spec, fold_results)
         return done
 
-    def _run_parallel(self, misses) -> dict[str, CVResult]:
-        payloads = []
-        tasks: list[tuple[int, int, int]] = []
-        folds_per_cell = None
-        for cell_index, (_, spec) in enumerate(misses):
-            payload, plan = self._payload(spec)
-            payloads.append(payload)
-            folds_per_cell = len(plan)
-            tasks.extend((cell_index, p.index, p.fold_seed) for p in plan)
+    # -- dependency-aware pooled scheduler -----------------------------
 
-        # run_folds_pooled yields in submission (= plan) order; flush each
-        # cell to the store the moment its last fold arrives so interrupted
-        # runs keep every completed cell.
+    def _make_pool(self, max_workers: int):
+        if self._pool_factory is not None:
+            return self._pool_factory(max_workers)
+        from concurrent.futures import ProcessPoolExecutor
+
+        return ProcessPoolExecutor(max_workers=max_workers)
+
+    def _run_parallel(self, misses) -> dict[str, CVResult]:
+        from concurrent.futures import FIRST_COMPLETED, wait
+
+        from repro.experiments import runner
+        from repro.experiments.data_plane import SharedArrayPlane, publish_cv_block
+
+        cfg = self.cfg
+        stats = self.last_stats
+        plan = plan_folds(cfg.n_splits, cfg.n_repeats, cfg.random_state)
+        n_folds = len(plan)
+
+        # Dependency graph.  Block id = one unique (dataset, noise)
+        # variant; srs cells additionally wait on that block's GBABS
+        # reference ratio (always at cfg.rho, like the serial path).
+        cells: list[_CellState] = []
+        blocks: dict[tuple, dict] = {}
+        ratios: dict[tuple, dict] = {}
+        for key, spec in misses:
+            block_id = (spec.code, round(spec.noise_ratio, 4))
+            blocks.setdefault(
+                block_id,
+                {"meta": None, "cells": [], "ratio_waiting": False,
+                 "code": spec.code, "noise": spec.noise_ratio},
+            )
+            needs_ratio = spec.method.lower() == "srs"
+            sampler_factory = None
+            if not needs_ratio:
+                sampler_factory = runner.sampler_factory_for(
+                    spec.method, spec.code, cfg, spec.noise_ratio, rho=spec.rho
+                )
+            classifier_factory = runner.classifier_factory_for(spec.classifier, cfg)
+            state = _CellState(key, spec, block_id, needs_ratio,
+                               classifier_factory, sampler_factory, n_folds)
+            cells.append(state)
+            if needs_ratio:
+                ratios.setdefault(block_id, {"value": None})
+
         done: dict[str, CVResult] = {}
-        buffer: list = []
-        cell_cursor = 0
-        for fold_result in run_folds_pooled(payloads, tasks, self.n_jobs):
-            buffer.append(fold_result)
-            if len(buffer) == folds_per_cell:
-                key, spec = misses[cell_cursor]
-                done[key] = self._finish(key, spec, buffer)
-                buffer = []
-                cell_cursor += 1
+        futures: dict = {}
+        sequence: dict = {}
+        counter = 0
+
+        with SharedArrayPlane() as plane, self._make_pool(self.n_jobs) as pool:
+
+            def submit(fn, args, tag, account=True):
+                nonlocal counter
+                future = pool.submit(fn, *args)
+                futures[future] = tag
+                sequence[future] = counter
+                counter += 1
+                if account:
+                    stats["task_bytes"] += len(pickle.dumps(args))
+                return future
+
+            def publish_block(block_id, x, y):
+                block = blocks[block_id]
+                splits = splits_for_plan(np.asarray(y), cfg.n_splits, plan)
+                block["meta"] = publish_cv_block(plane, block_id, x, y, splits)
+                stats["n_blocks"] += 1
+                if block["ratio_waiting"]:
+                    block["ratio_waiting"] = False
+                    submit(
+                        runner.resolve_ratio_task,
+                        (block["meta"], cfg.rho, cfg.random_state),
+                        ("ratio", block_id),
+                    )
+                    stats["n_ratio_tasks"] += 1
+                for cell in block["cells"]:
+                    if not cell.needs_ratio or ratios[block_id]["value"] is not None:
+                        dispatch_folds(cell)
+
+            def dispatch_folds(cell: _CellState):
+                if cell.needs_ratio and cell.sampler_factory is None:
+                    from repro.experiments.runner import SamplerSpec
+
+                    cell.sampler_factory = SamplerSpec(
+                        "srs", params=(("ratio", ratios[cell.block_id]["value"]),)
+                    )
+                meta = blocks[cell.block_id]["meta"]
+                for p in plan:
+                    task = (meta, p.index, p.fold_seed, cell.classifier_factory,
+                            cell.sampler_factory, cell.spec.metrics)
+                    submit(_pool_fold_task, (task,), ("fold", cell, p.index),
+                           account=False)
+                # A cell's fold tasks differ only in two small ints, so one
+                # representative pickle accounts for all of them instead of
+                # re-serialising every task on the dispatch hot path.
+                stats["task_bytes"] += len(pickle.dumps((task,))) * n_folds
+                stats["n_fold_tasks"] += n_folds
+
+            # Initial dispatch: publish store-hit blocks, queue the rest;
+            # ratio tasks go out as soon as their block is available.
+            for block_id, block in blocks.items():
+                for cell in cells:
+                    if cell.block_id == block_id:
+                        block["cells"].append(cell)
+                if block_id in ratios:
+                    cached = self.store.get(
+                        "ratio", runner.gbabs_ratio_key(block["code"], cfg,
+                                                        block["noise"])
+                    )
+                    if cached is not None:
+                        ratios[block_id]["value"] = cached
+                    else:
+                        block["ratio_waiting"] = True
+                cached_xy = self.store.get(
+                    "data", runner.dataset_key(block["code"], cfg, block["noise"])
+                )
+                if cached_xy is not None:
+                    publish_block(block_id, *cached_xy)
+                else:
+                    submit(
+                        runner.resolve_dataset_task,
+                        (block["code"], cfg.size_factor, cfg.random_state,
+                         block["noise"]),
+                        ("data", block_id),
+                    )
+                    stats["n_data_tasks"] += 1
+
+            while futures:
+                completed, _pending = wait(
+                    list(futures), return_when=FIRST_COMPLETED
+                )
+                ordered = sorted(completed, key=sequence.__getitem__)
+                if self._completion_order is not None:
+                    ordered = self._completion_order(ordered)
+                for future in ordered:
+                    kind, *info = futures.pop(future)
+                    sequence.pop(future)
+                    payload = future.result()
+                    if kind == "data":
+                        (block_id,) = info
+                        (x, y), seconds = payload
+                        stats["payload_seconds"] += seconds
+                        block = blocks[block_id]
+                        self.store.put(
+                            "data",
+                            runner.dataset_key(block["code"], cfg, block["noise"]),
+                            (x, y),
+                            persist=False,
+                        )
+                        publish_block(block_id, x, y)
+                    elif kind == "ratio":
+                        (block_id,) = info
+                        value, seconds = payload
+                        stats["payload_seconds"] += seconds
+                        block = blocks[block_id]
+                        self.store.put(
+                            "ratio",
+                            runner.gbabs_ratio_key(block["code"], cfg,
+                                                   block["noise"]),
+                            value,
+                        )
+                        ratios[block_id]["value"] = value
+                        for cell in block["cells"]:
+                            if cell.needs_ratio:
+                                dispatch_folds(cell)
+                    else:  # fold
+                        cell, fold_index = info
+                        fold_result, seconds = payload
+                        stats["fold_seconds"] += seconds
+                        cell.results[fold_index] = fold_result
+                        cell.remaining -= 1
+                        if cell.remaining == 0:
+                            done[cell.key] = self._finish(
+                                cell.key, cell.spec, cell.results
+                            )
+            stats["plane_bytes"] = plane.total_bytes
         return done
 
 

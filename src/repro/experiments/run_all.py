@@ -12,12 +12,14 @@ Usage::
 Results are printed as text reports and, with ``--json DIR``, also dumped
 as JSON for post-processing.
 
-``--jobs N`` fans every cross-validation cell's folds over ``N`` worker
-processes (``--jobs 0`` = all cores); results are bit-identical to serial.
-Completed cells land in the persistent store under
-``benchmarks/output/cellstore/`` as soon as they finish, so an interrupted
-run resumes instead of recomputing; ``--no-cache`` disables that disk
-layer for the session.
+``--jobs N`` fans every cross-validation cell over ``N`` worker processes
+(``--jobs 0`` = all cores); results are bit-identical to serial.  Cold
+runs resolve payloads (dataset generation, GBABS reference ratios) through
+the pool too, and datasets ship to workers zero-copy via the shared-memory
+data plane (one block per unique dataset, unlinked on exit).  Completed
+cells land in the persistent store under ``benchmarks/output/cellstore/``
+as soon as they finish, so an interrupted run resumes instead of
+recomputing; ``--no-cache`` disables that disk layer for the session.
 """
 
 from __future__ import annotations

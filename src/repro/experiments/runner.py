@@ -31,8 +31,12 @@ from repro.sampling import make_sampler
 __all__ = [
     "SamplerSpec",
     "ClassifierSpec",
+    "dataset_key",
     "dataset_with_noise",
+    "gbabs_ratio_key",
     "reference_gbabs_ratio",
+    "resolve_dataset_task",
+    "resolve_ratio_task",
     "sampler_factory_for",
     "classifier_factory_for",
     "run_cell",
@@ -119,6 +123,48 @@ class ClassifierSpec:
 # ----------------------------------------------------------------------
 
 
+def dataset_key(code: str, cfg: ExperimentConfig, noise_ratio: float) -> str:
+    """Store key of one (dataset, noise) variant."""
+    return stable_key(
+        {
+            "kind": "dataset",
+            "code": code,
+            "size_factor": cfg.size_factor,
+            "random_state": cfg.random_state,
+            "noise_ratio": round(noise_ratio, 4),
+        }
+    )
+
+
+def gbabs_ratio_key(code: str, cfg: ExperimentConfig, noise_ratio: float) -> str:
+    """Store key of one GBABS reference sampling ratio."""
+    return stable_key(
+        {
+            "kind": "gbabs-ratio",
+            "code": code,
+            "size_factor": cfg.size_factor,
+            "random_state": cfg.random_state,
+            "noise_ratio": round(noise_ratio, 4),
+            "rho": cfg.rho,
+        }
+    )
+
+
+def _generate_dataset(
+    code: str, size_factor: float, random_state: int, noise_ratio: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """The deterministic dataset construction behind the store layer."""
+    x, y = load_dataset(code, size_factor, random_state)
+    if noise_ratio > 0:
+        y, _ = inject_class_noise(y, noise_ratio, random_state=random_state + 9173)
+    return x, y
+
+
+def _guarded_ratio(sampling_ratio: float, n_samples: int) -> float:
+    """Clamp a GBABS report ratio into (0, 1] (SRS rejects 0 and > 1)."""
+    return min(1.0, max(sampling_ratio, 1.0 / n_samples))
+
+
 def dataset_with_noise(
     code: str, cfg: ExperimentConfig, noise_ratio: float
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -128,24 +174,13 @@ def dataset_with_noise(
     dataset (train *and* test folds carry noise), which is why reported
     accuracies at 40% noise sit near 0.55 rather than near the clean rate.
     """
-    key = stable_key(
-        {
-            "kind": "dataset",
-            "code": code,
-            "size_factor": cfg.size_factor,
-            "random_state": cfg.random_state,
-            "noise_ratio": round(noise_ratio, 4),
-        }
-    )
+    key = dataset_key(code, cfg, noise_ratio)
     store = get_store()
     cached = store.get("data", key)
     if cached is None:
-        x, y = load_dataset(code, cfg.size_factor, cfg.random_state)
-        if noise_ratio > 0:
-            y, _ = inject_class_noise(
-                y, noise_ratio, random_state=cfg.random_state + 9173
-            )
-        cached = (x, y)
+        cached = _generate_dataset(
+            code, cfg.size_factor, cfg.random_state, noise_ratio
+        )
         # Datasets are cheap to regenerate and large on disk: memory-only.
         store.put("data", key, cached, persist=False)
     return cached
@@ -159,26 +194,59 @@ def reference_gbabs_ratio(
     §V-A3: "the sampling ratio of the SRS on each dataset is consistent
     with that of GBABS" — this reference ratio parameterises SRS.
     """
-    key = stable_key(
-        {
-            "kind": "gbabs-ratio",
-            "code": code,
-            "size_factor": cfg.size_factor,
-            "random_state": cfg.random_state,
-            "noise_ratio": round(noise_ratio, 4),
-            "rho": cfg.rho,
-        }
-    )
+    key = gbabs_ratio_key(code, cfg, noise_ratio)
     store = get_store()
     cached = store.get("ratio", key)
     if cached is None:
         x, y = dataset_with_noise(code, cfg, noise_ratio)
         sampler = GBABS(rho=cfg.rho, random_state=cfg.random_state)
         sampler.fit_resample(x, y)
-        # Guard: SRS needs a ratio in (0, 1].
-        cached = min(1.0, max(sampler.report_.sampling_ratio, 1.0 / x.shape[0]))
+        cached = _guarded_ratio(sampler.report_.sampling_ratio, x.shape[0])
         store.put("ratio", key, cached)
     return cached
+
+
+# ----------------------------------------------------------------------
+# Pool payload tasks.  The executor's scheduler dispatches these to the
+# worker pool so a cold run resolves datasets and GBABS reference ratios
+# *in parallel* instead of as a serial prefix in the parent; the parent
+# flushes the returned values through the store, so serial paths and
+# resumed runs keep seeing identical cached inputs.
+# ----------------------------------------------------------------------
+
+
+def resolve_dataset_task(
+    code: str, size_factor: float, random_state: int, noise_ratio: float
+):
+    """Worker task: generate one (dataset, noise) variant.
+
+    Returns ``((x, y), seconds)`` — identical arrays to what
+    :func:`dataset_with_noise` would construct in the parent.
+    """
+    import time
+
+    start = time.perf_counter()
+    x, y = _generate_dataset(code, size_factor, random_state, noise_ratio)
+    return (x, y), time.perf_counter() - start
+
+
+def resolve_ratio_task(block_meta, rho: int, random_state: int):
+    """Worker task: GBABS reference ratio over a shared dataset block.
+
+    Attaches the block published by the parent (zero-copy) and runs the
+    same granulation :func:`reference_gbabs_ratio` would run, so the
+    returned value is bit-identical to the serial path.
+    """
+    import time
+
+    from repro.experiments.data_plane import cv_block_views
+
+    start = time.perf_counter()
+    x, y, _splits = cv_block_views(block_meta)
+    sampler = GBABS(rho=rho, random_state=random_state)
+    sampler.fit_resample(x, y)
+    ratio = _guarded_ratio(sampler.report_.sampling_ratio, x.shape[0])
+    return ratio, time.perf_counter() - start
 
 
 def sampler_factory_for(

@@ -88,23 +88,34 @@ class CellStore:
         self.root = Path(root) if root is not None else None
         self.persist = bool(persist) and self.root is not None
         self._memory: dict[tuple[str, str], Any] = {}
+        self.stats = {"hits": 0, "misses": 0, "puts": 0}
 
     # -- public API ----------------------------------------------------
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/put counters (benchmark phase accounting)."""
+        self.stats = {"hits": 0, "misses": 0, "puts": 0}
 
     def get(self, kind: str, key: str) -> Any | None:
         """Look up ``key`` in memory, then on disk; ``None`` on miss."""
         mem_key = (kind, key)
         if mem_key in self._memory:
+            self.stats["hits"] += 1
             return self._memory[mem_key]
         if not self.persist or kind not in self._EXT:
+            self.stats["misses"] += 1
             return None
         value = self._read(kind, key)
         if value is not None:
             self._memory[mem_key] = value
+            self.stats["hits"] += 1
+        else:
+            self.stats["misses"] += 1
         return value
 
     def put(self, kind: str, key: str, value: Any, persist: bool = True) -> None:
         """Store ``value`` in memory and (for persistable kinds) on disk."""
+        self.stats["puts"] += 1
         self._memory[(kind, key)] = value
         if persist and self.persist and kind in self._EXT:
             self._write(kind, key, value)

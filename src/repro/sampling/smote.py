@@ -130,6 +130,15 @@ class BorderlineSMOTE(SMOTE):
         SAFE / DANGER / NOISE (10 in the original paper).
     random_state:
         Seed.
+    rng_compat:
+        ``True`` (default) reproduces the historical RNG stream: partner
+        choice and interpolation gap are drawn as interleaved *scalar*
+        draws per synthetic sample, bit-identical to every result this
+        repository has ever published.  ``False`` draws both in batch —
+        one ``integers`` call and one ``random`` call — which is faster
+        for large deficits but defines a **new, equally valid stream**:
+        resampled rows differ from compat mode for the same seed (the
+        distribution is unchanged).
     """
 
     def __init__(
@@ -137,11 +146,13 @@ class BorderlineSMOTE(SMOTE):
         k_neighbors: int = 5,
         m_neighbors: int = 10,
         random_state: int | None = None,
+        rng_compat: bool = True,
     ):
         super().__init__(k_neighbors=k_neighbors, random_state=random_state)
         if m_neighbors < 1:
             raise ValueError("m_neighbors must be >= 1")
         self.m_neighbors = int(m_neighbors)
+        self.rng_compat = bool(rng_compat)
 
     def fit_resample(
         self, x: np.ndarray, y: np.ndarray
@@ -197,15 +208,18 @@ class BorderlineSMOTE(SMOTE):
         partner_table = np.take_along_axis(candidates, first_k, axis=1)
 
         base_pos = rng.integers(0, seed_pool.size, size=n_new)
-        # The partner choice and gap must stay interleaved per sample to
-        # preserve the historical RNG draw order; both bounds are
-        # constant (k partners, unit interval), so only the draws remain
-        # scalar — the gather and blend below are fully batched.
-        choice = np.empty(n_new, dtype=np.intp)
-        gap = np.empty((n_new, 1))
-        for i in range(n_new):
-            choice[i] = rng.integers(0, k)
-            gap[i, 0] = rng.random()
+        if self.rng_compat:
+            # Historical stream: partner choice and gap interleaved per
+            # sample, so only these draws remain scalar — the gather and
+            # blend below are fully batched either way.
+            choice = np.empty(n_new, dtype=np.intp)
+            gap = np.empty((n_new, 1))
+            for i in range(n_new):
+                choice[i] = rng.integers(0, k)
+                gap[i, 0] = rng.random()
+        else:
+            choice = rng.integers(0, k, size=n_new)
+            gap = rng.random(size=(n_new, 1))
 
         seeds = seed_pool[base_pos]
         partners = partner_table[base_pos, choice]

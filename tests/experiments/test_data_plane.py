@@ -1,0 +1,193 @@
+"""Shared-memory data-plane lifecycle: publish/attach round-trips and the
+no-leak guarantee across normal exit, errors, pool crashes and interrupts."""
+
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.data_plane import (
+    SharedArrayPlane,
+    attach_block,
+    cv_block_views,
+    publish_cv_block,
+    segment_exists,
+)
+from repro.experiments.executor import CellSpec, ExperimentExecutor
+from repro.experiments.store import CellStore
+
+TINY = ExperimentConfig(
+    name="tiny-plane",
+    size_factor=0.05,
+    datasets=("S2", "S5"),
+    n_splits=2,
+    n_repeats=1,
+    n_estimators=3,
+)
+
+
+def shm_entries():
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+# ----------------------------------------------------------------------
+# Round trips
+# ----------------------------------------------------------------------
+
+
+class TestPublishAttach:
+    def test_round_trip_preserves_values_dtypes_shapes(self):
+        arrays = [
+            np.arange(12, dtype=np.float64).reshape(3, 4),
+            np.array([1, 0, 2], dtype=np.int64),
+            np.array([True, False, True]),
+        ]
+        with SharedArrayPlane() as plane:
+            meta = plane.publish("block", arrays)
+            views = attach_block(meta)
+            assert len(views) == len(arrays)
+            for original, view in zip(arrays, views):
+                assert np.array_equal(original, view)
+                assert original.dtype == view.dtype
+                assert original.shape == view.shape
+
+    def test_views_are_read_only(self):
+        with SharedArrayPlane() as plane:
+            meta = plane.publish("block", [np.zeros(4)])
+            (view,) = attach_block(meta)
+            assert not view.flags.writeable
+            with pytest.raises(ValueError):
+                view[0] = 1.0
+
+    def test_publish_same_block_id_is_idempotent(self):
+        with SharedArrayPlane() as plane:
+            a = plane.publish("block", [np.arange(3)])
+            b = plane.publish("block", [np.arange(99)])
+            assert a is b
+            assert len(plane.segment_names()) == 1
+
+    def test_cv_block_round_trip(self):
+        x = np.random.default_rng(0).normal(size=(10, 3))
+        y = np.repeat([0, 1], 5)
+        splits = [(np.array([0, 1, 2]), np.array([3, 4])),
+                  (np.array([5, 6]), np.array([7, 8, 9]))]
+        with SharedArrayPlane() as plane:
+            meta = publish_cv_block(plane, "cv", x, y, splits)
+            xv, yv, sv = cv_block_views(meta)
+            assert np.array_equal(xv, x) and xv.dtype == np.float64
+            assert np.array_equal(yv, y)
+            assert len(sv) == 2
+            for (train, test), (tv, ev) in zip(splits, sv):
+                assert np.array_equal(train, tv) and np.array_equal(test, ev)
+
+    def test_attach_from_worker_process(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        with SharedArrayPlane() as plane:
+            meta = plane.publish("block", [np.arange(100, dtype=np.float64)])
+            with ProcessPoolExecutor(max_workers=1) as pool:
+                total = pool.submit(_worker_sum, meta).result()
+            assert total == float(np.arange(100).sum())
+
+    def test_total_bytes_counts_unique_blocks(self):
+        with SharedArrayPlane() as plane:
+            plane.publish("a", [np.zeros(1000)])
+            first = plane.total_bytes
+            plane.publish("a", [np.zeros(1000)])
+            assert plane.total_bytes == first
+            plane.publish("b", [np.zeros(1000)])
+            assert plane.total_bytes == 2 * first
+
+
+def _worker_sum(meta):
+    (view,) = attach_block(meta)
+    return float(view.sum())
+
+
+def _kill_worker(_seed):
+    os._exit(13)
+
+
+class _KillerFactory:
+    """Picklable classifier 'factory' that hard-kills the worker."""
+
+    def __call__(self, seed):
+        _kill_worker(seed)
+
+
+# ----------------------------------------------------------------------
+# Lifecycle: segments must never outlive the owner
+# ----------------------------------------------------------------------
+
+
+class TestLifecycle:
+    def test_segments_unlinked_after_normal_exit(self):
+        with SharedArrayPlane() as plane:
+            plane.publish("block", [np.zeros(10)])
+            names = plane.segment_names()
+            assert all(segment_exists(n) for n in names)
+        assert not any(segment_exists(n) for n in names)
+
+    def test_close_is_idempotent(self):
+        plane = SharedArrayPlane()
+        plane.publish("block", [np.zeros(10)])
+        names = plane.segment_names()
+        plane.close()
+        plane.close()
+        assert not any(segment_exists(n) for n in names)
+
+    def test_segments_unlinked_when_body_raises(self):
+        names = []
+        with pytest.raises(RuntimeError):
+            with SharedArrayPlane() as plane:
+                plane.publish("block", [np.zeros(10)])
+                names = plane.segment_names()
+                raise RuntimeError("boom")
+        assert names and not any(segment_exists(n) for n in names)
+
+    def test_segments_unlinked_on_keyboard_interrupt(self):
+        names = []
+        with pytest.raises(KeyboardInterrupt):
+            with SharedArrayPlane() as plane:
+                plane.publish("block", [np.zeros(10)])
+                names = plane.segment_names()
+                raise KeyboardInterrupt
+        assert names and not any(segment_exists(n) for n in names)
+
+
+class TestExecutorLifecycle:
+    def test_parallel_run_leaves_no_segments(self):
+        before = shm_entries()
+        executor = ExperimentExecutor(TINY, n_jobs=2, store=CellStore(None))
+        executor.run([CellSpec("S5", "gbabs", "dt"), CellSpec("S2", "srs", "dt")])
+        assert executor.last_stats["n_blocks"] == 2
+        assert shm_entries() <= before
+
+    def test_worker_crash_cleans_up(self, monkeypatch):
+        """A worker hard-killed mid-fold must not leak segments."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.experiments import runner
+
+        before = shm_entries()
+        monkeypatch.setattr(
+            runner, "classifier_factory_for", lambda name, cfg: _KillerFactory()
+        )
+        executor = ExperimentExecutor(TINY, n_jobs=2, store=CellStore(None))
+        with pytest.raises(BrokenProcessPool):
+            executor.run([CellSpec("S5", "ori", "dt")])
+        assert shm_entries() <= before
+
+    def test_keyboard_interrupt_in_parent_cleans_up(self, monkeypatch):
+        before = shm_entries()
+
+        def interrupt(self, key, spec, fold_results):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(ExperimentExecutor, "_finish", interrupt)
+        executor = ExperimentExecutor(TINY, n_jobs=2, store=CellStore(None))
+        with pytest.raises(KeyboardInterrupt):
+            executor.run([CellSpec("S5", "ori", "dt")])
+        assert shm_entries() <= before

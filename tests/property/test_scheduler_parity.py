@@ -1,0 +1,136 @@
+"""Property: the dependency-aware pooled scheduler is bit-identical to
+serial execution for any worker count and any completion interleaving,
+resolves every payload through the pool (the parent never granulates) and
+flushes resolved ratios through the store."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.executor import CellSpec, ExperimentExecutor
+from repro.experiments.runner import gbabs_ratio_key, reference_gbabs_ratio
+from repro.experiments.store import CellStore
+
+TINY = ExperimentConfig(
+    name="tiny-sched",
+    size_factor=0.05,
+    datasets=("S2", "S5"),
+    n_splits=2,
+    n_repeats=2,
+    n_estimators=3,
+)
+
+#: A grid that exercises every dependency shape: plain cells, srs cells
+#: (dataset -> ratio -> folds), a shared dataset across methods and a
+#: second noise variant of the same dataset code.
+GRID = [
+    CellSpec("S5", "gbabs", "dt"),
+    CellSpec("S5", "srs", "dt"),
+    CellSpec("S5", "ori", "knn"),
+    CellSpec("S2", "srs", "dt"),
+    CellSpec("S2", "srs", "knn"),
+    CellSpec("S2", "sm", "dt", noise_ratio=0.2),
+]
+
+
+def run_serial():
+    return ExperimentExecutor(TINY, n_jobs=1, store=CellStore(None)).run(GRID)
+
+
+def assert_grid_equal(a, b):
+    assert len(a) == len(b)
+    for left, right in zip(a, b):
+        assert left.exactly_equal(right)
+
+
+@pytest.mark.parametrize("jobs", [2, 3])
+def test_pooled_scheduler_matches_serial(jobs):
+    parallel = ExperimentExecutor(TINY, n_jobs=jobs, store=CellStore(None)).run(GRID)
+    assert_grid_equal(run_serial(), parallel)
+
+
+@pytest.mark.parametrize(
+    "interleaving",
+    ["forward", "reversed"],
+)
+def test_parity_across_completion_interleavings(interleaving):
+    """Deterministic single-thread pool + permuted completion handling:
+    the scheduler's dispatch order must never influence results."""
+    executor = ExperimentExecutor(TINY, n_jobs=2, store=CellStore(None))
+    executor._pool_factory = lambda max_workers: ThreadPoolExecutor(max_workers=1)
+    if interleaving == "reversed":
+        executor._completion_order = lambda ordered: list(reversed(ordered))
+    assert_grid_equal(run_serial(), executor.run(GRID))
+
+
+def test_parent_does_no_payload_resolution(monkeypatch):
+    """Cold pooled runs must resolve datasets and ratios in the pool: the
+    parent-side resolution helpers must never be called."""
+    from repro.experiments import runner
+
+    expected = run_serial()
+
+    def forbidden(*args, **kwargs):
+        raise AssertionError("payload resolved in the parent")
+
+    monkeypatch.setattr(runner, "dataset_with_noise", forbidden)
+    monkeypatch.setattr(runner, "reference_gbabs_ratio", forbidden)
+    executor = ExperimentExecutor(TINY, n_jobs=2, store=CellStore(None))
+    # Thread pool: tasks run in this very process, so the monkeypatch
+    # would also trip inside a worker if a task ever used those helpers.
+    executor._pool_factory = lambda max_workers: ThreadPoolExecutor(max_workers=1)
+    assert_grid_equal(expected, executor.run(GRID))
+    stats = executor.last_stats
+    assert stats["n_data_tasks"] == 3  # S5, S2, S2@0.2
+    assert stats["n_ratio_tasks"] == 2  # S5, S2 (shared by dt and knn cells)
+
+
+def test_pooled_ratio_flushes_through_store_and_matches_reference():
+    store = CellStore(None)
+    executor = ExperimentExecutor(TINY, n_jobs=2, store=store)
+    executor.run([CellSpec("S2", "srs", "dt")])
+    pooled = store.get("ratio", gbabs_ratio_key("S2", TINY, 0.0))
+    assert pooled is not None
+    from repro.experiments import runner
+
+    reference_store = CellStore(None)
+    original = runner.get_store()
+    runner.configure_store(store=reference_store)
+    try:
+        reference = reference_gbabs_ratio("S2", TINY, 0.0)
+    finally:
+        runner.configure_store(store=original)
+    assert pooled == reference
+
+
+def test_store_hits_skip_payload_tasks():
+    """A second run against the same store dispatches nothing."""
+    store = CellStore(None)
+    first = ExperimentExecutor(TINY, n_jobs=2, store=store)
+    first.run(GRID)
+    assert first.last_stats["n_fold_tasks"] > 0
+    second = ExperimentExecutor(TINY, n_jobs=2, store=store)
+    second.run(GRID)
+    assert second.last_stats["n_fold_tasks"] == 0
+    assert second.last_stats["n_data_tasks"] == 0
+    assert second.last_stats["n_ratio_tasks"] == 0
+
+
+def test_warm_payload_cold_cells_uses_cached_payloads():
+    """Datasets/ratios cached in the store must be published directly
+    (no payload tasks) while fold tasks still go through the pool."""
+    store = CellStore(None)
+    warm = ExperimentExecutor(TINY, n_jobs=2, store=store)
+    warm.run([CellSpec("S5", "srs", "dt")])
+    # Same payloads, different classifier -> cell misses, payload hits.
+    executor = ExperimentExecutor(TINY, n_jobs=2, store=store)
+    results = executor.run([CellSpec("S5", "srs", "knn")])
+    stats = executor.last_stats
+    assert stats["n_data_tasks"] == 0
+    assert stats["n_ratio_tasks"] == 0
+    assert stats["n_blocks"] == 1 and stats["n_fold_tasks"] > 0
+    serial = ExperimentExecutor(TINY, n_jobs=1, store=CellStore(None)).run(
+        [CellSpec("S5", "srs", "knn")]
+    )
+    assert_grid_equal(serial, results)

@@ -98,6 +98,84 @@ class TestBorderlineSMOTE:
         with pytest.raises(ValueError):
             BorderlineSMOTE(m_neighbors=0)
 
+    def test_rng_compat_default_pins_historical_stream(self):
+        """Golden pin of the compat stream: the default mode must keep
+        reproducing the exact synthetic rows every published result used
+        (interleaved scalar partner/gap draws)."""
+        gen = np.random.default_rng(5)
+        x = np.vstack(
+            [gen.normal([0, 0], 0.8, (30, 2)), gen.normal([1.5, 0], 0.8, (10, 2))]
+        )
+        y = np.array([0] * 30 + [1] * 10)
+        sampler = BorderlineSMOTE(random_state=7)
+        assert sampler.rng_compat
+        xs, _ys = sampler.fit_resample(x, y)
+        expected_head = np.array(
+            [
+                [0.58799301, -0.92629384],
+                [1.76919109, -0.2390103],
+                [0.87195072, -0.34717525],
+            ]
+        )
+        assert xs.shape[0] - x.shape[0] == 20
+        np.testing.assert_allclose(xs[40:43], expected_head, atol=1e-8)
+
+    def test_rng_compat_false_is_deterministic_and_balances(self, imbalanced2):
+        x, y = imbalanced2
+        a = BorderlineSMOTE(random_state=3, rng_compat=False).fit_resample(x, y)
+        b = BorderlineSMOTE(random_state=3, rng_compat=False).fit_resample(x, y)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+        counts = np.bincount(a[1])
+        assert counts[0] == counts[1]
+        # Originals are preserved; synthetic rows stay inside the minority
+        # bounding box (same invariants as compat mode).
+        np.testing.assert_array_equal(a[0][: x.shape[0]], x)
+        synth = a[0][x.shape[0]:]
+        minority = x[y == 1]
+        assert (synth >= minority.min(axis=0) - 1e-9).all()
+        assert (synth <= minority.max(axis=0) + 1e-9).all()
+
+    def test_rng_compat_modes_share_base_choice(self, imbalanced2, monkeypatch):
+        """Both modes draw base positions identically (the first batched
+        ``integers`` call); only the partner/gap stream after it differs."""
+        x, y = imbalanced2
+        real_default_rng = np.random.default_rng
+
+        class SpyRng:
+            def __init__(self, inner, log):
+                self._inner = inner
+                self._log = log
+
+            def integers(self, *args, **kwargs):
+                value = self._inner.integers(*args, **kwargs)
+                self._log.append(np.array(value, ndmin=1, copy=True))
+                return value
+
+            def random(self, *args, **kwargs):
+                return self._inner.random(*args, **kwargs)
+
+        def base_draw(rng_compat):
+            log = []
+            monkeypatch.setattr(
+                np.random,
+                "default_rng",
+                lambda seed=None: SpyRng(real_default_rng(seed), log),
+            )
+            result = BorderlineSMOTE(
+                random_state=11, rng_compat=rng_compat
+            ).fit_resample(x, y)
+            monkeypatch.setattr(np.random, "default_rng", real_default_rng)
+            assert log, "sampler drew no integers"
+            return log[0], result
+
+        compat_base, compat = base_draw(True)
+        batched_base, batched = base_draw(False)
+        assert compat_base.size > 1  # the batched base_pos draw, not a scalar
+        np.testing.assert_array_equal(compat_base, batched_base)
+        assert compat[0].shape == batched[0].shape
+        np.testing.assert_array_equal(compat[1], batched[1])
+
 
 class TestSMOTENC:
     @pytest.fixture
