@@ -33,7 +33,7 @@ from repro.experiments.config import FULL, MEDIUM, QUICK, ExperimentConfig
 from repro.experiments.executor import CellSpec, ExperimentExecutor
 from repro.experiments.runner import reference_gbabs_ratio
 from repro.experiments.store import CellStore
-from repro.experiments.tables import TABLE2_METHODS
+from repro.experiments.tables import TABLE2_METHODS, table2_specs
 
 _PROFILES = {"quick": QUICK, "medium": MEDIUM, "full": FULL}
 
@@ -41,15 +41,6 @@ OUTPUT_DIR = Path(__file__).parent / "output"
 #: BENCH_grid.json lives at the repository root so CI can upload it as the
 #: perf-trajectory artifact.
 BENCH_JSON = Path(__file__).parent.parent / "BENCH_grid.json"
-
-
-def table2_specs(cfg: ExperimentConfig) -> list[CellSpec]:
-    """The Table-II grid: every dataset × sampling method, DT classifier."""
-    return [
-        CellSpec(code, method, "dt")
-        for code in cfg.datasets
-        for method in TABLE2_METHODS
-    ]
 
 
 def _prewarm(cfg: ExperimentConfig) -> None:

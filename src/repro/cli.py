@@ -8,6 +8,8 @@ For users who want the paper's methods without writing Python::
     python -m repro.cli info data.csv
     python -m repro.cli bench table2 --jobs 4
     python -m repro.cli bench --profile full --jobs 0 --no-cache
+    python -m repro.cli bench table2 --distributed --workers 4
+    python -m repro.cli bench --workers-external --store /mnt/shared/grid
 
 CSV convention: one sample per row, features as floats, the class label in
 the last column by default (``--label-column`` overrides).  A header row is
@@ -18,7 +20,11 @@ cross-validation grid over N worker processes (``0`` = all cores,
 bit-identical results) with payload resolution pooled and datasets shipped
 zero-copy through the shared-memory data plane, completed cells persist
 under ``benchmarks/output/cellstore/`` so interrupted runs resume, and
-``--no-cache`` disables that disk store.
+``--no-cache`` disables that disk store.  ``--distributed`` coordinates
+standalone worker processes (``python -m repro.experiments.worker``) over
+a shared store directory instead — ``--workers N`` launches them locally,
+``--workers-external`` waits for workers started elsewhere (e.g. other
+machines sharing ``--store`` over a network filesystem).
 """
 
 from __future__ import annotations
@@ -136,6 +142,14 @@ def _cmd_bench(args) -> int:
         argv.append("--no-cache")
     if args.json:
         argv += ["--json", args.json]
+    if args.distributed:
+        argv += ["--distributed", "--workers", str(args.workers)]
+    if args.workers_external:
+        argv.append("--workers-external")
+    if args.store:
+        argv += ["--store", args.store]
+    if args.timeout is not None:
+        argv += ["--timeout", str(args.timeout)]
     return run_all_main(argv)
 
 
@@ -208,6 +222,20 @@ def build_parser() -> argparse.ArgumentParser:
                          help="disable the persistent cell store")
     p_bench.add_argument("--json", metavar="DIR", default=None,
                          help="also dump raw results as JSON files")
+    p_bench.add_argument("--distributed", action="store_true",
+                         help="split the grid over standalone worker "
+                              "processes sharing the cell store")
+    p_bench.add_argument("--workers", type=int, default=2, metavar="N",
+                         help="workers launched locally in --distributed "
+                              "mode (default: 2)")
+    p_bench.add_argument("--workers-external", action="store_true",
+                         help="distributed, but wait for externally "
+                              "launched workers instead of spawning any")
+    p_bench.add_argument("--store", metavar="DIR", default=None,
+                         help="shared cell store directory for "
+                              "distributed runs")
+    p_bench.add_argument("--timeout", type=float, default=None, metavar="S",
+                         help="fail a distributed wait after this long")
     p_bench.set_defaults(func=_cmd_bench)
     return parser
 

@@ -14,7 +14,7 @@ functions in :mod:`repro.experiments.tables` / ``figures``.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 
 __all__ = ["ExperimentConfig", "QUICK", "MEDIUM", "FULL", "active_config"]
 
@@ -60,6 +60,25 @@ class ExperimentConfig:
     def scaled(self, **changes) -> "ExperimentConfig":
         """Copy with selected fields replaced."""
         return replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """JSON-ready rendering (tuples become lists); see :meth:`from_dict`.
+
+        This is how distributed work manifests ship the profile to worker
+        processes, so the field set is part of the on-disk contract.
+        """
+        payload = asdict(self)
+        for field_name in ("datasets", "noise_ratios", "rho_grid"):
+            payload[field_name] = list(payload[field_name])
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentConfig":
+        """Inverse of :meth:`to_dict` (round-trips exactly)."""
+        payload = dict(payload)
+        for field_name in ("datasets", "noise_ratios", "rho_grid"):
+            payload[field_name] = tuple(payload[field_name])
+        return cls(**payload)
 
 
 _ALL = tuple(f"S{i}" for i in range(1, 14))

@@ -1,0 +1,365 @@
+"""Distributed grid dispatch: serialise experiments into work manifests.
+
+The paper's evaluation protocol is a grid of content-keyed CV *cells*
+(see :mod:`repro.experiments.executor`).  This module turns the grids
+behind the tables and figures into on-disk **work manifests** that any
+number of worker processes — on one machine or on many machines sharing
+the store directory over a network filesystem — can split:
+
+* :func:`grid_specs` single-sources the cell grid of each named
+  experiment (``table2``, ``table4``, ``fig9`` …) from the same spec
+  builders the in-process prefetch uses, so every execution mode computes
+  exactly the same cells;
+* :func:`plan_grid` pairs each deduplicated spec with its store key,
+  yielding :class:`WorkUnit` values — the unit of claimable work;
+* :func:`write_manifest` persists a plan as ``plan-<digest>.plan`` inside
+  the store directory (atomic rename, content-keyed name, so re-planning
+  an identical grid is idempotent); :func:`load_manifests` is the worker
+  side, deleting any manifest that fails to parse (same self-heal policy
+  as corrupt results: a torn manifest is rewritten by the next
+  coordinator run);
+* :func:`wait_for_grid` is the coordinator's barrier: poll the store
+  until every unit has a result, then assemble tables/figures from pure
+  store hits;
+* :func:`spawn_workers` launches local worker processes
+  (``python -m repro.experiments.worker``) for the single-node
+  convenience path — multi-node runs start workers out-of-band and point
+  them at the shared directory.
+
+Experiments without a cell-backed grid (Table I, Figs. 5–6, the
+ablations) have nothing to distribute; the coordinator computes them
+locally during assembly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.executor import CellSpec, cell_key_for
+from repro.experiments.store import CellStore, SCHEMA_VERSION
+
+__all__ = [
+    "GRID_EXPERIMENTS",
+    "WorkUnit",
+    "grid_specs",
+    "plan_grid",
+    "manifest_path",
+    "write_manifest",
+    "load_manifests",
+    "prune_manifests",
+    "pending_units",
+    "wait_for_grid",
+    "spawn_workers",
+]
+
+#: Manifest files live next to the results they describe.
+MANIFEST_SUFFIX = ".plan"
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One claimable unit of distributed work: a cell plus its identity.
+
+    ``key`` is the cell's content key (what the store files and claim
+    files are named after); ``cfg`` rides along so a worker process can
+    execute the unit without any out-of-band profile configuration.
+    """
+
+    key: str
+    spec: CellSpec
+    cfg: ExperimentConfig
+
+
+def _spec_payload(spec: CellSpec) -> dict:
+    payload = asdict(spec)
+    payload["metrics"] = list(payload["metrics"])
+    return payload
+
+
+def _spec_from_payload(payload: dict) -> CellSpec:
+    payload = dict(payload)
+    payload["metrics"] = tuple(payload["metrics"])
+    return CellSpec(**payload)
+
+
+def _grid_experiment_specs():
+    """name -> spec-list builder for every cell-backed experiment.
+
+    Derived experiments map to the grid they read: Table III consumes the
+    Table-II cells, Figs. 7–8 re-plot Table-IV slices.
+    """
+    from repro.experiments import figures, tables
+
+    return {
+        "table2": tables.table2_specs,
+        "table3": tables.table2_specs,
+        "table4": tables.table4_specs,
+        "fig7_fig8": tables.table4_specs,
+        "fig9": figures.fig9_specs,
+        "fig10_fig11": figures.fig10_fig11_specs,
+    }
+
+
+#: Names of experiments whose computation is a cell grid (distributable).
+GRID_EXPERIMENTS = tuple(sorted(_grid_experiment_specs()))
+
+
+def grid_specs(
+    cfg: ExperimentConfig, experiments: list[str] | None = None
+) -> list[CellSpec]:
+    """Deduplicated cell specs behind ``experiments`` (default: all grids).
+
+    Order is deterministic: experiments in the requested order, each
+    grid's specs in definition order, first occurrence wins.
+    """
+    builders = _grid_experiment_specs()
+    names = list(experiments) if experiments is not None else list(GRID_EXPERIMENTS)
+    unknown = sorted(set(names) - set(builders))
+    if unknown:
+        raise ValueError(
+            f"not cell-backed experiments: {unknown}; known: {GRID_EXPERIMENTS}"
+        )
+    seen: set[CellSpec] = set()
+    specs: list[CellSpec] = []
+    for name in names:
+        for spec in builders[name](cfg):
+            if spec not in seen:
+                seen.add(spec)
+                specs.append(spec)
+    return specs
+
+
+def plan_grid(
+    cfg: ExperimentConfig, experiments: list[str] | None = None
+) -> list[WorkUnit]:
+    """Serialise the selected experiments into content-keyed work units."""
+    units = []
+    seen: set[str] = set()
+    for spec in grid_specs(cfg, experiments):
+        key = cell_key_for(cfg, spec)
+        # Distinct specs can share a key (rho=None vs rho=cfg.rho).
+        if key not in seen:
+            seen.add(key)
+            units.append(WorkUnit(key=key, spec=spec, cfg=cfg))
+    return units
+
+
+# ----------------------------------------------------------------------
+# Manifests
+# ----------------------------------------------------------------------
+
+
+def manifest_path(store_root: str | Path, units: list[WorkUnit]) -> Path:
+    """Content-keyed manifest location for this exact set of unit keys."""
+    digest = hashlib.sha256(
+        "\n".join(sorted(u.key for u in units)).encode("utf-8")
+    ).hexdigest()[:16]
+    return Path(store_root) / f"plan-{digest}{MANIFEST_SUFFIX}"
+
+
+def write_manifest(
+    store_root: str | Path, cfg: ExperimentConfig, units: list[WorkUnit]
+) -> Path:
+    """Atomically persist a work manifest into the store directory."""
+    if not units:
+        raise ValueError("refusing to write an empty manifest")
+    store_root = Path(store_root)
+    store_root.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "profile": cfg.to_dict(),
+        "units": [{"key": u.key, "spec": _spec_payload(u.spec)} for u in units],
+    }
+    path = manifest_path(store_root, units)
+    # Unique spool name: two coordinators planning the same grid target
+    # the same content-keyed path, and a shared fixed .tmp would let one
+    # rename the other's half-written file into place.
+    fd, tmp = tempfile.mkstemp(dir=store_root, prefix=path.stem, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(json.dumps(payload, indent=1))
+        os.replace(tmp, path)
+    except BaseException:
+        Path(tmp).unlink(missing_ok=True)
+        raise
+    return path
+
+
+#: Parse cache: manifest files are immutable once renamed into place, so
+#: re-parsing them on every worker poll round would cost O(grid) JSON
+#: decoding per poll.  Keyed by path, invalidated by (mtime_ns, size).
+_MANIFEST_CACHE: dict[str, tuple[tuple[int, int], list[WorkUnit]]] = {}
+
+
+def _parse_manifest(path: Path) -> list[WorkUnit] | None:
+    """Parse one manifest (cached); ``None`` when corrupt."""
+    try:
+        stat = path.stat()
+        stamp = (stat.st_mtime_ns, stat.st_size)
+    except OSError:
+        return None
+    cached = _MANIFEST_CACHE.get(str(path))
+    if cached is not None and cached[0] == stamp:
+        return cached[1]
+    try:
+        payload = json.loads(path.read_text())
+        if payload["schema"] != SCHEMA_VERSION:
+            raise ValueError("manifest schema mismatch")
+        cfg = ExperimentConfig.from_dict(payload["profile"])
+        parsed = [
+            WorkUnit(
+                key=entry["key"],
+                spec=_spec_from_payload(entry["spec"]),
+                cfg=cfg,
+            )
+            for entry in payload["units"]
+        ]
+    except Exception:
+        return None
+    _MANIFEST_CACHE[str(path)] = (stamp, parsed)
+    return parsed
+
+
+def load_manifests(store_root: str | Path) -> list[WorkUnit]:
+    """Every work unit described by manifests under ``store_root``.
+
+    Corrupt manifests (torn writes, stale schema) are deleted — the
+    self-heal contract: the coordinator that produced them rewrites the
+    identical content-keyed file on its next run.  Units are deduplicated
+    by key across manifests.
+    """
+    store_root = Path(store_root)
+    if not store_root.is_dir():
+        return []
+    units: list[WorkUnit] = []
+    seen: set[str] = set()
+    for path in sorted(store_root.glob(f"plan-*{MANIFEST_SUFFIX}")):
+        parsed = _parse_manifest(path)
+        if parsed is None:
+            path.unlink(missing_ok=True)
+            _MANIFEST_CACHE.pop(str(path), None)
+            continue
+        for unit in parsed:
+            if unit.key not in seen:
+                seen.add(unit.key)
+                units.append(unit)
+    return units
+
+
+def prune_manifests(store: CellStore, store_root: str | Path) -> int:
+    """Delete manifests whose every cell has landed; returns the count.
+
+    Without pruning, a reused store directory accumulates every grid
+    ever planned and workers would adopt all of them as their exit
+    condition (recomputing stale grids nobody asked about).  Workers and
+    coordinators prune on completion; a worker that later observes its
+    previously-seen plan gone treats the grid as finished.
+    """
+    store_root = Path(store_root)
+    if not store_root.is_dir():
+        return 0
+    pruned = 0
+    for path in sorted(store_root.glob(f"plan-*{MANIFEST_SUFFIX}")):
+        parsed = _parse_manifest(path)
+        if parsed is None:
+            continue  # load_manifests owns corrupt-file healing
+        if all(store.has("cell", unit.key) for unit in parsed):
+            path.unlink(missing_ok=True)
+            _MANIFEST_CACHE.pop(str(path), None)
+            pruned += 1
+    return pruned
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+
+
+def pending_units(store: CellStore, units: list[WorkUnit]) -> list[WorkUnit]:
+    """Units whose result has not landed in the store yet.
+
+    Uses the store's stat-level existence probe: polling loops call this
+    every few hundred milliseconds, and deserialising every landed cell
+    in every poller would cost O(grid) memory per process.
+    """
+    return [u for u in units if not store.has("cell", u.key)]
+
+
+def wait_for_grid(
+    store: CellStore,
+    units: list[WorkUnit],
+    poll: float = 0.5,
+    timeout: float | None = None,
+    should_abort=None,
+    on_progress=None,
+) -> None:
+    """Block until every unit's result is in the store.
+
+    ``should_abort`` (optional callable) is consulted each poll; a truthy
+    return raises ``RuntimeError`` — the coordinator passes a "did every
+    spawned worker die?" probe so a crashed fleet fails fast instead of
+    hanging on an empty queue.  ``on_progress(done, total)`` fires
+    whenever the completed count changes.
+    """
+    deadline = None if timeout is None else time.monotonic() + timeout
+    total = len(units)
+    last_done = -1
+    while True:
+        remaining = pending_units(store, units)
+        done = total - len(remaining)
+        if done != last_done and on_progress is not None:
+            on_progress(done, total)
+            last_done = done
+        if not remaining:
+            return
+        if should_abort is not None and should_abort():
+            raise RuntimeError(
+                f"distributed run aborted with {len(remaining)} cells pending "
+                "(no live workers left)"
+            )
+        if deadline is not None and time.monotonic() > deadline:
+            raise TimeoutError(
+                f"grid incomplete after {timeout:.0f}s: "
+                f"{len(remaining)}/{total} cells pending"
+            )
+        time.sleep(poll)
+
+
+def spawn_workers(
+    store_root: str | Path,
+    n_workers: int,
+    jobs: int = 1,
+    lease_ttl: float | None = None,
+    claim_order: str | None = None,
+    stagger: int = 0,
+    extra_args: list[str] | None = None,
+) -> list[subprocess.Popen]:
+    """Launch local worker processes against a shared store directory.
+
+    With ``stagger > 0`` (and no explicit ``claim_order``) worker ``i``
+    claims in ``rotate:i*stagger`` order, so a fleet starts spread over
+    the grid instead of racing for the same first cell.
+    """
+    processes = []
+    for index in range(max(1, n_workers)):
+        command = [sys.executable, "-m", "repro.experiments.worker",
+                   "--store", str(store_root), "--jobs", str(jobs)]
+        if lease_ttl is not None:
+            command += ["--ttl", str(lease_ttl)]
+        if claim_order is not None:
+            command += ["--claim-order", claim_order]
+        elif stagger > 0:
+            command += ["--claim-order", f"rotate:{index * stagger}"]
+        if extra_args:
+            command += list(extra_args)
+        processes.append(subprocess.Popen(command))
+    return processes

@@ -59,7 +59,7 @@ from repro.evaluation.cross_validation import (
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.store import CellStore
 
-__all__ = ["CellSpec", "ExperimentExecutor", "prefetch_cells"]
+__all__ = ["CellSpec", "ExperimentExecutor", "cell_key_for", "prefetch_cells"]
 
 
 @dataclass(frozen=True)
@@ -72,6 +72,23 @@ class CellSpec:
     noise_ratio: float = 0.0
     metrics: tuple[str, ...] = ("accuracy",)
     rho: int | None = None
+
+
+def cell_key_for(cfg: ExperimentConfig, spec: CellSpec) -> str:
+    """Store key of one cell — the identity shared by the executor, the
+    distributed dispatcher and the worker loop (all three must agree on
+    what one unit of work *is*)."""
+    from repro.experiments import runner
+
+    return runner.cell_key(
+        spec.code,
+        spec.method,
+        spec.classifier,
+        cfg,
+        noise_ratio=spec.noise_ratio,
+        metrics=spec.metrics,
+        rho=spec.rho,
+    )
 
 
 class _CellState:
@@ -134,22 +151,13 @@ class ExperimentExecutor:
 
     # -- public API ----------------------------------------------------
 
+    def key_for(self, spec: CellSpec) -> str:
+        """Store key of ``spec`` under this executor's config."""
+        return cell_key_for(self.cfg, spec)
+
     def run(self, specs: list[CellSpec]) -> list[CVResult]:
         """Evaluate every cell (store hits are free), preserving spec order."""
-        from repro.experiments import runner
-
-        keys = [
-            runner.cell_key(
-                s.code,
-                s.method,
-                s.classifier,
-                self.cfg,
-                noise_ratio=s.noise_ratio,
-                metrics=s.metrics,
-                rho=s.rho,
-            )
-            for s in specs
-        ]
+        keys = [self.key_for(s) for s in specs]
         results: dict[str, CVResult] = {}
         missing: set[str] = set()
         misses: list[tuple[str, CellSpec]] = []

@@ -25,6 +25,8 @@ from repro.viz import TSNE, bar_chart, heatmap, line_chart, ridge, scatter
 
 __all__ = [
     "FIG9_METHODS",
+    "fig9_specs",
+    "fig10_fig11_specs",
     "fig5",
     "fig6",
     "fig7_fig8",
@@ -42,6 +44,28 @@ FIG9_METHODS = ("gbabs", "ggbs", "igbs", "smnc", "tomek", "sm", "bsm", "ori")
 
 #: Datasets visualised in Fig. 5.
 _FIG5_DATASETS = ("S5", "S1", "S3", "S6")
+
+
+def fig9_specs(cfg: ExperimentConfig) -> list[CellSpec]:
+    """The Fig. 9 cell grid: eight samplers × DT across the noise grid
+    (single-sourced for the prefetch and the distributed dispatcher)."""
+    noise_grid = (0.0,) + tuple(cfg.noise_ratios)
+    return [
+        CellSpec(code, method, "dt", noise_ratio=noise,
+                 metrics=("accuracy", "g_mean"))
+        for noise in noise_grid
+        for method in FIG9_METHODS
+        for code in cfg.datasets
+    ]
+
+
+def fig10_fig11_specs(cfg: ExperimentConfig) -> list[CellSpec]:
+    """The Figs. 10–11 cell grid: GBABS-DT across the rho sweep."""
+    return [
+        CellSpec(code, "gbabs", "dt", rho=rho)
+        for rho in cfg.rho_grid
+        for code in cfg.datasets
+    ]
 
 
 def fig5(
@@ -162,17 +186,7 @@ def fig9(cfg: ExperimentConfig | None = None, n_jobs: int | None = 1) -> dict:
     """
     cfg = cfg or active_config()
     noise_grid = (0.0,) + tuple(cfg.noise_ratios)
-    prefetch_cells(
-        cfg,
-        [
-            CellSpec(code, method, "dt", noise_ratio=noise,
-                     metrics=("accuracy", "g_mean"))
-            for noise in noise_grid
-            for method in FIG9_METHODS
-            for code in cfg.datasets
-        ],
-        n_jobs,
-    )
+    prefetch_cells(cfg, fig9_specs(cfg), n_jobs)
     rank_matrices = {}
     gmeans = {}
     for noise in noise_grid:
@@ -240,15 +254,7 @@ def fig10_fig11(
     (Fig. 10) and the GBABS-DT testing accuracy (Fig. 11).
     """
     cfg = cfg or active_config()
-    prefetch_cells(
-        cfg,
-        [
-            CellSpec(code, "gbabs", "dt", rho=rho)
-            for rho in cfg.rho_grid
-            for code in cfg.datasets
-        ],
-        n_jobs,
-    )
+    prefetch_cells(cfg, fig10_fig11_specs(cfg), n_jobs)
     ratio_curves = {code: [] for code in cfg.datasets}
     accuracy_curves = {code: [] for code in cfg.datasets}
     for rho in cfg.rho_grid:

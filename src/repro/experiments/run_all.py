@@ -8,6 +8,8 @@ Usage::
     python -m repro.experiments.run_all --profile full  # the paper's grid
     python -m repro.experiments.run_all --jobs 4        # parallel CV grid
     python -m repro.experiments.run_all --no-cache      # ignore disk store
+    python -m repro.experiments.run_all --distributed --workers 4
+    python -m repro.experiments.run_all --workers-external --store /mnt/grid
 
 Results are printed as text reports and, with ``--json DIR``, also dumped
 as JSON for post-processing.
@@ -20,6 +22,17 @@ data plane (one block per unique dataset, unlinked on exit).  Completed
 cells land in the persistent store under ``benchmarks/output/cellstore/``
 as soon as they finish, so an interrupted run resumes instead of
 recomputing; ``--no-cache`` disables that disk layer for the session.
+
+``--distributed`` turns this process into a *coordinator*: it serialises
+the selected experiments' cell grids into a work manifest inside the
+store directory, launches ``--workers N`` local worker processes
+(``python -m repro.experiments.worker``) that split the grid through the
+store's claim/lease protocol, waits for every cell to land, and then
+assembles the tables/figures from pure store hits.  With
+``--workers-external`` no workers are launched — point any number of
+externally started workers (other machines sharing the directory) at the
+same ``--store`` and the coordinator just plans, waits and assembles.
+Either way the results are bit-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -83,6 +96,68 @@ def _experiments(cfg, n_jobs: int | None = 1):
     ]
 
 
+def _coordinate(args, cfg, selected: list[str]) -> None:
+    """Distributed phase: plan, (maybe) launch workers, wait for the grid.
+
+    On return every cell behind the selected experiments is in the store,
+    so the regular serial rendering loop assembles from pure hits.
+    Experiments without a cell grid (table1, fig5, fig6, the ablations)
+    are simply computed locally by that loop.
+    """
+    from repro.experiments import dispatch
+    from repro.experiments.runner import get_store
+
+    store = get_store()
+    if not store.persist or store.root is None:
+        raise RuntimeError(
+            "distributed mode needs a persistent store directory "
+            "(is REPRO_CELLSTORE=off?)"
+        )
+    cell_backed = [n for n in selected if n in dispatch.GRID_EXPERIMENTS]
+    units = dispatch.plan_grid(cfg, cell_backed) if cell_backed else []
+    units = dispatch.pending_units(store, units)
+    if not units:
+        print("[distributed] no pending cells; assembling from the store")
+        return
+    manifest = dispatch.write_manifest(store.root, cfg, units)
+    print(f"[distributed] {len(units)} pending cells -> {manifest}")
+
+    processes = []
+    if not args.workers_external:
+        processes = dispatch.spawn_workers(
+            store.root,
+            args.workers,
+            jobs=args.jobs,
+            stagger=max(1, len(units) // max(1, args.workers)),
+        )
+        print(f"[distributed] launched {len(processes)} workers")
+    else:
+        print(f"[distributed] waiting for external workers on {store.root}")
+
+    def fleet_dead() -> bool:
+        return bool(processes) and all(p.poll() is not None for p in processes)
+
+    try:
+        dispatch.wait_for_grid(
+            store,
+            units,
+            poll=args.poll,
+            timeout=args.timeout,
+            should_abort=fleet_dead,
+            on_progress=lambda done, total: print(
+                f"[distributed] {done}/{total} cells done", flush=True
+            ),
+        )
+        # Consumed manifests must not linger: workers joining this store
+        # later would adopt them as part of their exit condition.
+        dispatch.prune_manifests(store, store.root)
+    finally:
+        for process in processes:
+            if process.poll() is None:
+                process.terminate()
+            process.wait()
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("experiments", nargs="*",
@@ -95,20 +170,58 @@ def main(argv: list[str] | None = None) -> int:
                              "(0 = all cores; results identical to serial)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the persistent cell store for this run")
+    parser.add_argument("--distributed", action="store_true",
+                        help="coordinate worker processes over the shared "
+                             "store instead of computing cells in-process")
+    parser.add_argument("--workers", type=int, default=2, metavar="N",
+                        help="worker processes the coordinator launches "
+                             "in --distributed mode (default: 2)")
+    parser.add_argument("--workers-external", action="store_true",
+                        help="distributed, but launch no workers: wait for "
+                             "externally started ones sharing --store")
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="cell store directory (default: "
+                             "benchmarks/output/cellstore or "
+                             "$REPRO_CELLSTORE_DIR)")
+    parser.add_argument("--poll", type=float, default=0.5, metavar="S",
+                        help="coordinator poll interval while waiting for "
+                             "distributed cells")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="fail the distributed wait after this long")
     args = parser.parse_args(argv)
 
-    if args.no_cache:
+    if args.workers_external:
+        args.distributed = True
+    if args.distributed and args.no_cache:
+        parser.error("--distributed needs the persistent store; "
+                     "drop --no-cache")
+
+    if args.store:
+        from repro.experiments.runner import configure_store
+
+        configure_store(root=args.store, persist=not args.no_cache)
+    elif args.no_cache:
         from repro.experiments.runner import configure_store
 
         configure_store(persist=False)
 
     cfg = _PROFILES[args.profile]
+    # In distributed mode grid experiments become pure store hits after
+    # the wait, so --jobs only matters for the locally-computed rest
+    # (ablations, fig5/6) — pass it through either way.
     available = _experiments(cfg, n_jobs=args.jobs)
     names = [n for n, _, _ in available]
     selected = args.experiments or names
     unknown = sorted(set(selected) - set(names))
     if unknown:
         parser.error(f"unknown experiments: {unknown}; available: {names}")
+
+    if args.distributed:
+        try:
+            _coordinate(args, cfg, selected)
+        except (RuntimeError, TimeoutError) as exc:
+            print(f"[distributed] FAILED: {exc}")
+            return 1
 
     json_dir = Path(args.json) if args.json else None
     if json_dir:

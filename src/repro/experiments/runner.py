@@ -15,6 +15,7 @@ can ship them to worker processes on any platform.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any
 
@@ -25,7 +26,13 @@ from repro.core.gbabs import GBABS
 from repro.datasets import get_spec, inject_class_noise, load_dataset
 from repro.evaluation.cross_validation import CVResult
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.store import CellStore, default_store_root, stable_key
+from repro.experiments.store import (
+    CellStore,
+    ClaimHeartbeat,
+    default_claim_owner,
+    default_store_root,
+    stable_key,
+)
 from repro.sampling import make_sampler
 
 __all__ = [
@@ -197,12 +204,31 @@ def reference_gbabs_ratio(
     key = gbabs_ratio_key(code, cfg, noise_ratio)
     store = get_store()
     cached = store.get("ratio", key)
-    if cached is None:
-        x, y = dataset_with_noise(code, cfg, noise_ratio)
-        sampler = GBABS(rho=cfg.rho, random_state=cfg.random_state)
-        sampler.fit_resample(x, y)
-        cached = _guarded_ratio(sampler.report_.sampling_ratio, x.shape[0])
-        store.put("ratio", key, cached)
+    if cached is not None:
+        return cached
+    # Several distributed workers can need the same reference ratio at
+    # once (it costs a full-dataset granulation); the store's lease makes
+    # one compute it while the rest poll for the value.  Without a disk
+    # layer try_claim always succeeds and this reduces to the plain path.
+    owner = default_claim_owner("ratio")
+    while not store.try_claim("ratio", key, owner):
+        time.sleep(min(store.lease_ttl / 10.0, 0.2))
+        cached = store.get("ratio", key)
+        if cached is not None:
+            return cached
+    try:
+        cached = store.get("ratio", key)  # may have landed before our claim
+        if cached is None:
+            with ClaimHeartbeat(store, "ratio", key, owner):
+                x, y = dataset_with_noise(code, cfg, noise_ratio)
+                sampler = GBABS(rho=cfg.rho, random_state=cfg.random_state)
+                sampler.fit_resample(x, y)
+                cached = _guarded_ratio(
+                    sampler.report_.sampling_ratio, x.shape[0]
+                )
+            store.put("ratio", key, cached)
+    finally:
+        store.release_claim("ratio", key, owner)
     return cached
 
 

@@ -18,6 +18,28 @@ Disk writes go through a temp file + ``os.replace`` so concurrent writers
 can never expose a torn file; unreadable/corrupt entries are deleted and
 treated as misses, so a damaged store heals itself by recomputation.
 
+**Claims and leases.**  The disk layer doubles as a work queue for
+distributed execution (many worker processes — possibly on many machines
+sharing the directory over a network filesystem — splitting one grid).
+``try_claim(kind, key, owner)`` creates ``<kind>-<digest>.claim``
+atomically (``O_CREAT | O_EXCL``), so exactly one worker wins each entry;
+the holder heartbeats via :meth:`refresh_claim` (an atomic rewrite that
+bumps the file mtime) and removes the claim with :meth:`release_claim`
+when the result has been written.  A claim whose mtime is older than the
+store's ``lease_ttl`` is *stale* — its owner is presumed dead — and is
+reaped by the next claimer, so a SIGKILLed worker delays its cell by at
+most one TTL.  Truncated or otherwise unreadable claim files (a crash
+between ``O_EXCL`` create and the payload write leaves a zero-byte file)
+carry no owner information but still age by mtime, so they too expire and
+can never deadlock the grid.
+
+The invariant that makes all of this safe: **claims are an efficiency
+device, not a correctness device**.  Results are content-keyed and every
+computation is deterministic, so if two workers ever compute the same
+entry (a lease reaped from a live-but-stalled owner, a heartbeat lost to
+a reap race), both write byte-identical files through atomic ``os.replace``
+and the store still converges to the single correct value.
+
 Environment knobs: ``REPRO_CELLSTORE_DIR`` overrides the store directory,
 ``REPRO_CELLSTORE=off`` disables the disk layer entirely.
 """
@@ -28,7 +50,10 @@ import hashlib
 import io
 import json
 import os
+import socket
 import tempfile
+import threading
+import time
 from pathlib import Path
 from typing import Any
 
@@ -36,10 +61,32 @@ import numpy as np
 
 from repro.evaluation.cross_validation import CVResult
 
-__all__ = ["CellStore", "stable_key", "default_store_root"]
+__all__ = [
+    "CellStore",
+    "ClaimHeartbeat",
+    "stable_key",
+    "default_store_root",
+    "default_claim_owner",
+    "DEFAULT_LEASE_TTL",
+]
 
 #: Bump when the on-disk layout of stored values changes incompatibly.
 SCHEMA_VERSION = 1
+
+#: Default lease duration: a claim not heartbeat within this many seconds
+#: is presumed orphaned (its owner crashed) and may be reaped.
+DEFAULT_LEASE_TTL = 30.0
+
+
+def default_claim_owner(tag: str = "") -> str:
+    """Claim-owner identity, unique across every machine sharing a store.
+
+    Must be host-qualified: pid-only identities collide across machines
+    on a network filesystem, which would defeat ``release_claim``'s
+    owner guard.
+    """
+    prefix = f"{tag}-" if tag else ""
+    return f"{prefix}{socket.gethostname()}:{os.getpid()}"
 
 
 def stable_key(params: dict) -> str:
@@ -79,22 +126,32 @@ class CellStore:
         Master switch for the disk layer (``False`` keeps only the memory
         layer even when ``root`` is set) — this is what ``--no-cache``
         toggles.
+    lease_ttl:
+        Seconds a claim may go without a heartbeat before other workers
+        may reap it.  All workers sharing one store directory must agree
+        on this value.
     """
 
     #: kind -> file extension of the disk representation.
     _EXT = {"cell": ".npz", "ratio": ".json"}
 
-    def __init__(self, root: str | Path | None, persist: bool = True):
+    def __init__(
+        self,
+        root: str | Path | None,
+        persist: bool = True,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+    ):
         self.root = Path(root) if root is not None else None
         self.persist = bool(persist) and self.root is not None
+        self.lease_ttl = float(lease_ttl)
         self._memory: dict[tuple[str, str], Any] = {}
-        self.stats = {"hits": 0, "misses": 0, "puts": 0}
+        self.stats = {"hits": 0, "misses": 0, "puts": 0, "reaped_claims": 0}
 
     # -- public API ----------------------------------------------------
 
     def reset_stats(self) -> None:
         """Zero the hit/miss/put counters (benchmark phase accounting)."""
-        self.stats = {"hits": 0, "misses": 0, "puts": 0}
+        self.stats = {"hits": 0, "misses": 0, "puts": 0, "reaped_claims": 0}
 
     def get(self, kind: str, key: str) -> Any | None:
         """Look up ``key`` in memory, then on disk; ``None`` on miss."""
@@ -113,6 +170,36 @@ class CellStore:
             self.stats["misses"] += 1
         return value
 
+    def has(self, kind: str, key: str) -> bool:
+        """Cheap existence probe: memory layer, then a disk ``stat``.
+
+        Unlike :meth:`get` this never deserialises (polling loops — the
+        coordinator's grid wait, the workers' pending scans — would
+        otherwise load every landed cell into every process).  The cost:
+        a torn disk entry reports ``True`` here; the reader that later
+        fails to decode it heals by recomputation, so ``has`` is only
+        ever optimistic by a corrupt file's lifetime.
+        """
+        if (kind, key) in self._memory:
+            return True
+        if not self.persist or kind not in self._EXT:
+            return False
+        return self._path(kind, key).exists()
+
+    def verify(self, kind: str, key: str) -> bool:
+        """:meth:`has`, but decode-checked and without memory caching.
+
+        A torn disk entry is healed (deleted) and reported missing
+        instead of optimistically present.  Workers run this as a final
+        integrity sweep before declaring a grid complete: polling stays
+        stat-cheap, yet no torn file can survive to assembly.
+        """
+        if (kind, key) in self._memory:
+            return True
+        if not self.persist or kind not in self._EXT:
+            return False
+        return self._read(kind, key) is not None
+
     def put(self, kind: str, key: str, value: Any, persist: bool = True) -> None:
         """Store ``value`` in memory and (for persistable kinds) on disk."""
         self.stats["puts"] += 1
@@ -129,7 +216,7 @@ class CellStore:
         if self.root is None or not self.root.exists():
             return
         for path in self.root.iterdir():
-            if path.suffix in (".npz", ".json", ".tmp"):
+            if path.suffix in (".npz", ".json", ".tmp", ".claim"):
                 path.unlink(missing_ok=True)
 
     def disk_entries(self) -> list[Path]:
@@ -140,11 +227,156 @@ class CellStore:
             p for p in self.root.iterdir() if p.suffix in (".npz", ".json")
         )
 
+    # -- claims / leases -----------------------------------------------
+
+    def claim_path(self, kind: str, key: str) -> Path | None:
+        """Claim-file path of ``(kind, key)``; ``None`` without a disk layer."""
+        if self.root is None:
+            return None
+        return self.root / f"{kind}-{self._digest(key)}.claim"
+
+    def try_claim(self, kind: str, key: str, owner: str) -> bool:
+        """Atomically acquire the lease on ``(kind, key)``.
+
+        Returns ``True`` when this caller now holds the claim (stale and
+        expired-corrupt claims are reaped first), ``False`` when another
+        owner holds a live claim.  Stores without a disk layer have no
+        peers to coordinate with, so every claim trivially succeeds.
+        """
+        path = self.claim_path(kind, key)
+        if path is None or not self.persist:
+            return True
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._reap_if_stale(path)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        # A crash between the O_EXCL create above and this write leaves a
+        # zero-byte claim; it has no owner to heartbeat it, so it ages out
+        # by mtime like any other orphan.
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(self._claim_payload(key, owner))
+        return True
+
+    def refresh_claim(self, kind: str, key: str, owner: str) -> bool:
+        """Heartbeat a held lease (atomic rewrite bumps the file mtime).
+
+        Returns ``False`` when the lease was lost — the claim file is gone
+        or a different owner holds it (it went stale and was reaped).  The
+        caller may still finish and store its computation (results are
+        idempotent) but must stop heartbeating so it cannot stomp the new
+        owner's claim.
+        """
+        path = self.claim_path(kind, key)
+        if path is None or not self.persist:
+            return True
+        info = self.claim_info(kind, key)
+        if info is None or info.get("owner") != owner:
+            return False
+        self._replace_bytes(path, self._claim_payload(key, owner))
+        return True
+
+    def release_claim(self, kind: str, key: str, owner: str | None = None) -> None:
+        """Drop a claim; with ``owner`` given, only if still held by them."""
+        path = self.claim_path(kind, key)
+        if path is None:
+            return
+        if owner is not None:
+            info = self.claim_info(kind, key)
+            if info is not None and info.get("owner") != owner:
+                return
+        path.unlink(missing_ok=True)
+
+    def claim_info(self, kind: str, key: str) -> dict | None:
+        """Parsed claim payload; ``None`` when absent, torn or unreadable."""
+        path = self.claim_path(kind, key)
+        if path is None:
+            return None
+        try:
+            payload = json.loads(path.read_bytes())
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def claim_is_live(self, kind: str, key: str) -> bool:
+        """Whether ``(kind, key)`` is claimed and the lease is unexpired.
+
+        A live lease means its owner is heartbeating (or died less than
+        one TTL ago) — waiters should treat it as work in progress, not
+        as a stalled fleet.
+        """
+        path = self.claim_path(kind, key)
+        if path is None:
+            return False
+        return path.exists() and not self._is_stale(path)
+
+    def claim_files(self) -> list[Path]:
+        """Every claim file currently in the store directory."""
+        if self.root is None or not self.root.exists():
+            return []
+        return sorted(self.root.glob("*.claim"))
+
+    def stale_claim_files(self) -> list[Path]:
+        """Claim files whose lease has expired (owner presumed dead)."""
+        return [p for p in self.claim_files() if self._is_stale(p)]
+
+    def reap_stale(self) -> int:
+        """Remove expired claims and orphaned ``.tmp`` spool files.
+
+        A SIGKILLed writer can leave a ``.tmp`` behind (the atomic-rename
+        spool of an in-flight result); anything older than the lease TTL
+        cannot belong to a live writer.  Returns the number of files
+        removed.
+        """
+        if self.root is None or not self.root.exists():
+            return 0
+        reaped = 0
+        for path in list(self.root.glob("*.claim")) + list(self.root.glob("*.tmp")):
+            if self._is_stale(path):
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    continue
+                reaped += 1
+                self.stats["reaped_claims"] += 1
+        return reaped
+
+    def _claim_payload(self, key: str, owner: str) -> bytes:
+        return json.dumps(
+            {
+                "schema": SCHEMA_VERSION,
+                "key": key,
+                "owner": owner,
+                "ttl": self.lease_ttl,
+                "stamped_at": time.time(),
+            }
+        ).encode("utf-8")
+
+    def _is_stale(self, path: Path) -> bool:
+        """Lease expiry by file mtime (meaningful even for torn claims)."""
+        try:
+            mtime = path.stat().st_mtime
+        except FileNotFoundError:
+            return False
+        return time.time() - mtime > self.lease_ttl
+
+    def _reap_if_stale(self, path: Path) -> None:
+        if self._is_stale(path):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                return
+            self.stats["reaped_claims"] += 1
+
     # -- disk representation -------------------------------------------
 
+    @staticmethod
+    def _digest(key: str) -> str:
+        return hashlib.sha256(key.encode("utf-8")).hexdigest()[:32]
+
     def _path(self, kind: str, key: str) -> Path:
-        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:32]
-        return self.root / f"{kind}-{digest}{self._EXT[kind]}"
+        return self.root / f"{kind}-{self._digest(key)}{self._EXT[kind]}"
 
     def _read(self, kind: str, key: str) -> Any | None:
         path = self._path(kind, key)
@@ -162,13 +394,16 @@ class CellStore:
 
     def _write(self, kind: str, key: str, value: Any) -> None:
         self.root.mkdir(parents=True, exist_ok=True)
-        path = self._path(kind, key)
         if kind == "cell":
             payload = self._encode_cell(key, value)
         else:
             payload = json.dumps(
                 {"schema": SCHEMA_VERSION, "key": key, "value": value}
             ).encode("utf-8")
+        self._replace_bytes(self._path(kind, key), payload)
+
+    def _replace_bytes(self, path: Path, payload: bytes) -> None:
+        """Write ``payload`` to ``path`` atomically (temp file + rename)."""
         fd, tmp = tempfile.mkstemp(dir=self.root, prefix=path.stem, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
@@ -224,3 +459,42 @@ class CellStore:
         if payload.get("schema") != SCHEMA_VERSION or payload.get("key") != key:
             raise ValueError("ratio entry schema/key mismatch")
         return payload["value"]
+
+
+class ClaimHeartbeat:
+    """Background lease refresher for one held claim (context manager).
+
+    Re-stamps the claim file every ``interval`` seconds (default: a
+    quarter of the store's TTL) while the guarded computation runs, so a
+    lease can only expire when its holder actually died — without this,
+    any computation longer than the TTL triggers a fleet-wide
+    reap-and-recompute stampede.  If a refresh discovers the lease was
+    lost anyway (reaped by a peer that thought us dead), it stops
+    silently: the computation still finishes and stores its (idempotent)
+    result, but must not stomp the new owner's claim.
+    """
+
+    def __init__(self, store: CellStore, kind: str, key: str, owner: str,
+                 interval: float | None = None):
+        self._store = store
+        self._kind = kind
+        self._key = key
+        self._owner = owner
+        self._interval = interval or max(store.lease_ttl / 4.0, 0.05)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self.lost = False
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            if not self._store.refresh_claim(self._kind, self._key, self._owner):
+                self.lost = True
+                return
+
+    def __enter__(self) -> "ClaimHeartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop.set()
+        self._thread.join()

@@ -19,6 +19,8 @@ from repro.experiments.runner import run_cell
 __all__ = [
     "TABLE2_METHODS",
     "TABLE4_CLASSIFIERS",
+    "table2_specs",
+    "table4_specs",
     "table1",
     "table2",
     "table3",
@@ -34,6 +36,32 @@ TABLE2_METHODS = ("gbabs", "ggbs", "srs", "ori")
 
 #: Classifiers of Table IV.
 TABLE4_CLASSIFIERS = ("dt", "xgboost", "lightgbm", "knn", "rf")
+
+
+def table2_specs(cfg: ExperimentConfig) -> list[CellSpec]:
+    """The Table-II cell grid: every dataset × sampling method, DT.
+
+    Shared by the in-process prefetch, the scaling benchmark and the
+    distributed dispatcher (the grid definition must be single-sourced so
+    every execution mode computes the same cells).
+    """
+    return [
+        CellSpec(code, method, "dt")
+        for code in cfg.datasets
+        for method in TABLE2_METHODS
+    ]
+
+
+def table4_specs(cfg: ExperimentConfig) -> list[CellSpec]:
+    """The Table-IV grid: classifier × method × noise × dataset (Figs. 7–8
+    re-plot slices of the same cells)."""
+    return [
+        CellSpec(code, method, clf, noise_ratio=noise)
+        for clf in TABLE4_CLASSIFIERS
+        for method in TABLE2_METHODS
+        for noise in cfg.noise_ratios
+        for code in cfg.datasets
+    ]
 
 
 def table1(cfg: ExperimentConfig | None = None) -> dict:
@@ -61,15 +89,7 @@ def table2(cfg: ExperimentConfig | None = None, n_jobs: int | None = 1) -> dict:
     fans the cell grid over worker processes (bit-identical results).
     """
     cfg = cfg or active_config()
-    prefetch_cells(
-        cfg,
-        [
-            CellSpec(code, method, "dt")
-            for code in cfg.datasets
-            for method in TABLE2_METHODS
-        ],
-        n_jobs,
-    )
+    prefetch_cells(cfg, table2_specs(cfg), n_jobs)
     accuracy: dict[str, list[float]] = {m: [] for m in TABLE2_METHODS}
     ratios: dict[str, list[float]] = {m: [] for m in TABLE2_METHODS}
     for code in cfg.datasets:
@@ -138,17 +158,7 @@ def table4(cfg: ExperimentConfig | None = None, n_jobs: int | None = 1) -> dict:
     processes.
     """
     cfg = cfg or active_config()
-    prefetch_cells(
-        cfg,
-        [
-            CellSpec(code, method, clf, noise_ratio=noise)
-            for clf in TABLE4_CLASSIFIERS
-            for method in TABLE2_METHODS
-            for noise in cfg.noise_ratios
-            for code in cfg.datasets
-        ],
-        n_jobs,
-    )
+    prefetch_cells(cfg, table4_specs(cfg), n_jobs)
     mean_accuracy: dict[tuple[str, str], list[float]] = {}
     per_dataset: dict[tuple[str, str, float], np.ndarray] = {}
     for clf in TABLE4_CLASSIFIERS:

@@ -1,0 +1,32 @@
+"""Shared helpers for tests that drive real worker subprocesses."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def worker_env() -> dict:
+    """Subprocess environment with ``src`` importable."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    return env
+
+
+def spawn_worker(store_root, *extra: str) -> subprocess.Popen:
+    """Launch ``python -m repro.experiments.worker`` against a store dir."""
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.experiments.worker",
+         "--store", str(store_root), *extra],
+        env=worker_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )

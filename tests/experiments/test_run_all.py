@@ -38,3 +38,67 @@ class TestMainCLI:
     def test_unknown_profile_errors(self):
         with pytest.raises(SystemExit):
             main(["table1", "--profile", "huge"])
+
+
+@pytest.fixture
+def restore_store():
+    """Re-install the session store after a test that re-points it."""
+    from repro.experiments.runner import configure_store, get_store
+
+    original = get_store()
+    yield
+    configure_store(store=original)
+
+
+class TestDistributedCoordinator:
+    def test_distributed_rejects_no_cache(self):
+        with pytest.raises(SystemExit):
+            main(["table2", "--distributed", "--no-cache"])
+
+    def test_no_cache_with_store_keeps_disk_layer_off(self, tmp_path,
+                                                      restore_store):
+        """Regression: --store must not silently re-enable the disk layer
+        the user just disabled with --no-cache."""
+        code = main(["table1", "--no-cache", "--store", str(tmp_path)])
+        assert code == 0
+        from repro.experiments.runner import get_store
+
+        assert not get_store().persist
+
+    def test_external_wait_times_out_cleanly(self, tmp_path, capsys,
+                                             restore_store):
+        """--workers-external with nobody working: the coordinator plans,
+        writes the manifest for the (absent) fleet and fails fast on
+        --timeout instead of hanging."""
+        code = main([
+            "table2", "--workers-external", "--store", str(tmp_path),
+            "--timeout", "0.2", "--poll", "0.05",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out and "pending" in out
+        # The manifest is in place, so late workers could still pick the
+        # grid up and a re-run would assemble it.
+        assert list(tmp_path.glob("plan-*.plan"))
+
+    def test_distributed_with_complete_store_just_assembles(
+        self, tmp_path, capsys, restore_store
+    ):
+        """When every cell is already in the store the coordinator spawns
+        nothing and renders from hits (the resume path)."""
+        from repro.experiments import dispatch
+        from repro.experiments.config import QUICK
+        from repro.experiments.runner import configure_store
+        from tests.experiments.test_store import make_result
+
+        store = configure_store(root=tmp_path)
+        for unit in dispatch.plan_grid(QUICK, ["table2"]):
+            store.put("cell", unit.key, make_result())
+        code = main([
+            "table2", "--distributed", "--store", str(tmp_path),
+            "--timeout", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no pending cells" in out
+        assert "table2" in out

@@ -1,6 +1,8 @@
 """Unit tests for the persistent content-keyed cell store."""
 
 import json
+import os
+import time
 
 import numpy as np
 import pytest
@@ -55,6 +57,26 @@ class TestMemoryLayer:
         store.put("data", "k", (np.zeros(3), np.ones(3)))
         assert store.disk_entries() == []
         assert store.get("data", "k") is not None
+
+    def test_has_probes_memory_and_disk_without_decoding(self, tmp_path):
+        store = CellStore(tmp_path)
+        assert not store.has("cell", "k")
+        store.put("cell", "k", make_result())
+        assert store.has("cell", "k")
+        fresh = CellStore(tmp_path)  # disk-only view
+        assert fresh.has("cell", "k")
+        assert not CellStore(tmp_path, persist=False).has("cell", "k")
+        assert not CellStore(None).has("cell", "k")
+
+    def test_verify_heals_torn_entries_has_does_not(self, tmp_path):
+        CellStore(tmp_path).put("cell", "k", make_result())
+        fresh = CellStore(tmp_path)
+        (path,) = fresh.disk_entries()
+        path.write_bytes(b"torn")
+        assert fresh.has("cell", "k")  # stat-level probe is optimistic
+        assert not fresh.verify("cell", "k")  # decode check heals
+        assert not path.exists()
+        assert not fresh.has("cell", "k")
 
     def test_clear_memory_keeps_disk(self, tmp_path):
         store = CellStore(tmp_path)
@@ -157,3 +179,144 @@ class TestCorruptionRecovery:
         store.put("cell", "k", make_result())
         store.clear_disk()
         assert store.disk_entries() == []
+
+
+def age(path, seconds: float) -> None:
+    """Backdate a file's mtime (simulates a lease aging past its TTL)."""
+    stamp = time.time() - seconds
+    os.utime(path, (stamp, stamp))
+
+
+class TestClaims:
+    """The claim/lease protocol behind distributed grid execution."""
+
+    def test_claim_is_exclusive(self, tmp_path):
+        store = CellStore(tmp_path)
+        assert store.try_claim("cell", "k", "alice")
+        assert not store.try_claim("cell", "k", "bob")
+        assert not store.try_claim("cell", "k", "alice")  # not reentrant
+
+    def test_claim_info_and_file(self, tmp_path):
+        store = CellStore(tmp_path)
+        store.try_claim("cell", "k", "alice")
+        info = store.claim_info("cell", "k")
+        assert info["owner"] == "alice" and info["key"] == "k"
+        assert store.claim_files() == [store.claim_path("cell", "k")]
+
+    def test_release_lets_next_owner_in(self, tmp_path):
+        store = CellStore(tmp_path)
+        store.try_claim("cell", "k", "alice")
+        store.release_claim("cell", "k", "alice")
+        assert store.claim_files() == []
+        assert store.try_claim("cell", "k", "bob")
+
+    def test_release_respects_current_owner(self, tmp_path):
+        """A worker that lost its lease must not free the new owner's."""
+        store = CellStore(tmp_path)
+        store.try_claim("cell", "k", "bob")
+        store.release_claim("cell", "k", "alice")
+        assert store.claim_info("cell", "k")["owner"] == "bob"
+        # Unconditional release (no owner argument) always removes.
+        store.release_claim("cell", "k")
+        assert store.claim_files() == []
+
+    def test_stale_claim_is_reaped_on_next_attempt(self, tmp_path):
+        store = CellStore(tmp_path, lease_ttl=10.0)
+        store.try_claim("cell", "k", "alice")
+        age(store.claim_path("cell", "k"), 11.0)
+        assert store.stale_claim_files() == [store.claim_path("cell", "k")]
+        assert store.try_claim("cell", "k", "bob")
+        assert store.claim_info("cell", "k")["owner"] == "bob"
+        assert store.stats["reaped_claims"] == 1
+
+    def test_fresh_claim_is_not_reaped(self, tmp_path):
+        store = CellStore(tmp_path, lease_ttl=10.0)
+        store.try_claim("cell", "k", "alice")
+        assert store.stale_claim_files() == []
+        assert not store.try_claim("cell", "k", "bob")
+
+    def test_claim_is_live_tracks_lease_expiry(self, tmp_path):
+        store = CellStore(tmp_path, lease_ttl=10.0)
+        assert not store.claim_is_live("cell", "k")  # unclaimed
+        store.try_claim("cell", "k", "alice")
+        assert store.claim_is_live("cell", "k")
+        age(store.claim_path("cell", "k"), 11.0)
+        assert not store.claim_is_live("cell", "k")  # expired
+        assert not CellStore(None).claim_is_live("cell", "k")
+
+    def test_heartbeat_keeps_lease_alive(self, tmp_path):
+        store = CellStore(tmp_path, lease_ttl=0.3)
+        store.try_claim("cell", "k", "alice")
+        for _ in range(3):
+            time.sleep(0.15)
+            assert store.refresh_claim("cell", "k", "alice")
+        # 0.45s elapsed > ttl, but the heartbeats kept the mtime fresh.
+        assert not store.try_claim("cell", "k", "bob")
+
+    def test_heartbeat_reports_lost_lease(self, tmp_path):
+        store = CellStore(tmp_path, lease_ttl=10.0)
+        store.try_claim("cell", "k", "alice")
+        age(store.claim_path("cell", "k"), 11.0)
+        assert store.try_claim("cell", "k", "bob")  # reaps + re-claims
+        assert not store.refresh_claim("cell", "k", "alice")
+        assert store.claim_info("cell", "k")["owner"] == "bob"  # not stomped
+
+    def test_memory_only_store_always_claims(self, tmp_path):
+        store = CellStore(None)
+        assert store.try_claim("cell", "k", "a")
+        assert store.try_claim("cell", "k", "b")  # no peers to exclude
+        assert store.refresh_claim("cell", "k", "a")
+        store.release_claim("cell", "k", "a")  # no-op, no error
+
+    def test_no_cache_store_always_claims(self, tmp_path):
+        store = CellStore(tmp_path, persist=False)
+        assert store.try_claim("cell", "k", "a")
+        assert store.try_claim("cell", "k", "b")
+        assert store.claim_files() == []
+
+
+class TestClaimSelfHeal:
+    """Torn/partial claim files must delay the grid at most one TTL."""
+
+    @pytest.mark.parametrize("garbage", [b"", b"{truncated", b"\x00" * 40])
+    def test_corrupt_claim_expires_by_mtime(self, tmp_path, garbage):
+        store = CellStore(tmp_path, lease_ttl=10.0)
+        path = store.claim_path("cell", "k")
+        path.write_bytes(garbage)
+        assert store.claim_info("cell", "k") is None  # unreadable
+        assert not store.try_claim("cell", "k", "bob")  # fresh: grace period
+        age(path, 11.0)
+        assert store.try_claim("cell", "k", "bob")  # aged out: reaped
+        assert store.claim_info("cell", "k")["owner"] == "bob"
+
+    def test_zero_byte_claim_cannot_deadlock(self, tmp_path):
+        """Regression: a crash between O_EXCL create and the payload write
+        leaves a zero-byte claim nobody owns; it must never block the
+        grid forever."""
+        store = CellStore(tmp_path, lease_ttl=0.2)
+        path = store.claim_path("cell", "k")
+        path.touch()
+        deadline = time.time() + 5.0
+        while not store.try_claim("cell", "k", "bob"):
+            assert time.time() < deadline, "zero-byte claim deadlocked"
+            time.sleep(0.05)
+        assert store.claim_info("cell", "k")["owner"] == "bob"
+
+    def test_reap_stale_sweeps_claims_and_tmp(self, tmp_path):
+        store = CellStore(tmp_path, lease_ttl=10.0)
+        store.try_claim("cell", "k1", "alice")
+        store.try_claim("cell", "k2", "alice")
+        orphan = tmp_path / "cell-deadbeef.tmp"
+        orphan.write_bytes(b"partial write of a crashed worker")
+        age(store.claim_path("cell", "k1"), 11.0)
+        age(orphan, 11.0)
+        assert store.reap_stale() == 2
+        assert store.claim_files() == [store.claim_path("cell", "k2")]
+        assert not orphan.exists()
+
+    def test_claims_do_not_count_as_entries(self, tmp_path):
+        store = CellStore(tmp_path)
+        store.try_claim("cell", "k", "alice")
+        assert store.disk_entries() == []
+        store.clear_disk()
+        assert store.claim_files() == []

@@ -1,0 +1,174 @@
+"""Fault injection for the distributed worker/claim protocol.
+
+The contract under test: a worker SIGKILLed mid-cell leaves a claim whose
+lease expires after the TTL, any other worker then reaps the lease and
+recomputes the cell, and the final store is bit-identical to a serial run
+with no duplicate, torn or leftover files.  Claims are an efficiency
+device — correctness never depends on them.
+"""
+
+import os
+import signal
+import time
+
+from repro.experiments import dispatch, worker
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.executor import ExperimentExecutor
+from repro.experiments.store import CellStore
+
+from tests.experiments.distributed_helpers import spawn_worker
+
+#: Cells sized to take a tangible fraction of a second each, so SIGKILL
+#: reliably lands mid-computation (the claim poll below reacts within ms).
+FAULT_CFG = ExperimentConfig(
+    name="fault-tiny",
+    size_factor=0.12,
+    datasets=("S5", "S6"),
+    n_splits=3,
+    n_repeats=2,
+    n_estimators=5,
+)
+
+TTL = 1.5
+
+
+def plan(tmp_path):
+    units = dispatch.plan_grid(FAULT_CFG, ["table2"])
+    dispatch.write_manifest(tmp_path, FAULT_CFG, units)
+    return units
+
+
+def serial_results(units):
+    return ExperimentExecutor(FAULT_CFG, n_jobs=1, store=CellStore(None)).run(
+        [u.spec for u in units]
+    )
+
+
+def assert_store_matches_serial(tmp_path, units):
+    """Final-state contract: complete, bit-identical, no torn/extra files."""
+    store = CellStore(tmp_path, lease_ttl=TTL)
+    expected = serial_results(units)
+    for unit, reference in zip(units, expected):
+        loaded = store.get("cell", unit.key)
+        assert loaded is not None, f"missing cell {unit.key}"
+        assert reference.exactly_equal(loaded), f"parity broken for {unit.key}"
+    # One file per cell plus one per persisted SRS reference ratio — no
+    # duplicates (content-keyed names make duplicates impossible, this
+    # guards against accounting bugs) and nothing else left behind.
+    cells = [p for p in store.disk_entries() if p.name.startswith("cell-")]
+    ratios = [p for p in store.disk_entries() if p.name.startswith("ratio-")]
+    assert len(cells) == len(units)
+    assert len(ratios) == len(FAULT_CFG.datasets)
+    assert store.claim_files() == []
+    assert not list(tmp_path.glob("*.tmp"))
+
+
+def test_sigkill_mid_cell_lease_expires_and_peer_recovers(tmp_path):
+    units = plan(tmp_path)
+    victim = spawn_worker(
+        tmp_path, "--ttl", str(TTL), "--poll", "0.05", "--claim-order", "sorted"
+    )
+    try:
+        # Wait for the worker to claim its first cell, then kill it -9
+        # while the cell is computing.
+        deadline = time.time() + 120
+        while not list(tmp_path.glob("*.claim")):
+            assert victim.poll() is None, (
+                "worker exited before claiming:\n" + victim.stdout.read()
+            )
+            assert time.time() < deadline, "worker never claimed a cell"
+            time.sleep(0.002)
+        os.kill(victim.pid, signal.SIGKILL)
+    finally:
+        victim.wait()
+    assert victim.returncode == -signal.SIGKILL
+
+    # The orphaned claim survives the kill: the lease was NOT released …
+    orphaned = list(tmp_path.glob("*.claim"))
+    assert orphaned, "SIGKILL should leave the in-flight claim behind"
+    store = CellStore(tmp_path, lease_ttl=TTL)
+    orphan_key = None
+    for unit in units:
+        if store.claim_path("cell", unit.key) in orphaned:
+            orphan_key = unit.key
+    assert orphan_key is not None
+    # … and while the lease is fresh, peers must respect it.
+    assert not store.try_claim("cell", orphan_key, "probe")
+
+    # A second worker completes the grid: it waits out the lease, reaps
+    # it and recomputes the orphaned cell (plus everything still pending).
+    stats = worker.worker_loop(
+        tmp_path, jobs=1, lease_ttl=TTL, poll=0.05, max_idle=120.0
+    )
+    assert not stats["idle_timeout"]
+    assert stats["reaped_claims"] >= 1, "stale lease was never reaped"
+    assert stats["computed"] >= 1
+    assert_store_matches_serial(tmp_path, units)
+
+
+def test_sigkilled_grid_remains_bit_identical_with_two_survivors(tmp_path):
+    """Acceptance: parity holds when one worker of a fleet dies mid-grid."""
+    units = plan(tmp_path)
+    victim = spawn_worker(
+        tmp_path, "--ttl", str(TTL), "--poll", "0.05", "--claim-order", "sorted"
+    )
+    try:
+        deadline = time.time() + 120
+        while not list(tmp_path.glob("*.claim")):
+            assert victim.poll() is None, (
+                "worker exited before claiming:\n" + victim.stdout.read()
+            )
+            assert time.time() < deadline
+            time.sleep(0.002)
+        os.kill(victim.pid, signal.SIGKILL)
+    finally:
+        victim.wait()
+
+    survivors = [
+        spawn_worker(tmp_path, "--ttl", str(TTL), "--poll", "0.05",
+                     "--claim-order", order)
+        for order in ("sorted", "reversed")
+    ]
+    for process in survivors:
+        out, _ = process.communicate(timeout=300)
+        assert process.returncode == 0, out
+    assert_store_matches_serial(tmp_path, units)
+
+
+def test_zero_byte_claim_does_not_deadlock_the_grid(tmp_path):
+    """Regression: a claim file torn at birth (crash between O_EXCL create
+    and payload write) must only delay its cell by one TTL."""
+    units = plan(tmp_path)
+    store = CellStore(tmp_path, lease_ttl=0.4)
+    torn = store.claim_path("cell", units[0].key)
+    torn.touch()
+    assert torn.stat().st_size == 0
+    stats = worker.worker_loop(
+        tmp_path, jobs=1, lease_ttl=0.4, poll=0.05, max_idle=60.0
+    )
+    assert not stats["idle_timeout"]
+    assert stats["computed"] == len(units)
+    assert_store_matches_serial(tmp_path, units)
+
+
+def test_torn_result_heals_and_recomputes(tmp_path):
+    """A partially-written result file (writer died inside os.replace's
+    window on a non-atomic filesystem, cosmic rays, …) is dropped and
+    recomputed, never served."""
+    units = plan(tmp_path)
+    stats = worker.worker_loop(tmp_path, jobs=1, lease_ttl=TTL, max_idle=60.0)
+    assert stats["computed"] == len(units)
+    # The worker pruned the consumed manifest on its way out.
+    assert not list(tmp_path.glob("plan-*.plan"))
+    store = CellStore(tmp_path, lease_ttl=TTL)
+    path = store._path("cell", units[0].key)
+    path.write_bytes(b"torn npz")
+
+    # A coordinator re-planning the same grid is idempotent; its workers
+    # then find and heal the damage.
+    dispatch.write_manifest(tmp_path, FAULT_CFG, units)
+    heal_stats = worker.worker_loop(
+        tmp_path, jobs=1, lease_ttl=TTL, max_idle=60.0
+    )
+    assert heal_stats["computed"] == 1  # only the damaged cell reruns
+    assert_store_matches_serial(tmp_path, units)
