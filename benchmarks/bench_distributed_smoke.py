@@ -14,8 +14,13 @@ claim/lease protocol, then asserts the assembled store is
 ::
 
     PYTHONPATH=src python benchmarks/bench_distributed_smoke.py --workers 2
+    PYTHONPATH=src python benchmarks/bench_distributed_smoke.py \
+        --workers 2 --backend objectstore   # fakes3:// conditional-put store
 
-Pytest mode runs the same check at the default settings.
+``--backend objectstore`` runs the identical fleet over the fake
+object-store backend (conditional-put claims, metadata-timestamp leases)
+instead of the filesystem — CI exercises both.  Pytest mode runs the
+same checks at the default settings.
 """
 
 from __future__ import annotations
@@ -45,11 +50,14 @@ SMOKE = ExperimentConfig(
 )
 
 
-def run_smoke(n_workers: int = 2, jobs: int = 1, timeout: float = 600.0) -> dict:
+def run_smoke(n_workers: int = 2, jobs: int = 1, timeout: float = 600.0,
+              backend: str = "file") -> dict:
     """One full distributed pass in a temp store; returns the record.
 
-    Raises ``AssertionError`` on any contract violation (parity, leftover
-    claims, leaked shared memory).
+    ``backend`` is ``file`` (the historical directory store) or
+    ``objectstore`` (a ``fakes3://`` bucket — the claim/lease protocol on
+    conditional-put semantics).  Raises ``AssertionError`` on any
+    contract violation (parity, leftover claims, leaked shared memory).
     """
     shm_before = set(glob.glob("/dev/shm/psm_*"))
     units = dispatch.plan_grid(SMOKE, ["table2"])
@@ -57,10 +65,16 @@ def run_smoke(n_workers: int = 2, jobs: int = 1, timeout: float = 600.0) -> dict
         [u.spec for u in units]
     )
     with tempfile.TemporaryDirectory(prefix="dist-smoke-") as store_root:
-        dispatch.write_manifest(store_root, SMOKE, units)
+        if backend == "objectstore":
+            target = f"fakes3://{Path(store_root) / 'bucket'}"
+        elif backend == "file":
+            target = store_root
+        else:
+            raise ValueError(f"unknown backend {backend!r}")
+        dispatch.write_manifest(target, SMOKE, units)
         start = time.perf_counter()
         fleet = dispatch.spawn_workers(
-            store_root, n_workers, jobs=jobs,
+            target, n_workers, jobs=jobs,
             stagger=max(1, len(units) // n_workers),
         )
         exit_codes = [p.wait(timeout=timeout) for p in fleet]
@@ -69,16 +83,16 @@ def run_smoke(n_workers: int = 2, jobs: int = 1, timeout: float = 600.0) -> dict
             f"worker exit codes: {exit_codes}"
         )
 
-        store = CellStore(store_root)
+        store = CellStore(target)
         for unit, reference in zip(units, serial):
             loaded = store.get("cell", unit.key)
             assert loaded is not None, f"missing cell {unit.key}"
             assert reference.exactly_equal(loaded), (
                 f"distributed result differs from serial: {unit.key}"
             )
-        leftover_claims = store.claim_files()
+        leftover_claims = store.claim_names()
         stale = store.stale_claim_files()
-        tmp_files = list(Path(store_root).glob("*.tmp"))
+        tmp_files = store.backend.stray_spools()
         assert not leftover_claims, f"leftover claims: {leftover_claims}"
         assert not stale, f"stale claims: {stale}"
         assert not tmp_files, f"torn spool files: {tmp_files}"
@@ -88,6 +102,7 @@ def run_smoke(n_workers: int = 2, jobs: int = 1, timeout: float = 600.0) -> dict
     return {
         "bench": "distributed_smoke",
         "grid": "table2",
+        "backend": backend,
         "n_cells": len(units),
         "n_workers": n_workers,
         "jobs_per_worker": jobs,
@@ -109,6 +124,12 @@ def test_two_workers_share_one_store_bit_identically():
     assert record["n_cells"] == len(SMOKE.datasets) * 4
 
 
+def test_two_workers_share_one_object_store_bit_identically():
+    record = run_smoke(n_workers=2, backend="objectstore")
+    assert record["bit_identical"]
+    assert record["backend"] == "objectstore"
+
+
 # ----------------------------------------------------------------------
 # script mode
 # ----------------------------------------------------------------------
@@ -122,21 +143,26 @@ def main(argv=None) -> int:
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="fold-pool processes inside each worker")
     parser.add_argument("--timeout", type=float, default=600.0)
+    parser.add_argument("--backend", choices=("file", "objectstore"),
+                        default="file",
+                        help="store backend the fleet shares (objectstore "
+                             "= fakes3:// conditional-put bucket)")
     args = parser.parse_args(argv)
 
     record = run_smoke(
-        n_workers=args.workers, jobs=args.jobs, timeout=args.timeout
+        n_workers=args.workers, jobs=args.jobs, timeout=args.timeout,
+        backend=args.backend,
     )
     print(
-        f"distributed smoke OK: {record['n_cells']} cells over "
-        f"{record['n_workers']} workers in {record['wall_seconds']:.1f}s, "
-        "bit-identical to serial, no leaked segments, no stale claims"
+        f"distributed smoke OK [{record['backend']}]: {record['n_cells']} "
+        f"cells over {record['n_workers']} workers in "
+        f"{record['wall_seconds']:.1f}s, bit-identical to serial, "
+        "no leaked segments, no stale claims"
     )
     OUTPUT_DIR.mkdir(exist_ok=True)
-    (OUTPUT_DIR / "distributed_smoke.json").write_text(
-        json.dumps(record, indent=2) + "\n"
-    )
-    print(f"[record saved to {OUTPUT_DIR / 'distributed_smoke.json'}]")
+    record_path = OUTPUT_DIR / f"distributed_smoke_{record['backend']}.json"
+    record_path.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"[record saved to {record_path}]")
     return 0
 
 

@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Internal-link checker for the documentation site.
+
+Scans every Markdown file under ``docs/`` (plus ``README.md`` and
+``ROADMAP.md`` at the repo root) and fails on:
+
+* relative links to files that do not exist,
+* intra-document anchors (``page.md#section`` or ``#section``) that do
+  not match any heading in the target document,
+* absolute-URL links into the repo's own tree (those silently rot when
+  the repo moves — use relative links).
+
+External ``http(s)://`` links are *not* fetched (CI must stay hermetic);
+they are only syntax-checked.  Run it directly::
+
+    python docs/check_links.py
+
+Exit status 0 = no broken links; 1 = problems (each printed as
+``file:line: message``).  The tier-1 suite runs this via
+``tests/docs/test_docs_site.py`` and CI runs it as a dedicated job, so a
+broken cross-reference fails the build twice over.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+DOCS_DIR = Path(__file__).resolve().parent
+REPO_ROOT = DOCS_DIR.parent
+
+#: Root-level documents whose links into docs/ must also stay unbroken.
+EXTRA_DOCUMENTS = ("README.md", "ROADMAP.md")
+
+#: Markdown inline links: [text](target) — excluding images' alt text is
+#: unnecessary (image targets must exist too).
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: ATX headings, for anchor validation.
+_HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+_CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def documents() -> list[Path]:
+    """Every Markdown file the checker owns."""
+    found = sorted(DOCS_DIR.rglob("*.md"))
+    for name in EXTRA_DOCUMENTS:
+        path = REPO_ROOT / name
+        if path.exists():
+            found.append(path)
+    return found
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading -> anchor slug rule (lowercase, strip punctuation,
+    spaces to hyphens)."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    anchors: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if match:
+            anchors.add(github_anchor(match.group(1)))
+    return anchors
+
+
+def links_of(path: Path) -> list[tuple[int, str]]:
+    """(line_number, target) for every inline link outside code fences."""
+    links: list[tuple[int, str]] = []
+    in_fence = False
+    for number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if _CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            links.append((number, match.group(1)))
+    return links
+
+
+def check_document(path: Path) -> list[str]:
+    problems: list[str] = []
+    for line, target in links_of(path):
+        where = f"{path.relative_to(REPO_ROOT)}:{line}"
+        if target.startswith(("http://", "https://")):
+            continue  # external: not fetched (hermetic CI)
+        if target.startswith("mailto:"):
+            continue
+        if target.startswith("/"):
+            problems.append(
+                f"{where}: absolute link {target!r} — use a relative path"
+            )
+            continue
+        base, _, fragment = target.partition("#")
+        resolved = (path.parent / base).resolve() if base else path
+        if base and not resolved.exists():
+            problems.append(f"{where}: broken link {target!r} "
+                            f"(no such file {base!r})")
+            continue
+        if fragment:
+            if resolved.suffix != ".md":
+                continue  # anchors into non-markdown are out of scope
+            if github_anchor(fragment) not in anchors_of(resolved):
+                problems.append(
+                    f"{where}: broken anchor {target!r} "
+                    f"(no heading matches #{fragment})"
+                )
+    return problems
+
+
+def main() -> int:
+    problems: list[str] = []
+    checked = 0
+    for path in documents():
+        checked += 1
+        problems.extend(check_document(path))
+    if problems:
+        for problem in problems:
+            print(problem)
+        print(f"\n{len(problems)} broken link(s) across {checked} documents")
+        return 1
+    print(f"docs link check OK: {checked} documents, no broken internal links")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

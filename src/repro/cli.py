@@ -22,9 +22,15 @@ zero-copy through the shared-memory data plane, completed cells persist
 under ``benchmarks/output/cellstore/`` so interrupted runs resume, and
 ``--no-cache`` disables that disk store.  ``--distributed`` coordinates
 standalone worker processes (``python -m repro.experiments.worker``) over
-a shared store directory instead — ``--workers N`` launches them locally,
+a shared store instead — ``--workers N`` launches them locally,
 ``--workers-external`` waits for workers started elsewhere (e.g. other
-machines sharing ``--store`` over a network filesystem).
+machines sharing ``--store`` over a network filesystem).  ``--store`` /
+``--store-url`` accepts a directory or a store URL (``file://``,
+``fakes3://DIR``, ``s3://bucket/prefix``), selecting the storage backend
+behind the claim/lease protocol (see docs/architecture/store-backends.md)::
+
+    python -m repro.cli bench table2 --distributed \
+        --store-url fakes3://bucket-dir
 """
 
 from __future__ import annotations
@@ -231,9 +237,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--workers-external", action="store_true",
                          help="distributed, but wait for externally "
                               "launched workers instead of spawning any")
-    p_bench.add_argument("--store", metavar="DIR", default=None,
-                         help="shared cell store directory for "
-                              "distributed runs")
+    p_bench.add_argument("--store", "--store-url", dest="store",
+                         metavar="DIR_OR_URL", default=None,
+                         help="shared cell store for distributed runs: a "
+                              "directory or a file:// / mem:// / "
+                              "fakes3:// / s3:// URL")
     p_bench.add_argument("--timeout", type=float, default=None, metavar="S",
                          help="fail a distributed wait after this long")
     p_bench.set_defaults(func=_cmd_bench)

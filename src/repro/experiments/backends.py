@@ -1,0 +1,729 @@
+"""Pluggable storage backends for the distributed cell store.
+
+:class:`~repro.experiments.store.CellStore` persists content-keyed
+results and coordinates a worker fleet through claim files with
+heartbeat leases.  Until PR 5 every one of those operations was a raw
+POSIX call (``open(O_EXCL)``, ``os.replace``, ``stat().st_mtime``), which
+tied a fleet to machines sharing a network filesystem.  This module
+extracts the storage contract into :class:`StoreBackend` so the same
+claim/lease protocol runs over an S3-style object store, where
+
+* exclusive claim creation (``O_CREAT | O_EXCL``) becomes a
+  **conditional put** (create-if-absent, S3's ``If-None-Match: *``), and
+* mtime heartbeats become **metadata timestamps** (every overwrite of an
+  object refreshes its ``last_modified``).
+
+Backends shipped here:
+
+* :class:`LocalFSBackend` — the historical behaviour.  One directory,
+  byte-identical file layout to the pre-backend store (existing stores
+  resume without migration), atomic visibility via temp file +
+  ``os.replace``.
+* :class:`ObjectStoreBackend` — the claim/lease contract on top of any
+  object-store *client* exposing ``get_object`` / ``put_object`` (with an
+  ``if_none_match`` precondition) / ``head_object`` / ``delete_object`` /
+  ``list_objects``.
+* :class:`FakeObjectStore` — an in-repo client for tests and CI (no
+  cloud credentials): a strongly consistent bucket with conditional
+  puts, explicit ``last_modified`` metadata, an injectable clock, and
+  injectable latency / lost-race conflict faults.  Two bucket drivers:
+  :class:`MemoryBucket` (``mem://`` URLs, in-process) and
+  :class:`DirectoryBucket` (``fakes3://`` URLs, a directory emulating a
+  bucket so real worker *processes* can share it).
+* :class:`Boto3ObjectStore` — a thin adapter binding the same client
+  interface to a real S3 bucket when ``boto3`` is installed (``s3://``
+  URLs).  It is import-gated: nothing in this repo requires boto3.
+
+:func:`resolve_backend` maps a store *target* — a directory path or a
+``file:// | mem:// | fakes3:// | s3://`` URL — onto a backend instance;
+:class:`~repro.experiments.store.CellStore`, the worker CLI's
+``--store-url`` and the coordinator all accept any of these forms.
+
+**The contract** (pinned by the conformance suite in
+``tests/experiments/test_store_backends.py``, which runs the same tests
+against every backend):
+
+1. ``put_atomic`` is all-or-nothing: a concurrent reader sees either the
+   previous bytes or the new bytes, never a torn mix.
+2. ``try_claim_exclusive`` has exactly one winner per name until the
+   name is deleted — under any interleaving of processes or threads.
+3. ``stamp_mtime`` advances the name's modification timestamp
+   monotonically with the backend's clock (the lease heartbeat).
+4. ``delete`` of a missing name is a no-op; ``get``/``mtime`` of a
+   missing name return ``None`` (races against concurrent deletes must
+   not raise).
+5. ``list`` reflects completed writes only (no spool/temp artifacts).
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import os
+import tempfile
+import threading
+import time
+from pathlib import Path, PurePosixPath
+from typing import Callable
+
+__all__ = [
+    "StoreBackend",
+    "LocalFSBackend",
+    "ObjectStoreBackend",
+    "FakeObjectStore",
+    "MemoryBucket",
+    "DirectoryBucket",
+    "Boto3ObjectStore",
+    "resolve_backend",
+    "memory_bucket",
+]
+
+
+class StoreBackend(abc.ABC):
+    """Storage contract behind :class:`~repro.experiments.store.CellStore`.
+
+    Names are flat strings (``cell-<digest>.npz``, ``plan-<digest>.plan``,
+    ``cell-<digest>.claim`` …); the backend owns how they map onto files
+    or objects.  See the module docstring for the five invariants every
+    implementation must uphold.
+    """
+
+    #: Human-readable/reconstructable location, e.g. ``file:///x`` or
+    #: ``mem://ci``.  Passing it back through :func:`resolve_backend`
+    #: (in another process, for ``file``/``fakes3``) reaches the same
+    #: storage.
+    url: str
+
+    @abc.abstractmethod
+    def get(self, name: str) -> bytes | None:
+        """Full payload of ``name``; ``None`` when absent (never torn)."""
+
+    @abc.abstractmethod
+    def put_atomic(self, name: str, data: bytes) -> None:
+        """Write ``data`` with all-or-nothing visibility (create or replace)."""
+
+    @abc.abstractmethod
+    def exists(self, name: str) -> bool:
+        """Cheap existence probe (no payload transfer)."""
+
+    @abc.abstractmethod
+    def delete(self, name: str) -> None:
+        """Remove ``name``; silently succeed when it is already gone."""
+
+    @abc.abstractmethod
+    def list(self, prefix: str = "") -> list[str]:
+        """Sorted names of every completed entry (no spool artifacts).
+
+        ``prefix`` narrows the listing by name prefix — object stores
+        filter server-side, so hot polling paths (manifest discovery)
+        should always pass one rather than scan the whole store.
+        """
+
+    @abc.abstractmethod
+    def try_claim_exclusive(self, name: str, data: bytes) -> bool:
+        """Create ``name`` only if absent; ``True`` iff this call created it.
+
+        The distributed claim primitive: exactly one concurrent caller
+        wins.  Filesystems implement it with ``O_CREAT | O_EXCL``, object
+        stores with a conditional put (``If-None-Match: *``).
+        """
+
+    @abc.abstractmethod
+    def stamp_mtime(self, name: str, data: bytes) -> None:
+        """Rewrite ``name`` so its modification timestamp advances.
+
+        The lease heartbeat.  Must stay atomic (readers never see a torn
+        claim payload) and must work whether or not ``name`` exists.
+        """
+
+    @abc.abstractmethod
+    def mtime(self, name: str) -> float | None:
+        """Last-modification time of ``name`` in epoch seconds, or ``None``.
+
+        The value leases age against: :class:`CellStore` compares it to
+        its clock, so backend timestamps and the store clock must share
+        an epoch (both fakes take the same injectable ``clock``).
+        """
+
+    def stray_spools(self) -> list[str]:
+        """In-flight or orphaned write artifacts, if the backend has any.
+
+        Atomic-per-key stores never strand spools; filesystem-based
+        storage (the local backend, the directory-backed fake bucket)
+        can leave one behind when a writer is SIGKILLed mid-write.
+        These names are deliberately *excluded* from :meth:`list`
+        (invariant 5) and surfaced here so :meth:`CellStore.reap_stale`
+        can sweep the expired ones.  The returned names are valid
+        arguments to :meth:`mtime`/:meth:`delete`.
+        """
+        return []
+
+
+# ----------------------------------------------------------------------
+# Shared filesystem primitives (used by the local backend and by the
+# directory-backed fake bucket — one implementation of atomic publish
+# and exclusive create, so a fix to either path cannot miss the other)
+# ----------------------------------------------------------------------
+
+
+def _atomic_write(root: Path, name: str, data: bytes,
+                  spool_prefix: str, spool_suffix: str,
+                  stamp: float | None = None) -> None:
+    """Publish ``data`` as ``root/name`` via spool file + ``os.replace``.
+
+    ``stamp`` (optional) sets the published file's mtime explicitly
+    (the fake bucket's clock-driven ``last_modified`` metadata).
+    """
+    root.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=root, prefix=spool_prefix,
+                               suffix=spool_suffix)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        if stamp is not None:
+            os.utime(tmp, (stamp, stamp))
+        os.replace(tmp, root / name)
+    except BaseException:
+        Path(tmp).unlink(missing_ok=True)
+        raise
+
+
+def _create_exclusive(path: Path, data: bytes,
+                      stamp: float | None = None) -> bool:
+    """``O_CREAT | O_EXCL`` create of ``path``; ``True`` iff we won.
+
+    A crash between the create and the payload write leaves a zero-byte
+    file; it has no owner to heartbeat it, so it ages out by mtime like
+    any other orphan.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    with os.fdopen(fd, "wb") as handle:
+        handle.write(data)
+    if stamp is not None:
+        try:
+            os.utime(path, (stamp, stamp))
+        except OSError:
+            pass  # claimed but deleted already — the create still won
+    return True
+
+
+# ----------------------------------------------------------------------
+# Local filesystem
+# ----------------------------------------------------------------------
+
+
+class LocalFSBackend(StoreBackend):
+    """The historical POSIX store: one file per entry under ``root``.
+
+    Layout is byte-identical to the pre-backend :class:`CellStore`, so
+    stores written before this abstraction existed resume without any
+    migration.  Atomicity comes from ``tempfile.mkstemp`` + ``os.replace``
+    (same-directory rename), exclusive claims from ``O_CREAT | O_EXCL``,
+    and timestamps from file mtimes — which is what makes this backend
+    fleet-safe only on filesystems with coherent rename/mtime semantics
+    (local disks, most NFS setups).
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.url = f"file://{self.root}"
+
+    def path(self, name: str) -> Path:
+        """Filesystem location of ``name`` (local-backend extension)."""
+        return self.root / name
+
+    def get(self, name: str) -> bytes | None:
+        try:
+            return self.path(name).read_bytes()
+        except OSError:
+            return None
+
+    def put_atomic(self, name: str, data: bytes) -> None:
+        _atomic_write(self.root, name, data,
+                      spool_prefix=Path(name).stem, spool_suffix=".tmp")
+
+    def exists(self, name: str) -> bool:
+        return self.path(name).exists()
+
+    def delete(self, name: str) -> None:
+        self.path(name).unlink(missing_ok=True)
+
+    def list(self, prefix: str = "") -> list[str]:
+        if not self.root.exists():
+            return []
+        return sorted(
+            p.name for p in self.root.iterdir()
+            if p.is_file() and not p.name.endswith(".tmp")
+            and p.name.startswith(prefix)
+        )
+
+    def stray_spools(self) -> list[str]:
+        if not self.root.exists():
+            return []
+        return sorted(
+            p.name for p in self.root.iterdir()
+            if p.is_file() and p.name.endswith(".tmp")
+        )
+
+    def try_claim_exclusive(self, name: str, data: bytes) -> bool:
+        return _create_exclusive(self.path(name), data)
+
+    def stamp_mtime(self, name: str, data: bytes) -> None:
+        self.put_atomic(name, data)
+
+    def mtime(self, name: str) -> float | None:
+        try:
+            return self.path(name).stat().st_mtime
+        except OSError:
+            return None
+
+
+# ----------------------------------------------------------------------
+# Fake object store (tests / CI — no cloud credentials required)
+# ----------------------------------------------------------------------
+
+
+class MemoryBucket:
+    """In-process bucket: name -> (bytes, last_modified), lock-serialised.
+
+    The mutating operations hold one lock, which models the strong
+    consistency and atomic conditional writes of a real object store.
+    """
+
+    def __init__(self):
+        self._objects: dict[str, tuple[bytes, float]] = {}
+        self._lock = threading.Lock()
+
+    def load(self, name: str) -> tuple[bytes, float] | None:
+        with self._lock:
+            return self._objects.get(name)
+
+    def stat(self, name: str) -> tuple[int, float] | None:
+        """(size, last_modified) without transferring the payload."""
+        with self._lock:
+            found = self._objects.get(name)
+            return None if found is None else (len(found[0]), found[1])
+
+    def save(self, name: str, data: bytes, stamp: float) -> None:
+        with self._lock:
+            self._objects[name] = (bytes(data), stamp)
+
+    def save_if_absent(self, name: str, data: bytes, stamp: float) -> bool:
+        with self._lock:
+            if name in self._objects:
+                return False
+            self._objects[name] = (bytes(data), stamp)
+            return True
+
+    def remove(self, name: str) -> None:
+        with self._lock:
+            self._objects.pop(name, None)
+
+    def names(self, prefix: str = "") -> list[str]:
+        with self._lock:
+            return sorted(n for n in self._objects if n.startswith(prefix))
+
+    def stray_spools(self) -> list[str]:
+        """Memory writes are atomic dict updates: no spools, ever."""
+        return []
+
+
+class DirectoryBucket:
+    """Directory-backed bucket so *processes* can share one fake store.
+
+    Each object is one file named exactly after its key; the
+    ``last_modified`` metadata is materialised as the file's mtime,
+    stamped explicitly with ``os.utime`` from the fake's clock.  Writes
+    spool to hidden ``.spool-*`` files (excluded from :meth:`names`) and
+    publish via ``os.replace``; conditional creation uses an exclusive
+    create, which is this driver's *private* mechanism for providing the
+    object-store API — the store layer above only ever sees conditional
+    puts and metadata timestamps.
+    """
+
+    _SPOOL_PREFIX = ".spool-"
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    def load(self, name: str) -> tuple[bytes, float] | None:
+        path = self.root / name
+        try:
+            data = path.read_bytes()
+            return data, path.stat().st_mtime
+        except OSError:
+            return None
+
+    def stat(self, name: str) -> tuple[int, float] | None:
+        """(size, last_modified) from file metadata — no payload read."""
+        try:
+            meta = (self.root / name).stat()
+        except OSError:
+            return None
+        return meta.st_size, meta.st_mtime
+
+    def save(self, name: str, data: bytes, stamp: float) -> None:
+        _atomic_write(self.root, name, data,
+                      spool_prefix=self._SPOOL_PREFIX, spool_suffix="",
+                      stamp=stamp)
+
+    def save_if_absent(self, name: str, data: bytes, stamp: float) -> bool:
+        return _create_exclusive(self.root / name, data, stamp=stamp)
+
+    def remove(self, name: str) -> None:
+        (self.root / name).unlink(missing_ok=True)
+
+    def names(self, prefix: str = "") -> list[str]:
+        if not self.root.exists():
+            return []
+        return sorted(
+            p.name for p in self.root.iterdir()
+            if p.is_file() and not p.name.startswith(self._SPOOL_PREFIX)
+            and p.name.startswith(prefix)
+        )
+
+    def stray_spools(self) -> list[str]:
+        """Orphaned ``.spool-*`` files (writer died mid-save); the fake's
+        reap path must be able to see and delete these."""
+        if not self.root.exists():
+            return []
+        return sorted(
+            p.name for p in self.root.iterdir()
+            if p.is_file() and p.name.startswith(self._SPOOL_PREFIX)
+        )
+
+
+class FakeObjectStore:
+    """S3-style client over a :class:`MemoryBucket` / :class:`DirectoryBucket`.
+
+    Client API (the surface :class:`ObjectStoreBackend` consumes, shaped
+    after S3 but provider-neutral):
+
+    * ``get_object(key) -> bytes`` (``KeyError`` when absent)
+    * ``put_object(key, data, if_none_match=False) -> bool`` — with
+      ``if_none_match`` the put only succeeds when ``key`` does not
+      exist (S3 ``If-None-Match: *``); returns ``False`` on the lost
+      race instead of raising
+    * ``head_object(key) -> {"last_modified", "size"} | None``
+    * ``delete_object(key)`` — idempotent
+    * ``list_objects(prefix="") -> list[str]``
+
+    Fault injection (what makes this fake worth having in CI):
+
+    * ``latency`` — seconds slept before every operation, modelling
+      object-store round trips (shakes out code that assumed local-disk
+      timing);
+    * ``conflict_injector(key) -> bool`` — consulted on every
+      *conditional* put; returning ``True`` makes the put report a lost
+      race even though the key is absent, modelling a concurrent winner
+      whose write this client hasn't observed yet;
+    * ``clock`` — the time source for ``last_modified`` metadata, so
+      lease-expiry tests advance time instead of sleeping.
+    """
+
+    def __init__(
+        self,
+        bucket=None,
+        clock: Callable[[], float] = time.time,
+        latency: float = 0.0,
+        conflict_injector: Callable[[str], bool] | None = None,
+    ):
+        self.bucket = bucket if bucket is not None else MemoryBucket()
+        self.clock = clock
+        self.latency = latency
+        self.conflict_injector = conflict_injector
+
+    def _simulate_round_trip(self) -> None:
+        if self.latency > 0:
+            time.sleep(self.latency)
+
+    def get_object(self, key: str) -> bytes:
+        self._simulate_round_trip()
+        found = self.bucket.load(key)
+        if found is None:
+            raise KeyError(key)
+        return found[0]
+
+    def put_object(self, key: str, data: bytes,
+                   if_none_match: bool = False) -> bool:
+        self._simulate_round_trip()
+        if if_none_match:
+            if self.conflict_injector is not None and self.conflict_injector(key):
+                return False
+            return self.bucket.save_if_absent(key, data, self.clock())
+        self.bucket.save(key, data, self.clock())
+        return True
+
+    def head_object(self, key: str) -> dict | None:
+        self._simulate_round_trip()
+        # Metadata-only: exists()/mtime() probes run every worker poll
+        # round, so this must never transfer the payload.
+        found = self.bucket.stat(key)
+        if found is None:
+            return None
+        size, stamp = found
+        return {"last_modified": stamp, "size": size}
+
+    def delete_object(self, key: str) -> None:
+        self._simulate_round_trip()
+        self.bucket.remove(key)
+
+    def list_objects(self, prefix: str = "") -> list[str]:
+        self._simulate_round_trip()
+        return self.bucket.names(prefix)
+
+    def stray_spools(self) -> list[str]:
+        """Orphaned write artifacts in the bucket (directory driver only).
+
+        The analogue of S3's incomplete multipart uploads: invisible to
+        listings, still occupying space, sweepable by a janitor."""
+        return self.bucket.stray_spools()
+
+
+# ----------------------------------------------------------------------
+# Object-store backend (fake or boto3 — same client surface)
+# ----------------------------------------------------------------------
+
+
+class ObjectStoreBackend(StoreBackend):
+    """The claim/lease storage contract on conditional-put semantics.
+
+    The translation table from the POSIX store:
+
+    ========================  =====================================
+    filesystem primitive      object-store primitive
+    ========================  =====================================
+    ``open(O_CREAT|O_EXCL)``  ``put_object(..., if_none_match=True)``
+    temp file + ``rename``    single ``put_object`` (atomic per key)
+    mtime heartbeat           overwrite refreshes ``last_modified``
+    ``stat().st_mtime``       ``head_object()["last_modified"]``
+    ``unlink(missing_ok)``    idempotent ``delete_object``
+    ========================  =====================================
+
+    ``prefix`` namespaces every name inside the bucket (the ``/prefix``
+    part of ``s3://bucket/prefix``), so many stores can share one bucket.
+    """
+
+    def __init__(self, client, url: str, prefix: str = ""):
+        self.client = client
+        self.url = url
+        self.prefix = prefix.strip("/")
+
+    def _key(self, name: str) -> str:
+        return f"{self.prefix}/{name}" if self.prefix else name
+
+    def get(self, name: str) -> bytes | None:
+        try:
+            return self.client.get_object(self._key(name))
+        except KeyError:
+            return None
+
+    def put_atomic(self, name: str, data: bytes) -> None:
+        self.client.put_object(self._key(name), data)
+
+    def exists(self, name: str) -> bool:
+        return self.client.head_object(self._key(name)) is not None
+
+    def delete(self, name: str) -> None:
+        self.client.delete_object(self._key(name))
+
+    def list(self, prefix: str = "") -> list[str]:
+        base = f"{self.prefix}/" if self.prefix else ""
+        return sorted(
+            key[len(base):] for key in self.client.list_objects(base + prefix)
+        )
+
+    def stray_spools(self) -> list[str]:
+        """Orphaned write artifacts, when the client can surface them.
+
+        Only meaningful for un-prefixed fake buckets (spools live at the
+        bucket root, outside any key prefix); real S3 has no spools —
+        its analogue, incomplete multipart uploads, belongs to bucket
+        lifecycle policy, not this store."""
+        spools = getattr(self.client, "stray_spools", None)
+        if spools is None or self.prefix:
+            return []
+        return spools()
+
+    def try_claim_exclusive(self, name: str, data: bytes) -> bool:
+        return self.client.put_object(self._key(name), data,
+                                      if_none_match=True)
+
+    def stamp_mtime(self, name: str, data: bytes) -> None:
+        self.client.put_object(self._key(name), data)
+
+    def mtime(self, name: str) -> float | None:
+        meta = self.client.head_object(self._key(name))
+        return None if meta is None else meta["last_modified"]
+
+
+class Boto3ObjectStore:
+    """Real-S3 client with the :class:`FakeObjectStore` surface.
+
+    Import-gated: constructing it without ``boto3`` installed raises a
+    ``RuntimeError`` naming the missing dependency (this repo never
+    requires boto3 — CI and tests run entirely on the fake).  Conditional
+    puts use S3's ``If-None-Match: *`` precondition, so the claim
+    protocol needs no lock service; note S3 timestamps have one-second
+    resolution — pick ``lease_ttl`` well above 2 s.
+    """
+
+    def __init__(self, bucket: str, client=None):
+        if client is None:
+            try:
+                import boto3
+            except ImportError as exc:  # pragma: no cover - env without boto3
+                raise RuntimeError(
+                    "s3:// store URLs need the optional boto3 dependency "
+                    "(pip install boto3), or pass an explicit client"
+                ) from exc
+            client = boto3.client("s3")  # pragma: no cover
+        self.bucket = bucket
+        self._s3 = client
+
+    def _missing(self, exc) -> bool:
+        code = getattr(exc, "response", {}).get("Error", {}).get("Code", "")
+        return code in ("404", "NoSuchKey", "NotFound")
+
+    def get_object(self, key: str) -> bytes:
+        try:
+            return self._s3.get_object(Bucket=self.bucket, Key=key)["Body"].read()
+        except Exception as exc:
+            if self._missing(exc):
+                raise KeyError(key) from exc
+            raise
+
+    def put_object(self, key: str, data: bytes,
+                   if_none_match: bool = False) -> bool:
+        kwargs = {"Bucket": self.bucket, "Key": key, "Body": data}
+        if if_none_match:
+            kwargs["IfNoneMatch"] = "*"
+        try:
+            self._s3.put_object(**kwargs)
+            return True
+        except Exception as exc:
+            code = getattr(exc, "response", {}).get("Error", {}).get("Code", "")
+            if if_none_match and code in ("PreconditionFailed", "412",
+                                          "ConditionalRequestConflict"):
+                return False
+            raise
+
+    def head_object(self, key: str) -> dict | None:
+        try:
+            meta = self._s3.head_object(Bucket=self.bucket, Key=key)
+        except Exception as exc:
+            if self._missing(exc):
+                return None
+            raise
+        return {
+            "last_modified": meta["LastModified"].timestamp(),
+            "size": meta["ContentLength"],
+        }
+
+    def delete_object(self, key: str) -> None:
+        self._s3.delete_object(Bucket=self.bucket, Key=key)
+
+    def list_objects(self, prefix: str = "") -> list[str]:
+        keys: list[str] = []
+        token: str | None = None
+        while True:
+            kwargs = {"Bucket": self.bucket, "Prefix": prefix}
+            if token:
+                kwargs["ContinuationToken"] = token
+            page = self._s3.list_objects_v2(**kwargs)
+            keys.extend(item["Key"] for item in page.get("Contents", []))
+            if not page.get("IsTruncated"):
+                return keys
+            token = page.get("NextContinuationToken")
+
+
+# ----------------------------------------------------------------------
+# URL resolution
+# ----------------------------------------------------------------------
+
+#: Named in-process buckets behind ``mem://<name>`` URLs: every resolve
+#: of the same name (within one process) reaches the same bucket, so a
+#: coordinator and in-process workers can share a store without a disk.
+_MEMORY_BUCKETS: dict[str, MemoryBucket] = {}
+_MEMORY_BUCKETS_LOCK = threading.Lock()
+
+
+def memory_bucket(name: str) -> MemoryBucket:
+    """The process-wide bucket behind ``mem://name`` (created on demand)."""
+    with _MEMORY_BUCKETS_LOCK:
+        bucket = _MEMORY_BUCKETS.get(name)
+        if bucket is None:
+            bucket = _MEMORY_BUCKETS[name] = MemoryBucket()
+        return bucket
+
+
+def resolve_backend(target) -> StoreBackend | None:
+    """Map a store target onto a :class:`StoreBackend`.
+
+    Accepted forms:
+
+    * ``None`` → ``None`` (memory-only store, no coordination layer);
+    * a :class:`StoreBackend` → returned as-is;
+    * a path or ``file://PATH`` URL → :class:`LocalFSBackend`;
+    * ``mem://NAME`` → object store over a process-wide named
+      :class:`MemoryBucket` (tests, single-process demos);
+    * ``fakes3://DIR`` → object store over a :class:`DirectoryBucket`
+      (multi-process fleets without cloud credentials — CI's two-worker
+      object-store smoke runs on this);
+    * ``s3://BUCKET[/PREFIX]`` → :class:`Boto3ObjectStore` (needs the
+      optional boto3 dependency).
+
+    Unknown URL schemes raise ``ValueError`` rather than silently being
+    treated as relative directories.
+    """
+    if target is None:
+        return None
+    if isinstance(target, StoreBackend):
+        return target
+    if isinstance(target, os.PathLike):
+        return LocalFSBackend(target)
+    text = str(target)
+    if "://" not in text:
+        return LocalFSBackend(text)
+    scheme, rest = text.split("://", 1)
+    scheme = scheme.lower()
+    if scheme == "file":
+        return LocalFSBackend(rest)
+    if scheme == "mem":
+        name = rest.strip("/") or "default"
+        return ObjectStoreBackend(
+            FakeObjectStore(memory_bucket(name)), url=f"mem://{name}"
+        )
+    if scheme == "fakes3":
+        root = Path(rest)
+        return ObjectStoreBackend(
+            FakeObjectStore(DirectoryBucket(root)), url=f"fakes3://{root}"
+        )
+    if scheme == "s3":
+        bucket, _, prefix = rest.partition("/")
+        if not bucket:
+            raise ValueError(f"s3 URL needs a bucket: {text!r}")
+        return ObjectStoreBackend(
+            Boto3ObjectStore(bucket), url=text, prefix=prefix
+        )
+    raise ValueError(
+        f"unknown store URL scheme {scheme!r} in {text!r}; "
+        "use file://, mem://, fakes3:// or s3://"
+    )
+
+
+def entry_paths(backend: StoreBackend | None, names) -> list:
+    """Present entry names as path-like values for diagnostics.
+
+    Local backends yield real :class:`pathlib.Path` objects (tests
+    manipulate them directly); object backends yield
+    :class:`~pathlib.PurePosixPath` so callers can still use ``.name`` /
+    ``.suffix`` without implying filesystem access.
+    """
+    if isinstance(backend, LocalFSBackend):
+        return [backend.path(n) for n in names]
+    return [PurePosixPath(n) for n in names]

@@ -14,7 +14,7 @@ functions in :mod:`repro.experiments.tables` / ``figures``.
 from __future__ import annotations
 
 import os
-from dataclasses import asdict, dataclass, field, replace
+from dataclasses import asdict, dataclass, field, fields, replace
 
 __all__ = ["ExperimentConfig", "QUICK", "MEDIUM", "FULL", "active_config"]
 
@@ -44,6 +44,15 @@ class ExperimentConfig:
         Class-noise grid for the robustness experiments.
     rho_grid:
         Density-tolerance sweep of Figs. 10–11.
+    store_url:
+        Optional default cell-store target for this profile — a
+        directory or a ``file:// | mem:// | fakes3:// | s3://`` URL (see
+        :func:`repro.experiments.backends.resolve_backend`).  Deployment
+        configuration, not an experiment parameter: it never enters cell
+        keys (results are interchangeable between stores) and is never
+        shipped in work manifests (see :meth:`to_dict`).  Explicit
+        ``--store/--store-url`` flags, ``REPRO_CELLSTORE_DIR`` and the
+        ``REPRO_CELLSTORE=off`` kill switch take precedence.
     """
 
     name: str
@@ -56,6 +65,7 @@ class ExperimentConfig:
     n_estimators: int = 100
     noise_ratios: tuple[float, ...] = (0.05, 0.10, 0.20, 0.30, 0.40)
     rho_grid: tuple[int, ...] = (3, 5, 7, 9, 11, 13, 15, 17, 19)
+    store_url: str | None = None
 
     def scaled(self, **changes) -> "ExperimentConfig":
         """Copy with selected fields replaced."""
@@ -66,16 +76,30 @@ class ExperimentConfig:
 
         This is how distributed work manifests ship the profile to worker
         processes, so the field set is part of the on-disk contract.
+        ``store_url`` is deliberately **excluded**: it is deployment
+        configuration (workers already know their store — they were
+        pointed at it), and shipping new fields to fleets running older
+        code would make their manifest parsers reject the plan.
         """
         payload = asdict(self)
+        payload.pop("store_url", None)
         for field_name in ("datasets", "noise_ratios", "rho_grid"):
             payload[field_name] = list(payload[field_name])
         return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ExperimentConfig":
-        """Inverse of :meth:`to_dict` (round-trips exactly)."""
-        payload = dict(payload)
+        """Inverse of :meth:`to_dict` (round-trips exactly).
+
+        Version-tolerant in both directions: payloads written before a
+        newer optional field existed keep its default, and payloads
+        carrying fields *this* version does not know are accepted with
+        those fields dropped.  Without the latter, a mixed-version fleet
+        would treat every manifest from a newer coordinator as corrupt
+        and delete it — a livelock, not a skew.
+        """
+        known = {f.name for f in fields(cls)}
+        payload = {k: v for k, v in payload.items() if k in known}
         for field_name in ("datasets", "noise_ratios", "rho_grid"):
             payload[field_name] = tuple(payload[field_name])
         return cls(**payload)

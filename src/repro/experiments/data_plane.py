@@ -217,7 +217,14 @@ def _maybe_untrack(shm: shared_memory.SharedMemory) -> None:
 
 
 def attach_block(meta: BlockMeta) -> tuple[np.ndarray, ...]:
-    """Read-only views of a published block (cached per process)."""
+    """Read-only views of a published block (cached per process).
+
+    Contract: attachers never mutate and never *unlink* — segment
+    removal belongs exclusively to the owning
+    :class:`SharedArrayPlane` (see the module docstring's
+    resource-tracker note).  Views stay valid for the attaching
+    process's lifetime; :func:`detach_all` closes the handles at exit.
+    """
     owned = _OWNED.get(meta.segment)
     if owned is not None:
         return owned
@@ -246,7 +253,12 @@ def attach_block(meta: BlockMeta) -> tuple[np.ndarray, ...]:
 
 
 def detach_all() -> None:
-    """Close every cached attachment (runs at worker exit)."""
+    """Close every cached attachment (runs at worker exit).
+
+    Close, not unlink: the pages free when the owner unlinks *and* the
+    last mapping closes, so worker exit order never races segment
+    teardown.
+    """
     for name in list(_ATTACHED):
         shm, _views = _ATTACHED.pop(name)
         try:

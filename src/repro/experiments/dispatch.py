@@ -2,9 +2,14 @@
 
 The paper's evaluation protocol is a grid of content-keyed CV *cells*
 (see :mod:`repro.experiments.executor`).  This module turns the grids
-behind the tables and figures into on-disk **work manifests** that any
-number of worker processes — on one machine or on many machines sharing
-the store directory over a network filesystem — can split:
+behind the tables and figures into durable **work manifests** that any
+number of worker processes — on one machine, on many machines sharing
+the store directory over a network filesystem, or on a fleet sharing an
+object-store bucket — can split.  Manifests live in the same
+:class:`~repro.experiments.backends.StoreBackend` as the results they
+describe, so every function here accepts a store target in any form
+(directory path, ``file:// | mem:// | fakes3:// | s3://`` URL, a
+:class:`~repro.experiments.store.CellStore` or a raw backend):
 
 * :func:`grid_specs` single-sources the cell grid of each named
   experiment (``table2``, ``table4``, ``fig9`` …) from the same spec
@@ -13,11 +18,11 @@ the store directory over a network filesystem — can split:
 * :func:`plan_grid` pairs each deduplicated spec with its store key,
   yielding :class:`WorkUnit` values — the unit of claimable work;
 * :func:`write_manifest` persists a plan as ``plan-<digest>.plan`` inside
-  the store directory (atomic rename, content-keyed name, so re-planning
-  an identical grid is idempotent); :func:`load_manifests` is the worker
-  side, deleting any manifest that fails to parse (same self-heal policy
-  as corrupt results: a torn manifest is rewritten by the next
-  coordinator run);
+  the store (atomic put, content-keyed name, so re-planning an identical
+  grid is idempotent); :func:`load_manifests` is the worker side,
+  deleting any manifest that fails to parse (same self-heal policy as
+  corrupt results: a torn manifest is rewritten by the next coordinator
+  run);
 * :func:`wait_for_grid` is the coordinator's barrier: poll the store
   until every unit has a result, then assemble tables/figures from pure
   store hits;
@@ -35,14 +40,17 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 import subprocess
 import sys
-import tempfile
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
+from repro.experiments.backends import (
+    LocalFSBackend,
+    StoreBackend,
+    resolve_backend,
+)
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.executor import CellSpec, cell_key_for
 from repro.experiments.store import CellStore, SCHEMA_VERSION
@@ -52,6 +60,7 @@ __all__ = [
     "WorkUnit",
     "grid_specs",
     "plan_grid",
+    "manifest_name",
     "manifest_path",
     "write_manifest",
     "load_manifests",
@@ -158,60 +167,81 @@ def plan_grid(
 # ----------------------------------------------------------------------
 
 
-def manifest_path(store_root: str | Path, units: list[WorkUnit]) -> Path:
-    """Content-keyed manifest location for this exact set of unit keys."""
+def _backend_of(target) -> StoreBackend | None:
+    """Backend behind any accepted store target (see module docstring)."""
+    if isinstance(target, CellStore):
+        return target.backend
+    return resolve_backend(target)
+
+
+def manifest_name(units: list[WorkUnit]) -> str:
+    """Content-keyed manifest entry name for this exact set of unit keys."""
     digest = hashlib.sha256(
         "\n".join(sorted(u.key for u in units)).encode("utf-8")
     ).hexdigest()[:16]
-    return Path(store_root) / f"plan-{digest}{MANIFEST_SUFFIX}"
+    return f"plan-{digest}{MANIFEST_SUFFIX}"
+
+
+def manifest_path(store_root: str | Path, units: list[WorkUnit]) -> Path:
+    """Filesystem location of a manifest (filesystem stores only)."""
+    return Path(store_root) / manifest_name(units)
 
 
 def write_manifest(
-    store_root: str | Path, cfg: ExperimentConfig, units: list[WorkUnit]
-) -> Path:
-    """Atomically persist a work manifest into the store directory."""
+    store_target, cfg: ExperimentConfig, units: list[WorkUnit]
+):
+    """Atomically persist a work manifest into the store.
+
+    The entry name is content-keyed over the unit keys, so re-planning an
+    identical grid rewrites the same entry with the same bytes
+    (idempotent); two racing coordinators converge the same way results
+    do.  Returns the manifest's filesystem path for filesystem-backed
+    stores, its entry name otherwise.
+    """
     if not units:
         raise ValueError("refusing to write an empty manifest")
-    store_root = Path(store_root)
-    store_root.mkdir(parents=True, exist_ok=True)
+    backend = _backend_of(store_target)
     payload = {
         "schema": SCHEMA_VERSION,
         "profile": cfg.to_dict(),
         "units": [{"key": u.key, "spec": _spec_payload(u.spec)} for u in units],
     }
-    path = manifest_path(store_root, units)
-    # Unique spool name: two coordinators planning the same grid target
-    # the same content-keyed path, and a shared fixed .tmp would let one
-    # rename the other's half-written file into place.
-    fd, tmp = tempfile.mkstemp(dir=store_root, prefix=path.stem, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w") as handle:
-            handle.write(json.dumps(payload, indent=1))
-        os.replace(tmp, path)
-    except BaseException:
-        Path(tmp).unlink(missing_ok=True)
-        raise
-    return path
+    name = manifest_name(units)
+    backend.put_atomic(name, json.dumps(payload, indent=1).encode("utf-8"))
+    if isinstance(backend, LocalFSBackend):
+        return backend.path(name)
+    return name
 
 
-#: Parse cache: manifest files are immutable once renamed into place, so
-#: re-parsing them on every worker poll round would cost O(grid) JSON
-#: decoding per poll.  Keyed by path, invalidated by (mtime_ns, size).
-_MANIFEST_CACHE: dict[str, tuple[tuple[int, int], list[WorkUnit]]] = {}
+#: Parse cache: manifests are immutable once published, so re-parsing
+#: them on every worker poll round would cost O(grid) JSON decoding per
+#: poll.  Keyed by (backend url, name), invalidated by mtime.
+_MANIFEST_CACHE: dict[tuple[str, str], tuple[float, list[WorkUnit]]] = {}
 
 
-def _parse_manifest(path: Path) -> list[WorkUnit] | None:
-    """Parse one manifest (cached); ``None`` when corrupt."""
-    try:
-        stat = path.stat()
-        stamp = (stat.st_mtime_ns, stat.st_size)
-    except OSError:
+def _manifest_names(backend: StoreBackend) -> list[str]:
+    # Prefix-filtered: workers poll this every round, and object stores
+    # list server-side — never scan the whole store for a few manifests.
+    return [
+        n for n in backend.list(prefix="plan-")
+        if n.endswith(MANIFEST_SUFFIX)
+    ]
+
+
+def _parse_manifest(backend: StoreBackend, name: str) -> list[WorkUnit] | None:
+    """Parse one manifest (cached); ``None`` when corrupt or vanished."""
+    stamp = backend.mtime(name)
+    if stamp is None:
         return None
-    cached = _MANIFEST_CACHE.get(str(path))
+    cache_key = (backend.url, name)
+    cached = _MANIFEST_CACHE.get(cache_key)
     if cached is not None and cached[0] == stamp:
         return cached[1]
     try:
-        payload = json.loads(path.read_text())
+        raw = backend.get(name)
+        if raw is None:
+            return None
+        payload = json.loads(raw)
         if payload["schema"] != SCHEMA_VERSION:
             raise ValueError("manifest schema mismatch")
         cfg = ExperimentConfig.from_dict(payload["profile"])
@@ -225,28 +255,28 @@ def _parse_manifest(path: Path) -> list[WorkUnit] | None:
         ]
     except Exception:
         return None
-    _MANIFEST_CACHE[str(path)] = (stamp, parsed)
+    _MANIFEST_CACHE[cache_key] = (stamp, parsed)
     return parsed
 
 
-def load_manifests(store_root: str | Path) -> list[WorkUnit]:
-    """Every work unit described by manifests under ``store_root``.
+def load_manifests(store_target) -> list[WorkUnit]:
+    """Every work unit described by manifests in the store.
 
     Corrupt manifests (torn writes, stale schema) are deleted — the
     self-heal contract: the coordinator that produced them rewrites the
-    identical content-keyed file on its next run.  Units are deduplicated
-    by key across manifests.
+    identical content-keyed entry on its next run.  Units are
+    deduplicated by key across manifests.
     """
-    store_root = Path(store_root)
-    if not store_root.is_dir():
+    backend = _backend_of(store_target)
+    if backend is None:
         return []
     units: list[WorkUnit] = []
     seen: set[str] = set()
-    for path in sorted(store_root.glob(f"plan-*{MANIFEST_SUFFIX}")):
-        parsed = _parse_manifest(path)
+    for name in _manifest_names(backend):
+        parsed = _parse_manifest(backend, name)
         if parsed is None:
-            path.unlink(missing_ok=True)
-            _MANIFEST_CACHE.pop(str(path), None)
+            backend.delete(name)
+            _MANIFEST_CACHE.pop((backend.url, name), None)
             continue
         for unit in parsed:
             if unit.key not in seen:
@@ -255,26 +285,27 @@ def load_manifests(store_root: str | Path) -> list[WorkUnit]:
     return units
 
 
-def prune_manifests(store: CellStore, store_root: str | Path) -> int:
+def prune_manifests(store: CellStore) -> int:
     """Delete manifests whose every cell has landed; returns the count.
 
-    Without pruning, a reused store directory accumulates every grid
-    ever planned and workers would adopt all of them as their exit
-    condition (recomputing stale grids nobody asked about).  Workers and
+    Without pruning, a reused store accumulates every grid ever planned
+    and workers would adopt all of them as their exit condition
+    (recomputing stale grids nobody asked about).  Workers and
     coordinators prune on completion; a worker that later observes its
-    previously-seen plan gone treats the grid as finished.
+    previously-seen plan gone treats the grid as finished.  Manifests are
+    the only entries this function may delete — results are immutable.
     """
-    store_root = Path(store_root)
-    if not store_root.is_dir():
+    backend = store.backend
+    if backend is None:
         return 0
     pruned = 0
-    for path in sorted(store_root.glob(f"plan-*{MANIFEST_SUFFIX}")):
-        parsed = _parse_manifest(path)
+    for name in _manifest_names(backend):
+        parsed = _parse_manifest(backend, name)
         if parsed is None:
-            continue  # load_manifests owns corrupt-file healing
+            continue  # load_manifests owns corrupt-entry healing
         if all(store.has("cell", unit.key) for unit in parsed):
-            path.unlink(missing_ok=True)
-            _MANIFEST_CACHE.pop(str(path), None)
+            backend.delete(name)
+            _MANIFEST_CACHE.pop((backend.url, name), None)
             pruned += 1
     return pruned
 
@@ -287,11 +318,15 @@ def prune_manifests(store: CellStore, store_root: str | Path) -> int:
 def pending_units(store: CellStore, units: list[WorkUnit]) -> list[WorkUnit]:
     """Units whose result has not landed in the store yet.
 
-    Uses the store's stat-level existence probe: polling loops call this
-    every few hundred milliseconds, and deserialising every landed cell
-    in every poller would cost O(grid) memory per process.
+    Uses the store's *batched* existence probe — one backend listing per
+    call, not one round trip per unit: polling loops call this every few
+    hundred milliseconds over whole grids, and per-key HEAD probes on an
+    object-store backend would blow the poll interval.  Nothing is
+    deserialised (loading every landed cell in every poller would cost
+    O(grid) memory per process).
     """
-    return [u for u in units if not store.has("cell", u.key)]
+    missing = set(store.filter_missing("cell", [u.key for u in units]))
+    return [u for u in units if u.key in missing]
 
 
 def wait_for_grid(
@@ -343,11 +378,14 @@ def spawn_workers(
     stagger: int = 0,
     extra_args: list[str] | None = None,
 ) -> list[subprocess.Popen]:
-    """Launch local worker processes against a shared store directory.
+    """Launch local worker processes against a shared store.
 
-    With ``stagger > 0`` (and no explicit ``claim_order``) worker ``i``
-    claims in ``rotate:i*stagger`` order, so a fleet starts spread over
-    the grid instead of racing for the same first cell.
+    ``store_root`` may be a directory or any store URL that resolves
+    across processes (``file://`` / ``fakes3://`` / ``s3://`` —
+    ``mem://`` buckets are per-process and cannot be shared with spawned
+    workers).  With ``stagger > 0`` (and no explicit ``claim_order``)
+    worker ``i`` claims in ``rotate:i*stagger`` order, so a fleet starts
+    spread over the grid instead of racing for the same first cell.
     """
     processes = []
     for index in range(max(1, n_workers)):

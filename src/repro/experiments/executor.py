@@ -64,7 +64,15 @@ __all__ = ["CellSpec", "ExperimentExecutor", "cell_key_for", "prefetch_cells"]
 
 @dataclass(frozen=True)
 class CellSpec:
-    """One cell of the experiment grid (the non-config coordinates)."""
+    """One cell of the experiment grid (the non-config coordinates).
+
+    Hashable, picklable and JSON-roundtrippable (see
+    :mod:`repro.experiments.dispatch`), because a spec is shipped to
+    pool workers, deduplicated in sets and serialised into distributed
+    work manifests.  ``rho=None`` means "the profile's rho" — note that
+    a ``rho=None`` spec and an explicit ``rho=cfg.rho`` spec are
+    *different specs naming the same cell key*.
+    """
 
     code: str
     method: str
@@ -156,7 +164,16 @@ class ExperimentExecutor:
         return cell_key_for(self.cfg, spec)
 
     def run(self, specs: list[CellSpec]) -> list[CVResult]:
-        """Evaluate every cell (store hits are free), preserving spec order."""
+        """Evaluate every cell (store hits are free), preserving spec order.
+
+        Contract: the returned list is positionally aligned with
+        ``specs`` (duplicates included); results are bit-identical to a
+        serial evaluation regardless of ``n_jobs``; and every freshly
+        computed cell has been flushed through the store *before* this
+        returns — an interruption mid-batch loses only in-flight cells.
+        The executor never deletes store entries; it only reads and
+        (idempotently) writes them.
+        """
         keys = [self.key_for(s) for s in specs]
         results: dict[str, CVResult] = {}
         missing: set[str] = set()

@@ -10,6 +10,8 @@ Usage::
     python -m repro.experiments.run_all --no-cache      # ignore disk store
     python -m repro.experiments.run_all --distributed --workers 4
     python -m repro.experiments.run_all --workers-external --store /mnt/grid
+    python -m repro.experiments.run_all table2 --distributed \
+        --store-url fakes3://bucket-dir    # object-store backend
 
 Results are printed as text reports and, with ``--json DIR``, also dumped
 as JSON for post-processing.
@@ -33,12 +35,19 @@ assembles the tables/figures from pure store hits.  With
 externally started workers (other machines sharing the directory) at the
 same ``--store`` and the coordinator just plans, waits and assembles.
 Either way the results are bit-identical to a serial run.
+
+``--store`` / ``--store-url`` selects the storage backend: a directory
+(or ``file://`` URL) keeps the historical filesystem layout, while
+``fakes3://DIR`` / ``s3://bucket/prefix`` run the same claim/lease
+protocol over object-store conditional-put semantics — see
+``docs/architecture/store-backends.md``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -108,10 +117,18 @@ def _coordinate(args, cfg, selected: list[str]) -> None:
     from repro.experiments.runner import get_store
 
     store = get_store()
-    if not store.persist or store.root is None:
+    if not store.persist or store.backend is None:
         raise RuntimeError(
-            "distributed mode needs a persistent store directory "
+            "distributed mode needs a persistent store "
             "(is REPRO_CELLSTORE=off?)"
+        )
+    # Distributed execution means *other processes* must reach the store;
+    # mem:// buckets are per-process, so spawned and external workers
+    # alike would wait on a grid they can never see.
+    if store.url.startswith("mem://"):
+        raise RuntimeError(
+            "mem:// stores are per-process; workers cannot share them — "
+            "use a directory, file:// or fakes3:// store"
         )
     cell_backed = [n for n in selected if n in dispatch.GRID_EXPERIMENTS]
     units = dispatch.plan_grid(cfg, cell_backed) if cell_backed else []
@@ -119,20 +136,20 @@ def _coordinate(args, cfg, selected: list[str]) -> None:
     if not units:
         print("[distributed] no pending cells; assembling from the store")
         return
-    manifest = dispatch.write_manifest(store.root, cfg, units)
+    manifest = dispatch.write_manifest(store, cfg, units)
     print(f"[distributed] {len(units)} pending cells -> {manifest}")
 
     processes = []
     if not args.workers_external:
         processes = dispatch.spawn_workers(
-            store.root,
+            store.url,
             args.workers,
             jobs=args.jobs,
             stagger=max(1, len(units) // max(1, args.workers)),
         )
         print(f"[distributed] launched {len(processes)} workers")
     else:
-        print(f"[distributed] waiting for external workers on {store.root}")
+        print(f"[distributed] waiting for external workers on {store.url}")
 
     def fleet_dead() -> bool:
         return bool(processes) and all(p.poll() is not None for p in processes)
@@ -150,7 +167,7 @@ def _coordinate(args, cfg, selected: list[str]) -> None:
         )
         # Consumed manifests must not linger: workers joining this store
         # later would adopt them as part of their exit condition.
-        dispatch.prune_manifests(store, store.root)
+        dispatch.prune_manifests(store)
     finally:
         for process in processes:
             if process.poll() is None:
@@ -179,10 +196,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workers-external", action="store_true",
                         help="distributed, but launch no workers: wait for "
                              "externally started ones sharing --store")
-    parser.add_argument("--store", metavar="DIR", default=None,
-                        help="cell store directory (default: "
-                             "benchmarks/output/cellstore or "
-                             "$REPRO_CELLSTORE_DIR)")
+    parser.add_argument("--store", "--store-url", dest="store",
+                        metavar="DIR_OR_URL", default=None,
+                        help="cell store: a directory or a file:// / "
+                             "mem:// / fakes3:// / s3:// URL (default: "
+                             "benchmarks/output/cellstore, "
+                             "$REPRO_CELLSTORE_DIR, or the profile's "
+                             "store_url)")
     parser.add_argument("--poll", type=float, default=0.5, metavar="S",
                         help="coordinator poll interval while waiting for "
                              "distributed cells")
@@ -196,16 +216,23 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--distributed needs the persistent store; "
                      "drop --no-cache")
 
-    if args.store:
-        from repro.experiments.runner import configure_store
-
-        configure_store(root=args.store, persist=not args.no_cache)
-    elif args.no_cache:
-        from repro.experiments.runner import configure_store
-
-        configure_store(persist=False)
-
     cfg = _PROFILES[args.profile]
+
+    from repro.experiments.runner import configure_store
+
+    from repro.experiments.store import cellstore_disabled
+
+    cellstore_off = cellstore_disabled()
+    if args.store:
+        configure_store(root=args.store, persist=not args.no_cache)
+    elif (cfg.store_url and not os.environ.get("REPRO_CELLSTORE_DIR")
+          and not cellstore_off):
+        # Profile-level default store; explicit flags and the environment
+        # — including the REPRO_CELLSTORE=off kill switch — override it
+        # (it is deployment config, not an experiment knob).
+        configure_store(root=cfg.store_url, persist=not args.no_cache)
+    elif args.no_cache:
+        configure_store(persist=False)
     # In distributed mode grid experiments become pure store hits after
     # the wait, so --jobs only matters for the locally-computed rest
     # (ablations, fig5/6) — pass it through either way.

@@ -72,9 +72,11 @@ def configure_store(
     """Replace or adjust the process-wide store.
 
     ``configure_store(store=s)`` installs ``s`` as-is;
-    ``configure_store(root=path)`` rebuilds the store over ``path``
-    (``None`` = memory-only); ``configure_store(persist=False)`` keeps the
-    current layout but disables disk writes/reads (the ``--no-cache`` path).
+    ``configure_store(root=target)`` rebuilds the store over ``target`` —
+    a directory, a ``file:// | mem:// | fakes3:// | s3://`` store URL or
+    ``None`` for memory-only; ``configure_store(persist=False)`` keeps
+    the current location but disables durable writes/reads (the
+    ``--no-cache`` path).
     """
     global _STORE
     if store is not None:
@@ -83,7 +85,7 @@ def configure_store(
         _STORE = CellStore(root, persist=True if persist is None else persist)
     elif persist is not None:
         current = get_store()
-        _STORE = CellStore(current.root, persist=persist)
+        _STORE = CellStore(current.source, persist=persist)
     return get_store()
 
 

@@ -9,39 +9,49 @@ values through two layers:
 
 * an in-process **memory layer** (a plain dict), which preserves the old
   ``_CELL_CACHE``-style object identity within a session, and
-* a **disk layer** under ``benchmarks/output/cellstore/`` (one file per
-  entry, named ``<kind>-<sha256 prefix>.npz|.json``), which lets an
-  interrupted table/figure regeneration *resume* instead of recompute and
-  lets parallel workers share results across runs.
+* a **durable layer** behind a pluggable
+  :class:`~repro.experiments.backends.StoreBackend` (one entry per key,
+  named ``<kind>-<sha256 prefix>.npz|.json``), which lets an interrupted
+  table/figure regeneration *resume* instead of recompute and lets
+  parallel workers share results across runs and machines.
 
-Disk writes go through a temp file + ``os.replace`` so concurrent writers
-can never expose a torn file; unreadable/corrupt entries are deleted and
-treated as misses, so a damaged store heals itself by recomputation.
+The default backend is the local filesystem under
+``benchmarks/output/cellstore/`` with a byte-identical layout to every
+earlier release (existing stores resume without migration); ``mem://``,
+``fakes3://`` and ``s3://`` URLs select object-store backends where
+atomic rename becomes an atomic per-key put — see
+:mod:`repro.experiments.backends`.  Writes are atomic either way, so
+concurrent writers can never expose a torn entry; unreadable/corrupt
+entries are deleted and treated as misses, so a damaged store heals
+itself by recomputation.
 
-**Claims and leases.**  The disk layer doubles as a work queue for
+**Claims and leases.**  The durable layer doubles as a work queue for
 distributed execution (many worker processes — possibly on many machines
-sharing the directory over a network filesystem — splitting one grid).
-``try_claim(kind, key, owner)`` creates ``<kind>-<digest>.claim``
-atomically (``O_CREAT | O_EXCL``), so exactly one worker wins each entry;
-the holder heartbeats via :meth:`refresh_claim` (an atomic rewrite that
-bumps the file mtime) and removes the claim with :meth:`release_claim`
-when the result has been written.  A claim whose mtime is older than the
-store's ``lease_ttl`` is *stale* — its owner is presumed dead — and is
-reaped by the next claimer, so a SIGKILLed worker delays its cell by at
-most one TTL.  Truncated or otherwise unreadable claim files (a crash
-between ``O_EXCL`` create and the payload write leaves a zero-byte file)
-carry no owner information but still age by mtime, so they too expire and
-can never deadlock the grid.
+sharing a network filesystem directory or an object-store bucket —
+splitting one grid).  ``try_claim(kind, key, owner)`` creates
+``<kind>-<digest>.claim`` exclusively (``O_CREAT | O_EXCL`` on
+filesystems, a conditional put on object stores), so exactly one worker
+wins each entry; the holder heartbeats via :meth:`refresh_claim` (an
+atomic rewrite that advances the entry's modification timestamp) and
+removes the claim with :meth:`release_claim` when the result has been
+written.  A claim whose timestamp is older than the store's
+``lease_ttl`` is *stale* — its owner is presumed dead — and is reaped by
+the next claimer, so a SIGKILLed worker delays its cell by at most one
+TTL.  Truncated or otherwise unreadable claim files (a crash between the
+exclusive create and the payload write leaves a zero-byte file on the
+filesystem backend) carry no owner information but still age by
+timestamp, so they too expire and can never deadlock the grid.
 
 The invariant that makes all of this safe: **claims are an efficiency
 device, not a correctness device**.  Results are content-keyed and every
 computation is deterministic, so if two workers ever compute the same
 entry (a lease reaped from a live-but-stalled owner, a heartbeat lost to
-a reap race), both write byte-identical files through atomic ``os.replace``
-and the store still converges to the single correct value.
+a reap race), both write byte-identical entries through the backend's
+atomic put and the store still converges to the single correct value.
 
-Environment knobs: ``REPRO_CELLSTORE_DIR`` overrides the store directory,
-``REPRO_CELLSTORE=off`` disables the disk layer entirely.
+Environment knobs: ``REPRO_CELLSTORE_DIR`` overrides the store location
+(a directory or any ``file:// | mem:// | fakes3:// | s3://`` URL),
+``REPRO_CELLSTORE=off`` disables the durable layer entirely.
 """
 
 from __future__ import annotations
@@ -51,20 +61,26 @@ import io
 import json
 import os
 import socket
-import tempfile
 import threading
 import time
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
 from repro.evaluation.cross_validation import CVResult
+from repro.experiments.backends import (
+    LocalFSBackend,
+    StoreBackend,
+    entry_paths,
+    resolve_backend,
+)
 
 __all__ = [
     "CellStore",
     "ClaimHeartbeat",
     "stable_key",
+    "cellstore_disabled",
     "default_store_root",
     "default_claim_owner",
     "DEFAULT_LEASE_TTL",
@@ -94,21 +110,31 @@ def stable_key(params: dict) -> str:
     return json.dumps(params, sort_keys=True, separators=(",", ":"))
 
 
-def default_store_root() -> Path | None:
-    """Store directory: ``$REPRO_CELLSTORE_DIR`` or benchmarks/output/cellstore.
+def cellstore_disabled() -> bool:
+    """Whether the ``REPRO_CELLSTORE`` kill switch turns the durable
+    layer off.  The single source of the accepted off-values — every
+    path that might (re-)enable persistence must consult this."""
+    return os.environ.get("REPRO_CELLSTORE", "").lower() in (
+        "off", "0", "false"
+    )
 
-    The default is anchored to the source checkout (three levels above this
-    file), not the current working directory, so resumed runs find the same
-    store no matter where the process was launched; outside a checkout
-    (installed package) it falls back to the working directory.  Returns
-    ``None`` when ``REPRO_CELLSTORE`` is ``off``/``0`` (disk layer
-    disabled).
+
+def default_store_root() -> str | Path | None:
+    """Store location: ``$REPRO_CELLSTORE_DIR`` or benchmarks/output/cellstore.
+
+    ``REPRO_CELLSTORE_DIR`` may be a directory or a store URL
+    (``file:// | mem:// | fakes3:// | s3://``).  The directory default is
+    anchored to the source checkout (three levels above this file), not
+    the current working directory, so resumed runs find the same store no
+    matter where the process was launched; outside a checkout (installed
+    package) it falls back to the working directory.  Returns ``None``
+    when ``REPRO_CELLSTORE`` is ``off``/``0`` (durable layer disabled).
     """
-    if os.environ.get("REPRO_CELLSTORE", "").lower() in ("off", "0", "false"):
+    if cellstore_disabled():
         return None
     env_dir = os.environ.get("REPRO_CELLSTORE_DIR")
     if env_dir:
-        return Path(env_dir)
+        return env_dir if "://" in env_dir else Path(env_dir)
     checkout = Path(__file__).resolve().parents[3]
     if (checkout / "benchmarks").is_dir():
         return checkout / "benchmarks" / "output" / "cellstore"
@@ -116,36 +142,71 @@ def default_store_root() -> Path | None:
 
 
 class CellStore:
-    """Two-layer (memory + disk) store of content-keyed experiment results.
+    """Two-layer (memory + durable backend) store of content-keyed results.
 
     Parameters
     ----------
     root:
-        Directory for the disk layer; ``None`` makes the store memory-only.
+        Durable-layer target: a directory path, a store URL
+        (``file:// | mem:// | fakes3:// | s3://``), a ready-made
+        :class:`~repro.experiments.backends.StoreBackend`, or ``None``
+        for a memory-only store.
     persist:
-        Master switch for the disk layer (``False`` keeps only the memory
-        layer even when ``root`` is set) — this is what ``--no-cache``
-        toggles.
+        Master switch for the durable layer (``False`` keeps only the
+        memory layer even when ``root`` is set) — this is what
+        ``--no-cache`` toggles.
     lease_ttl:
         Seconds a claim may go without a heartbeat before other workers
-        may reap it.  All workers sharing one store directory must agree
-        on this value.
+        may reap it.  All workers sharing one store must agree on this
+        value.
+    clock:
+        Time source leases age against (tests inject a fake clock so
+        lease-expiry scenarios advance time instead of sleeping).  Must
+        share an epoch with the backend's modification timestamps; the
+        default — and the only sensible production value — is
+        ``time.time``.
     """
 
-    #: kind -> file extension of the disk representation.
+    #: kind -> file extension of the durable representation.
     _EXT = {"cell": ".npz", "ratio": ".json"}
 
     def __init__(
         self,
-        root: str | Path | None,
+        root: str | Path | StoreBackend | None,
         persist: bool = True,
         lease_ttl: float = DEFAULT_LEASE_TTL,
+        clock: Callable[[], float] = time.time,
     ):
-        self.root = Path(root) if root is not None else None
-        self.persist = bool(persist) and self.root is not None
+        self.backend = resolve_backend(root)
+        #: Original constructor target, so a derived store (e.g. the
+        #: ``--no-cache`` copy) can be rebuilt over the same location.
+        self.source = root
+        self.persist = bool(persist) and self.backend is not None
         self.lease_ttl = float(lease_ttl)
+        self.clock = clock
         self._memory: dict[tuple[str, str], Any] = {}
         self.stats = {"hits": 0, "misses": 0, "puts": 0, "reaped_claims": 0}
+
+    @property
+    def root(self) -> Path | None:
+        """Directory of a filesystem-backed store; ``None`` otherwise.
+
+        Object-store backends have no filesystem root — use :attr:`url`
+        for a location that round-trips through worker command lines.
+        """
+        if isinstance(self.backend, LocalFSBackend):
+            return self.backend.root
+        return None
+
+    @property
+    def url(self) -> str | None:
+        """Backend URL (``file://…``, ``mem://…``, …); ``None`` if memory-only.
+
+        This is the form the coordinator hands to spawned workers: any
+        process that resolves the same URL reaches the same store
+        (``mem://`` only within one process).
+        """
+        return None if self.backend is None else self.backend.url
 
     # -- public API ----------------------------------------------------
 
@@ -154,7 +215,12 @@ class CellStore:
         self.stats = {"hits": 0, "misses": 0, "puts": 0, "reaped_claims": 0}
 
     def get(self, kind: str, key: str) -> Any | None:
-        """Look up ``key`` in memory, then on disk; ``None`` on miss."""
+        """Look up ``key`` in memory, then durably; ``None`` on miss.
+
+        A durable hit is decode-checked: corrupt entries are deleted
+        (healed) and reported as misses, so callers recompute and rewrite
+        rather than ever consuming a torn value.
+        """
         mem_key = (kind, key)
         if mem_key in self._memory:
             self.stats["hits"] += 1
@@ -171,28 +237,48 @@ class CellStore:
         return value
 
     def has(self, kind: str, key: str) -> bool:
-        """Cheap existence probe: memory layer, then a disk ``stat``.
+        """Cheap existence probe: memory layer, then a backend ``stat``.
 
         Unlike :meth:`get` this never deserialises (polling loops — the
         coordinator's grid wait, the workers' pending scans — would
         otherwise load every landed cell into every process).  The cost:
-        a torn disk entry reports ``True`` here; the reader that later
+        a torn durable entry reports ``True`` here; the reader that later
         fails to decode it heals by recomputation, so ``has`` is only
-        ever optimistic by a corrupt file's lifetime.
+        ever optimistic by a corrupt entry's lifetime.
         """
         if (kind, key) in self._memory:
             return True
         if not self.persist or kind not in self._EXT:
             return False
-        return self._path(kind, key).exists()
+        return self.backend.exists(self._entry_name(kind, key))
+
+    def filter_missing(self, kind: str, keys) -> list[str]:
+        """Subset of ``keys`` with no entry in memory or durable storage.
+
+        The batched form of :meth:`has`: one backend listing answers the
+        whole batch, where per-key probes would cost one round trip each
+        — polling loops (the coordinator's grid wait, the workers'
+        pending scans) call this every few hundred milliseconds over
+        grids of hundreds of cells.  Same optimism as :meth:`has`: a
+        torn entry counts as present until a decode heals it.
+        """
+        keys = list(keys)
+        if not self.persist or kind not in self._EXT or self.backend is None:
+            return [k for k in keys if (kind, k) not in self._memory]
+        landed = set(self.backend.list(prefix=f"{kind}-"))
+        return [
+            k for k in keys
+            if (kind, k) not in self._memory
+            and self._entry_name(kind, k) not in landed
+        ]
 
     def verify(self, kind: str, key: str) -> bool:
         """:meth:`has`, but decode-checked and without memory caching.
 
-        A torn disk entry is healed (deleted) and reported missing
+        A torn durable entry is healed (deleted) and reported missing
         instead of optimistically present.  Workers run this as a final
         integrity sweep before declaring a grid complete: polling stays
-        stat-cheap, yet no torn file can survive to assembly.
+        stat-cheap, yet no torn entry can survive to assembly.
         """
         if (kind, key) in self._memory:
             return True
@@ -201,103 +287,142 @@ class CellStore:
         return self._read(kind, key) is not None
 
     def put(self, kind: str, key: str, value: Any, persist: bool = True) -> None:
-        """Store ``value`` in memory and (for persistable kinds) on disk."""
+        """Store ``value`` in memory and (for persistable kinds) durably.
+
+        The durable write is atomic (temp file + rename, or a single
+        object put), so a concurrent reader sees the previous entry or
+        the new one — never a mix.  Identical recomputations overwrite
+        with identical bytes, which is what lets duplicated distributed
+        work converge instead of conflict.
+        """
         self.stats["puts"] += 1
         self._memory[(kind, key)] = value
         if persist and self.persist and kind in self._EXT:
             self._write(kind, key, value)
 
     def clear_memory(self) -> None:
-        """Drop the in-process layer (disk entries survive)."""
+        """Drop the in-process layer (durable entries survive)."""
         self._memory.clear()
 
     def clear_disk(self) -> None:
-        """Delete every stored file (memory entries survive)."""
-        if self.root is None or not self.root.exists():
+        """Delete every durable entry, claim and spool (memory survives)."""
+        if self.backend is None:
             return
-        for path in self.root.iterdir():
-            if path.suffix in (".npz", ".json", ".tmp", ".claim"):
-                path.unlink(missing_ok=True)
+        for name in self.backend.list():
+            if name.endswith((".npz", ".json", ".claim")):
+                self.backend.delete(name)
+        for name in self.backend.stray_spools():
+            self.backend.delete(name)
 
-    def disk_entries(self) -> list[Path]:
-        """Paths of all persisted entries (diagnostics and tests)."""
-        if self.root is None or not self.root.exists():
+    def disk_entries(self) -> list:
+        """Path-like names of all persisted entries (diagnostics, tests).
+
+        Filesystem stores return real :class:`~pathlib.Path` objects;
+        object stores return :class:`~pathlib.PurePosixPath` entry names
+        (``.name``/``.suffix`` work, filesystem access does not).
+        """
+        if self.backend is None:
             return []
-        return sorted(
-            p for p in self.root.iterdir() if p.suffix in (".npz", ".json")
-        )
+        names = [n for n in self.backend.list() if n.endswith((".npz", ".json"))]
+        return entry_paths(self.backend, names)
 
     # -- claims / leases -----------------------------------------------
 
+    def claim_name(self, kind: str, key: str) -> str:
+        """Backend entry name of the claim guarding ``(kind, key)``."""
+        return f"{kind}-{self._digest(key)}.claim"
+
     def claim_path(self, kind: str, key: str) -> Path | None:
-        """Claim-file path of ``(kind, key)``; ``None`` without a disk layer."""
-        if self.root is None:
+        """Filesystem path of a claim; ``None`` for non-filesystem stores."""
+        if not isinstance(self.backend, LocalFSBackend):
             return None
-        return self.root / f"{kind}-{self._digest(key)}.claim"
+        return self.backend.path(self.claim_name(kind, key))
 
     def try_claim(self, kind: str, key: str, owner: str) -> bool:
         """Atomically acquire the lease on ``(kind, key)``.
 
         Returns ``True`` when this caller now holds the claim (stale and
         expired-corrupt claims are reaped first), ``False`` when another
-        owner holds a live claim.  Stores without a disk layer have no
-        peers to coordinate with, so every claim trivially succeeds.
+        owner holds a live claim.  Exactly one concurrent caller can win:
+        the backend's exclusive create (``O_EXCL`` / conditional put) is
+        the arbiter.  Stores without a durable layer have no peers to
+        coordinate with, so every claim trivially succeeds.
         """
-        path = self.claim_path(kind, key)
-        if path is None or not self.persist:
+        if self.backend is None or not self.persist:
             return True
-        self.root.mkdir(parents=True, exist_ok=True)
-        self._reap_if_stale(path)
-        try:
-            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-        except FileExistsError:
-            return False
-        # A crash between the O_EXCL create above and this write leaves a
-        # zero-byte claim; it has no owner to heartbeat it, so it ages out
-        # by mtime like any other orphan.
-        with os.fdopen(fd, "wb") as handle:
-            handle.write(self._claim_payload(key, owner))
-        return True
+        name = self.claim_name(kind, key)
+        self._reap_if_stale(name)
+        return self.backend.try_claim_exclusive(
+            name, self._claim_payload(key, owner)
+        )
 
     def refresh_claim(self, kind: str, key: str, owner: str) -> bool:
-        """Heartbeat a held lease (atomic rewrite bumps the file mtime).
+        """Heartbeat a held lease (atomic rewrite advances its timestamp).
 
-        Returns ``False`` when the lease was lost — the claim file is gone
-        or a different owner holds it (it went stale and was reaped).  The
+        Returns ``False`` when the lease was lost — the claim is gone or
+        a different owner holds it (it went stale and was reaped).  The
         caller may still finish and store its computation (results are
         idempotent) but must stop heartbeating so it cannot stomp the new
         owner's claim.
         """
-        path = self.claim_path(kind, key)
-        if path is None or not self.persist:
+        if self.backend is None or not self.persist:
             return True
         info = self.claim_info(kind, key)
         if info is None or info.get("owner") != owner:
             return False
-        self._replace_bytes(path, self._claim_payload(key, owner))
+        self.backend.stamp_mtime(
+            self.claim_name(kind, key), self._claim_payload(key, owner)
+        )
         return True
 
     def release_claim(self, kind: str, key: str, owner: str | None = None) -> None:
-        """Drop a claim; with ``owner`` given, only if still held by them."""
-        path = self.claim_path(kind, key)
-        if path is None:
+        """Drop a claim; with ``owner`` given, only if still held by them.
+
+        Only the owner (or an unconditional caller such as
+        :meth:`clear_disk`) may delete a claim; result entries are never
+        deleted here — they are immutable once written, except for
+        corrupt-entry healing in :meth:`get`/:meth:`verify`.
+        """
+        if self.backend is None:
             return
         if owner is not None:
             info = self.claim_info(kind, key)
             if info is not None and info.get("owner") != owner:
                 return
-        path.unlink(missing_ok=True)
+        self.backend.delete(self.claim_name(kind, key))
 
     def claim_info(self, kind: str, key: str) -> dict | None:
         """Parsed claim payload; ``None`` when absent, torn or unreadable."""
-        path = self.claim_path(kind, key)
-        if path is None:
+        if self.backend is None:
+            return None
+        payload = self.backend.get(self.claim_name(kind, key))
+        if payload is None:
             return None
         try:
-            payload = json.loads(path.read_bytes())
-        except (OSError, ValueError):
+            parsed = json.loads(payload)
+        except ValueError:
             return None
-        return payload if isinstance(payload, dict) else None
+        return parsed if isinstance(parsed, dict) else None
+
+    def any_live_claim(self, kind: str, keys) -> bool:
+        """Whether any of ``keys`` holds an unexpired lease.
+
+        The batched form of :meth:`claim_is_live` for polling loops: one
+        backend listing finds the existing claims, and only those few
+        pay a timestamp probe — per-key probes would cost two round
+        trips per pending cell per poll round on object-store backends.
+        """
+        if self.backend is None:
+            return False
+        present = {
+            n for n in self.backend.list(prefix=f"{kind}-")
+            if n.endswith(".claim")
+        }
+        for key in keys:
+            name = self.claim_name(kind, key)
+            if name in present and not self._is_stale(name):
+                return True
+        return False
 
     def claim_is_live(self, kind: str, key: str) -> bool:
         """Whether ``(kind, key)`` is claimed and the lease is unexpired.
@@ -306,38 +431,45 @@ class CellStore:
         one TTL ago) — waiters should treat it as work in progress, not
         as a stalled fleet.
         """
-        path = self.claim_path(kind, key)
-        if path is None:
+        if self.backend is None:
             return False
-        return path.exists() and not self._is_stale(path)
+        name = self.claim_name(kind, key)
+        return self.backend.exists(name) and not self._is_stale(name)
 
-    def claim_files(self) -> list[Path]:
-        """Every claim file currently in the store directory."""
-        if self.root is None or not self.root.exists():
+    def claim_names(self) -> list[str]:
+        """Entry names of every claim currently in the store."""
+        if self.backend is None:
             return []
-        return sorted(self.root.glob("*.claim"))
+        return [n for n in self.backend.list() if n.endswith(".claim")]
 
-    def stale_claim_files(self) -> list[Path]:
-        """Claim files whose lease has expired (owner presumed dead)."""
-        return [p for p in self.claim_files() if self._is_stale(p)]
+    def claim_files(self) -> list:
+        """Every claim in the store as path-like values (see
+        :meth:`disk_entries` for the filesystem/object distinction)."""
+        return entry_paths(self.backend, self.claim_names())
+
+    def stale_claim_files(self) -> list:
+        """Claims whose lease has expired (owner presumed dead)."""
+        names = [n for n in self.claim_names() if self._is_stale(n)]
+        return entry_paths(self.backend, names)
 
     def reap_stale(self) -> int:
         """Remove expired claims and orphaned ``.tmp`` spool files.
 
-        A SIGKILLed writer can leave a ``.tmp`` behind (the atomic-rename
-        spool of an in-flight result); anything older than the lease TTL
-        cannot belong to a live writer.  Returns the number of files
-        removed.
+        A SIGKILLed writer can leave a ``.tmp`` behind on the filesystem
+        backend (the atomic-rename spool of an in-flight result); object
+        backends never list spool artifacts.  Anything older than the
+        lease TTL cannot belong to a live writer.  Returns the number of
+        entries removed.
         """
-        if self.root is None or not self.root.exists():
+        if self.backend is None:
             return 0
         reaped = 0
-        for path in list(self.root.glob("*.claim")) + list(self.root.glob("*.tmp")):
-            if self._is_stale(path):
-                try:
-                    path.unlink()
-                except FileNotFoundError:
-                    continue
+        stale_candidates = [
+            n for n in self.backend.list() if n.endswith(".claim")
+        ] + self.backend.stray_spools()
+        for name in stale_candidates:
+            if self._is_stale(name):
+                self.backend.delete(name)
                 reaped += 1
                 self.stats["reaped_claims"] += 1
         return reaped
@@ -349,74 +481,70 @@ class CellStore:
                 "key": key,
                 "owner": owner,
                 "ttl": self.lease_ttl,
-                "stamped_at": time.time(),
+                "stamped_at": self.clock(),
             }
         ).encode("utf-8")
 
-    def _is_stale(self, path: Path) -> bool:
-        """Lease expiry by file mtime (meaningful even for torn claims)."""
-        try:
-            mtime = path.stat().st_mtime
-        except FileNotFoundError:
+    def _is_stale(self, name: str) -> bool:
+        """Lease expiry by modification timestamp (meaningful even for
+        torn claims, which carry no readable payload)."""
+        mtime = self.backend.mtime(name)
+        if mtime is None:
             return False
-        return time.time() - mtime > self.lease_ttl
+        return self.clock() - mtime > self.lease_ttl
 
-    def _reap_if_stale(self, path: Path) -> None:
-        if self._is_stale(path):
-            try:
-                path.unlink()
-            except FileNotFoundError:
-                return
+    def _reap_if_stale(self, name: str) -> None:
+        if self._is_stale(name):
+            self.backend.delete(name)
             self.stats["reaped_claims"] += 1
 
-    # -- disk representation -------------------------------------------
+    # -- durable representation ----------------------------------------
 
     @staticmethod
     def _digest(key: str) -> str:
         return hashlib.sha256(key.encode("utf-8")).hexdigest()[:32]
 
+    def _entry_name(self, kind: str, key: str) -> str:
+        return f"{kind}-{self._digest(key)}{self._EXT[kind]}"
+
     def _path(self, kind: str, key: str) -> Path:
-        return self.root / f"{kind}-{self._digest(key)}{self._EXT[kind]}"
+        """Filesystem path of an entry (filesystem-backed stores only)."""
+        return self.backend.path(self._entry_name(kind, key))
 
     def _read(self, kind: str, key: str) -> Any | None:
-        path = self._path(kind, key)
-        if not path.exists():
+        name = self._entry_name(kind, key)
+        payload = self.backend.get(name)
+        if payload is None:
             return None
         try:
             if kind == "cell":
-                return self._decode_cell(path, key)
-            return self._decode_json(path, key)
+                return self._decode_cell(payload, key)
+            return self._decode_json(payload, key)
         except Exception:
             # Torn/corrupt/stale-format entry: heal by dropping it so the
             # caller recomputes and rewrites.
-            path.unlink(missing_ok=True)
+            self.backend.delete(name)
             return None
 
     def _write(self, kind: str, key: str, value: Any) -> None:
-        self.root.mkdir(parents=True, exist_ok=True)
         if kind == "cell":
             payload = self._encode_cell(key, value)
         else:
             payload = json.dumps(
                 {"schema": SCHEMA_VERSION, "key": key, "value": value}
             ).encode("utf-8")
-        self._replace_bytes(self._path(kind, key), payload)
-
-    def _replace_bytes(self, path: Path, payload: bytes) -> None:
-        """Write ``payload`` to ``path`` atomically (temp file + rename)."""
-        fd, tmp = tempfile.mkstemp(dir=self.root, prefix=path.stem, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(payload)
-            os.replace(tmp, path)
-        except BaseException:
-            Path(tmp).unlink(missing_ok=True)
-            raise
+        self.backend.put_atomic(self._entry_name(kind, key), payload)
 
     # -- cell (CVResult) codec -----------------------------------------
 
     @staticmethod
     def _encode_cell(key: str, result: CVResult) -> bytes:
+        """Serialise a :class:`CVResult` to ``.npz`` bytes.
+
+        Deterministic for a given (key, result): identical recomputations
+        produce identical bytes, the property the distributed convergence
+        argument rests on.
+        """
         arrays = {
             f"metric:{name}": np.asarray(values)
             for name, values in result.metric_values.items()
@@ -433,8 +561,10 @@ class CellStore:
         return buffer.getvalue()
 
     @staticmethod
-    def _decode_cell(path: Path, key: str) -> CVResult:
-        with np.load(path) as data:
+    def _decode_cell(payload: bytes, key: str) -> CVResult:
+        """Inverse of :meth:`_encode_cell`; raises on any mismatch
+        (schema, digest collision, missing arrays) so ``_read`` heals."""
+        with np.load(io.BytesIO(payload)) as data:
             if int(data["schema"]) != SCHEMA_VERSION:
                 raise ValueError("cell store schema mismatch")
             stored_key = bytes(data["key"]).decode("utf-8")
@@ -454,20 +584,20 @@ class CellStore:
             )
 
     @staticmethod
-    def _decode_json(path: Path, key: str) -> Any:
-        payload = json.loads(path.read_text())
-        if payload.get("schema") != SCHEMA_VERSION or payload.get("key") != key:
+    def _decode_json(payload: bytes, key: str) -> Any:
+        parsed = json.loads(payload.decode("utf-8"))
+        if parsed.get("schema") != SCHEMA_VERSION or parsed.get("key") != key:
             raise ValueError("ratio entry schema/key mismatch")
-        return payload["value"]
+        return parsed["value"]
 
 
 class ClaimHeartbeat:
     """Background lease refresher for one held claim (context manager).
 
-    Re-stamps the claim file every ``interval`` seconds (default: a
-    quarter of the store's TTL) while the guarded computation runs, so a
-    lease can only expire when its holder actually died — without this,
-    any computation longer than the TTL triggers a fleet-wide
+    Re-stamps the claim every ``interval`` seconds (default: a quarter of
+    the store's TTL) while the guarded computation runs, so a lease can
+    only expire when its holder actually died — without this, any
+    computation longer than the TTL triggers a fleet-wide
     reap-and-recompute stampede.  If a refresh discovers the lease was
     lost anyway (reaped by a peer that thought us dead), it stops
     silently: the computation still finishes and stores its (idempotent)

@@ -3,17 +3,23 @@
 Usage::
 
     python -m repro.experiments.worker --store DIR --jobs N
+    python -m repro.experiments.worker --store-url fakes3://BUCKET_DIR
+    python -m repro.experiments.worker --store-url s3://bucket/prefix
 
 A worker points at a shared :class:`~repro.experiments.store.CellStore`
-directory, reads the work manifests a coordinator wrote there
+— a directory, or any store URL resolved by
+:func:`repro.experiments.backends.resolve_backend` (``file://`` /
+``fakes3://`` / ``s3://``; ``--store`` and ``--store-url`` are the same
+flag) — reads the work manifests a coordinator wrote there
 (:mod:`repro.experiments.dispatch`), and loops: claim a pending cell
-(atomic ``O_EXCL`` claim file with a heartbeat lease), execute it through
-the existing :class:`~repro.experiments.executor.ExperimentExecutor` /
-data-plane stack (``--jobs`` fans the cell's folds over a local process
-pool), flush the result, release the claim.  It exits when every
-manifest cell has a result.  A worker started *before* its coordinator
-(the natural multi-node order) waits up to ``--max-idle`` seconds for a
-manifest to appear, then exits with status 3 if none ever did.
+(exclusive claim entry — ``O_EXCL`` file or conditional put — with a
+heartbeat lease), execute it through the existing
+:class:`~repro.experiments.executor.ExperimentExecutor` / data-plane
+stack (``--jobs`` fans the cell's folds over a local process pool),
+flush the result, release the claim.  It exits when every manifest cell
+has a result.  A worker started *before* its coordinator (the natural
+multi-node order) waits up to ``--max-idle`` seconds for a manifest to
+appear, then exits with status 3 if none ever did.
 
 Fault model (the invariants the fault-injection suite pins down):
 
@@ -97,11 +103,19 @@ def worker_loop(
 ) -> dict:
     """Claim-and-execute until the manifests' grid is complete.
 
+    ``store_root`` is any store target (directory path, store URL, or a
+    ready :class:`~repro.experiments.store.CellStore`'s backend).
     Returns a stats dict (cells computed, claim conflicts, reaped leases,
     polling rounds, and ``idle_timeout`` when the loop gave up waiting on
     peers that stopped making progress for ``max_idle`` seconds).
     ``units`` overrides manifest discovery (tests inject a plan directly);
     ``claim_order`` is the interleaving seam (see :func:`claim_order_from`).
+
+    Deletion discipline: this loop only ever deletes *claims it owns*,
+    *stale* claims/spools (via :meth:`CellStore.reap_stale`) and
+    *consumed or corrupt manifests* — never a result entry, which is
+    immutable once written (corrupt results are healed inside the store's
+    decode path, not here).
     """
     from repro.experiments import dispatch, runner
     from repro.experiments.executor import ExperimentExecutor
@@ -130,7 +144,7 @@ def worker_loop(
         previous_pending = None
         seen_plan = False
         while True:
-            plan = units if units is not None else dispatch.load_manifests(store_root)
+            plan = units if units is not None else dispatch.load_manifests(store)
             if not plan:
                 if units is not None or seen_plan:
                     # Explicitly told there is nothing to do — or the
@@ -155,7 +169,7 @@ def worker_loop(
                 # rather than surprising the coordinator's assembly.
                 if all(store.verify("cell", unit.key) for unit in plan):
                     if units is None:
-                        dispatch.prune_manifests(store, store_root)
+                        dispatch.prune_manifests(store)
                     break
                 continue
             stats["rounds"] += 1
@@ -163,8 +177,15 @@ def worker_loop(
                 last_progress = time.monotonic()  # peers are landing cells
             previous_pending = len(pending)
             progressed = False
+            # One batched listing guards against cells that landed since
+            # the pending scan; anything landing *after* this snapshot is
+            # still safe — the executor consults the store before
+            # computing, so a claimed-but-landed cell is a pure hit.
+            still_missing = set(
+                store.filter_missing("cell", [u.key for u in pending])
+            )
             for unit in order(pending):
-                if store.has("cell", unit.key):
+                if unit.key not in still_missing:
                     continue  # landed while we worked through the list
                 if not store.try_claim("cell", unit.key, owner):
                     stats["claim_conflicts"] += 1
@@ -183,13 +204,19 @@ def worker_loop(
                 stats["computed"] += 1
                 progressed = True
                 last_progress = time.monotonic()
+                # Cells land continuously while we computed; refresh the
+                # snapshot (one listing) so peer-landed cells are skipped
+                # rather than claimed-and-hit.
+                still_missing = set(
+                    store.filter_missing("cell", [u.key for u in pending])
+                )
             if progressed:
                 continue
             # Everything pending is claimed by peers: wait for results to
             # land, reaping any leases (and orphan .tmp spools) whose
             # owners died so the grid cannot stall behind a crashed peer.
             store.reap_stale()
-            if any(store.claim_is_live("cell", u.key) for u in pending):
+            if store.any_live_claim("cell", [u.key for u in pending]):
                 # A heartbeated lease is proof a peer is computing (a
                 # FULL-profile cell can legitimately outlast max_idle);
                 # only a queue with no live leases counts as stalled.
@@ -206,9 +233,11 @@ def worker_loop(
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--store", required=True, metavar="DIR",
-                        help="shared CellStore directory holding the "
-                             "work manifests")
+    parser.add_argument("--store", "--store-url", dest="store",
+                        required=True, metavar="DIR_OR_URL",
+                        help="shared CellStore holding the work manifests: "
+                             "a directory, or a file:// / fakes3:// / "
+                             "s3:// store URL")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="local worker processes per cell "
                              "(0 = all cores; results identical to serial)")

@@ -28,6 +28,24 @@ class TestConfigRoundTrip:
     def test_dict_is_json_ready(self):
         assert json.loads(json.dumps(TINY.to_dict())) == TINY.to_dict()
 
+    def test_store_url_never_ships_in_manifests(self):
+        """store_url is deployment config: excluding it from to_dict keeps
+        the manifest profile payload identical to what pre-backend
+        releases parse (their from_dict rejects unknown fields)."""
+        cfg = TINY.scaled(store_url="fakes3:///somewhere")
+        payload = cfg.to_dict()
+        assert "store_url" not in payload
+        # The round trip loses only the deployment field.
+        assert ExperimentConfig.from_dict(payload) == TINY
+
+    def test_from_dict_drops_unknown_fields(self):
+        """Regression: a manifest from a *newer* coordinator (extra profile
+        fields) must parse, not be healed away as corrupt — deleting it
+        would livelock a mixed-version fleet."""
+        payload = TINY.to_dict()
+        payload["field_from_the_future"] = 42
+        assert ExperimentConfig.from_dict(payload) == TINY
+
 
 class TestGridSpecs:
     def test_table2_grid_shape(self):
@@ -122,7 +140,7 @@ class TestManifests:
         units = dispatch.plan_grid(TINY, ["table2"])
         path = dispatch.write_manifest(tmp_path, TINY, units)
         first = dispatch.load_manifests(tmp_path)
-        cached = dispatch._MANIFEST_CACHE[str(path)][1]
+        cached = dispatch._MANIFEST_CACHE[(f"file://{tmp_path}", path.name)][1]
         assert dispatch.load_manifests(tmp_path)[0] is cached[0]
         assert [u.key for u in first] == [u.key for u in units]
 
@@ -136,11 +154,50 @@ class TestManifests:
         store = CellStore(tmp_path)
         for unit in done_units:
             store.put("cell", unit.key, make_result())
-        assert dispatch.prune_manifests(store, tmp_path) == 1
+        assert dispatch.prune_manifests(store) == 1
         assert not done_path.exists()
         assert open_path.exists()
         # Idempotent: nothing more to prune.
-        assert dispatch.prune_manifests(store, tmp_path) == 0
+        assert dispatch.prune_manifests(store) == 0
+
+
+class TestManifestsOverObjectStore:
+    """Manifests ride the StoreBackend seam: the same plan/load/prune
+    cycle must work where no filesystem path exists."""
+
+    def target(self, tmp_path) -> str:
+        return f"fakes3://{tmp_path}/bucket"
+
+    def test_round_trip_returns_entry_name(self, tmp_path):
+        units = dispatch.plan_grid(TINY, ["table2"])
+        name = dispatch.write_manifest(self.target(tmp_path), TINY, units)
+        assert isinstance(name, str) and name.endswith(".plan")
+        loaded = dispatch.load_manifests(self.target(tmp_path))
+        assert [u.key for u in loaded] == [u.key for u in units]
+        assert all(u.cfg == TINY for u in loaded)
+
+    def test_corrupt_manifest_self_heals(self, tmp_path):
+        from repro.experiments.backends import resolve_backend
+
+        units = dispatch.plan_grid(TINY, ["table2"])
+        target = self.target(tmp_path)
+        name = dispatch.write_manifest(target, TINY, units)
+        backend = resolve_backend(target)
+        backend.put_atomic(name, b"{torn")
+        assert dispatch.load_manifests(target) == []
+        assert not backend.exists(name)  # deleted for the coordinator
+
+    def test_prune_over_object_store(self, tmp_path):
+        from tests.experiments.test_store import make_result
+
+        units = dispatch.plan_grid(TINY, ["table2"])
+        target = self.target(tmp_path)
+        dispatch.write_manifest(target, TINY, units)
+        store = CellStore(target)
+        for unit in units:
+            store.put("cell", unit.key, make_result())
+        assert dispatch.prune_manifests(store) == 1
+        assert dispatch.load_manifests(target) == []
 
 
 class TestWait:

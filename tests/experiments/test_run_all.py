@@ -65,6 +65,52 @@ class TestDistributedCoordinator:
 
         assert not get_store().persist
 
+    def test_distributed_mem_store_fails_fast(self, tmp_path, capsys,
+                                              restore_store):
+        """mem:// buckets are per-process: both --workers and
+        --workers-external modes must error immediately instead of
+        waiting forever on workers that can never see the store."""
+        for mode in (["--workers", "1"], ["--workers-external"]):
+            code = main(["table2", "--distributed", *mode,
+                         "--store", "mem://isolated"])
+            assert code == 1
+            assert "per-process" in capsys.readouterr().out
+
+    def test_profile_store_url_selects_the_store(self, tmp_path,
+                                                 restore_store, monkeypatch):
+        """A profile's store_url field re-points the process store when no
+        explicit flag or environment override is present."""
+        from repro.experiments import run_all
+        from repro.experiments.config import QUICK
+        from repro.experiments.runner import get_store
+
+        url = f"fakes3://{tmp_path}/bucket"
+        monkeypatch.delenv("REPRO_CELLSTORE_DIR", raising=False)
+        monkeypatch.setitem(
+            run_all._PROFILES, "quick", QUICK.scaled(store_url=url)
+        )
+        assert main(["table1"]) == 0
+        assert get_store().url == url
+
+    def test_cellstore_off_beats_profile_store_url(self, tmp_path,
+                                                   restore_store, monkeypatch):
+        """Regression: the REPRO_CELLSTORE=off kill switch must not be
+        silently undone by a profile-level store_url default."""
+        from repro.experiments import run_all
+        from repro.experiments.config import QUICK
+        from repro.experiments.runner import configure_store, get_store
+
+        monkeypatch.setenv("REPRO_CELLSTORE", "off")
+        monkeypatch.delenv("REPRO_CELLSTORE_DIR", raising=False)
+        monkeypatch.setitem(
+            run_all._PROFILES, "quick",
+            QUICK.scaled(store_url=f"fakes3://{tmp_path}/bucket"),
+        )
+        configure_store(root=None)  # what the off switch yields at startup
+        assert main(["table1"]) == 0
+        assert not get_store().persist
+        assert not (tmp_path / "bucket").exists()
+
     def test_external_wait_times_out_cleanly(self, tmp_path, capsys,
                                              restore_store):
         """--workers-external with nobody working: the coordinator plans,

@@ -128,6 +128,25 @@ class TestWorkerLoop:
         out = capsys.readouterr().out
         assert '"computed": 0' in out and '"idle_timeout": true' in out
 
+    def test_cli_store_url_is_an_alias_accepting_urls(self, tmp_path, capsys):
+        """--store-url and --store are one flag; both take store URLs."""
+        assert worker.main(
+            ["--store-url", f"fakes3://{tmp_path}/bucket",
+             "--poll", "0.02", "--max-idle", "0.2"]
+        ) == 3
+        assert '"idle_timeout": true' in capsys.readouterr().out
+
+    def test_worker_loop_over_an_object_store_url(self, tmp_path):
+        """The loop accepts URL targets end-to-end (not just directories)."""
+        from repro.experiments import dispatch
+        from tests.property.test_distributed_parity import TINY
+
+        target = f"fakes3://{tmp_path}/bucket"
+        units = dispatch.plan_grid(TINY, ["table2"])[:1]
+        dispatch.write_manifest(target, TINY, units)
+        stats = worker.worker_loop(target, jobs=1, max_idle=60.0)
+        assert stats["computed"] == 1
+
     def test_explicit_empty_unit_list_is_a_noop(self, tmp_path):
         stats = worker.worker_loop(tmp_path, jobs=1, units=[], max_idle=0.1)
         assert stats["computed"] == 0
