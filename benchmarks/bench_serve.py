@@ -1,0 +1,390 @@
+"""Serving-path benchmark: artifact loading and micro-batched latency.
+
+Measures the two promises of the freeze/serve split:
+
+* **Load**: opening the mmap-able artifact (``repro freeze`` output) vs
+  unpickling the fitted classifier — seconds and bytes for each.  The
+  artifact load is header-parse + mmap, so it should stay flat as models
+  grow while pickle pays a full deserialising copy.
+* **Serve**: p50/p99/mean request latency and throughput over the real
+  asyncio HTTP server at 1/8/64 concurrent keep-alive clients, with the
+  micro-batcher on and off.  At high concurrency the batcher coalesces
+  the concurrent single-row requests into one vectorised kernel pass per
+  ~1 ms window; the benchmark gates on batched throughput at the highest
+  concurrency being at least the unbatched figure.
+
+**Parity is the contract**: before timing anything, frozen predictions are
+compared bit-for-bit against ``GranularBallClassifier.predict`` and the
+run hard-fails on any difference.
+
+Run as a script for the serving report (written to
+``benchmarks/output/serve_bench.txt`` and ``BENCH_serve.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+    PYTHONPATH=src python benchmarks/bench_serve.py --requests 500 --size-factor 1.0
+
+Pytest mode runs a small smoke version of the same measurements.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import pickle
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.classifiers.gb_classifier import GranularBallClassifier
+from repro.datasets import load_dataset
+from repro.serving import FrozenPredictor
+from repro.serving.client import PredictClient
+from repro.serving.server import PredictServer
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+#: BENCH_serve.json lives at the repository root so CI can upload it as the
+#: serving perf-trajectory artifact.
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_serve.json"
+
+
+# ----------------------------------------------------------------------
+# model + parity gate
+# ----------------------------------------------------------------------
+
+
+def build_model(dataset: str = "S5", size_factor: float = 1.0,
+                rho: int = 5, seed: int = 0):
+    """Fit the classifier the benchmark freezes and serves."""
+    x, y = load_dataset(dataset, size_factor=size_factor, random_state=seed)
+    clf = GranularBallClassifier(rho=rho, random_state=seed).fit(x, y)
+    return clf, x, y
+
+
+def check_parity(clf, predictor, queries: np.ndarray) -> bool:
+    """Bit-identical frozen vs in-memory predictions on several shapes."""
+    for batch in (queries, queries[:1], queries[: min(190, len(queries))]):
+        if not np.array_equal(clf.predict(batch), predictor.predict(batch)):
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# load-path comparison: mmap artifact vs pickle
+# ----------------------------------------------------------------------
+
+
+def bench_load(clf, tmp_dir: Path, repeats: int = 20) -> dict:
+    """Seconds + bytes for artifact-mmap load vs classifier unpickling."""
+    artifact_path = tmp_dir / "bench-model.gba"
+    clf.freeze(artifact_path)
+    pickle_path = tmp_dir / "bench-model.pkl"
+    pickle_path.write_bytes(pickle.dumps(clf, protocol=pickle.HIGHEST_PROTOCOL))
+
+    def _time(fn) -> float:
+        samples = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            samples.append(time.perf_counter() - start)
+        return float(np.median(samples))
+
+    def _load_artifact():
+        FrozenPredictor.load(artifact_path).close()
+
+    def _load_artifact_unverified():
+        FrozenPredictor.load(artifact_path, verify=False).close()
+
+    def _load_pickle():
+        pickle.loads(pickle_path.read_bytes())
+
+    return {
+        "artifact_bytes": artifact_path.stat().st_size,
+        "pickle_bytes": pickle_path.stat().st_size,
+        "artifact_load_seconds": _time(_load_artifact),
+        "artifact_load_seconds_no_verify": _time(_load_artifact_unverified),
+        "pickle_load_seconds": _time(_load_pickle),
+        "repeats": repeats,
+    }
+
+
+# ----------------------------------------------------------------------
+# serving matrix: latency/throughput × concurrency × batching
+# ----------------------------------------------------------------------
+
+
+async def _client_run(host: str, port: int, rows: list,
+                      n_requests: int) -> list[float]:
+    """One keep-alive client firing sequential requests; returns latencies."""
+    client = await PredictClient.connect(host, port)
+    latencies = []
+    try:
+        for _ in range(n_requests):
+            start = time.perf_counter()
+            await client.predict(rows)
+            latencies.append(time.perf_counter() - start)
+    finally:
+        await client.close()
+    return latencies
+
+
+async def _measure_async(predictor, queries: np.ndarray, *, concurrency: int,
+                         requests_per_client: int, batching: bool,
+                         batch_window: float, max_batch: int) -> dict:
+    server = PredictServer(
+        predictor, port=0, batching=batching,
+        batch_window=batch_window, max_batch=max_batch,
+    )
+    await server.start()
+    try:
+        # Every client sends single-row requests (the serving-fleet shape
+        # micro-batching exists for), each with its own query point.
+        rows = [queries[i % len(queries)].tolist() for i in range(concurrency)]
+        start = time.perf_counter()
+        per_client = await asyncio.gather(
+            *[
+                _client_run(server.host, server.port, [rows[i]],
+                            requests_per_client)
+                for i in range(concurrency)
+            ]
+        )
+        wall = time.perf_counter() - start
+        stats = server.stats()
+    finally:
+        await server.shutdown()
+    latencies = np.array([lat for client in per_client for lat in client])
+    record = {
+        "concurrency": concurrency,
+        "batching": batching,
+        "n_requests": int(latencies.size),
+        "wall_seconds": wall,
+        "throughput_rps": latencies.size / wall,
+        "latency_ms": {
+            "p50": float(np.percentile(latencies, 50) * 1e3),
+            "p99": float(np.percentile(latencies, 99) * 1e3),
+            "mean": float(latencies.mean() * 1e3),
+            "max": float(latencies.max() * 1e3),
+        },
+    }
+    if batching:
+        batch = stats["batch"]
+        record["batch"] = {
+            "n_batches": batch["n_batches"],
+            "mean_batch_rows": batch["mean_batch_rows"],
+            "max_batch_rows": batch["max_batch_rows"],
+            "n_full_flushes": batch["n_full_flushes"],
+        }
+    return record
+
+
+def measure_serving(predictor, queries: np.ndarray, *, concurrency: int,
+                    requests_per_client: int, batching: bool,
+                    batch_window: float = 0.001,
+                    max_batch: int = 256) -> dict:
+    return asyncio.run(
+        _measure_async(
+            predictor, queries, concurrency=concurrency,
+            requests_per_client=requests_per_client, batching=batching,
+            batch_window=batch_window, max_batch=max_batch,
+        )
+    )
+
+
+def run_benchmark(*, dataset: str = "S5", size_factor: float = 1.0,
+                  rho: int = 5, seed: int = 0,
+                  concurrency_levels=(1, 8, 64),
+                  requests_per_client: int = 200,
+                  batch_window: float = 0.001, max_batch: int = 256,
+                  tmp_dir: Path | None = None) -> dict:
+    """The full benchmark: load comparison + parity gate + serving matrix."""
+    import tempfile
+
+    clf, x, _y = build_model(dataset, size_factor, rho, seed)
+    gen = np.random.default_rng(seed + 1)
+    queries = gen.normal(
+        x.mean(axis=0), x.std(axis=0) * 1.5, (512, x.shape[1])
+    )
+
+    with tempfile.TemporaryDirectory() as td:
+        work_dir = Path(tmp_dir) if tmp_dir is not None else Path(td)
+        load_record = bench_load(clf, work_dir)
+        with FrozenPredictor.load(work_dir / "bench-model.gba") as predictor:
+            parity = check_parity(clf, predictor, queries)
+            if not parity:
+                return {"bench": "serve", "bit_identical": False}
+            matrix = []
+            for concurrency in concurrency_levels:
+                for batching in (False, True):
+                    matrix.append(
+                        measure_serving(
+                            predictor, queries, concurrency=concurrency,
+                            requests_per_client=requests_per_client,
+                            batching=batching, batch_window=batch_window,
+                            max_batch=max_batch,
+                        )
+                    )
+
+    top = max(concurrency_levels)
+
+    def _rps(batching: bool) -> float:
+        return next(
+            r["throughput_rps"] for r in matrix
+            if r["concurrency"] == top and r["batching"] is batching
+        )
+
+    return {
+        "bench": "serve",
+        "dataset": dataset,
+        "size_factor": size_factor,
+        "rho": rho,
+        "n_samples": int(x.shape[0]),
+        "n_features": int(x.shape[1]),
+        "n_balls": clf.n_balls_,
+        "bit_identical": True,
+        "load": load_record,
+        "serving": matrix,
+        "requests_per_client": requests_per_client,
+        "batch_window_seconds": batch_window,
+        "max_batch": max_batch,
+        "batched_vs_unbatched_at_max_concurrency": {
+            "concurrency": top,
+            "unbatched_rps": _rps(False),
+            "batched_rps": _rps(True),
+            "speedup": _rps(True) / _rps(False),
+        },
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+
+
+def format_report(record: dict) -> str:
+    load = record["load"]
+    lines = [
+        "Serving benchmark — frozen artifact vs in-memory classifier "
+        f"({record['dataset']}, {record['n_samples']} samples -> "
+        f"{record['n_balls']} balls)",
+        f"bit-identical predictions: {record['bit_identical']}",
+        "load: artifact "
+        f"{load['artifact_bytes']} B in {load['artifact_load_seconds'] * 1e3:.2f} ms "
+        f"({load['artifact_load_seconds_no_verify'] * 1e3:.2f} ms unverified) "
+        f"vs pickle {load['pickle_bytes']} B in "
+        f"{load['pickle_load_seconds'] * 1e3:.2f} ms",
+        f"{'clients':>8s} {'mode':>10s} {'p50 [ms]':>9s} {'p99 [ms]':>9s} "
+        f"{'mean':>7s} {'req/s':>9s} {'batches':>8s}",
+    ]
+    for row in record["serving"]:
+        lat = row["latency_ms"]
+        batches = str(row["batch"]["n_batches"]) if "batch" in row else "-"
+        mode = "batched" if row["batching"] else "unbatched"
+        lines.append(
+            f"{row['concurrency']:8d} {mode:>10s} {lat['p50']:9.3f} "
+            f"{lat['p99']:9.3f} {lat['mean']:7.3f} "
+            f"{row['throughput_rps']:9.0f} {batches:>8s}"
+        )
+    gate = record["batched_vs_unbatched_at_max_concurrency"]
+    lines.append(
+        f"at {gate['concurrency']} clients: batched {gate['batched_rps']:.0f} "
+        f"req/s vs unbatched {gate['unbatched_rps']:.0f} req/s "
+        f"({gate['speedup']:.2f}x)"
+    )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# pytest smoke: small model, short matrix, parity is the contract
+# ----------------------------------------------------------------------
+
+
+def test_frozen_serving_parity_and_shape():
+    record = run_benchmark(
+        size_factor=0.2, concurrency_levels=(1, 8),
+        requests_per_client=25,
+    )
+    assert record["bit_identical"]
+    assert record["load"]["artifact_bytes"] > 0
+    assert record["load"]["artifact_load_seconds"] > 0
+    assert len(record["serving"]) == 4  # 2 concurrency levels x 2 modes
+    for row in record["serving"]:
+        assert row["n_requests"] == row["concurrency"] * 25
+        assert row["latency_ms"]["p50"] <= row["latency_ms"]["p99"]
+        assert row["throughput_rps"] > 0
+    batched_8 = next(
+        r for r in record["serving"]
+        if r["concurrency"] == 8 and r["batching"]
+    )
+    # Coalescing happened: fewer kernel passes than requests.
+    assert batched_8["batch"]["n_batches"] < batched_8["n_requests"]
+
+
+def test_report_and_json_round_trip(tmp_path):
+    record = run_benchmark(
+        size_factor=0.1, concurrency_levels=(1, 4),
+        requests_per_client=10,
+    )
+    text = format_report(record)
+    assert "bit-identical predictions: True" in text
+    path = tmp_path / "BENCH_serve.json"
+    path.write_text(json.dumps(record, indent=2))
+    assert json.loads(path.read_text())["bench"] == "serve"
+
+
+# ----------------------------------------------------------------------
+# script mode
+# ----------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="frozen-artifact serving latency/throughput report"
+    )
+    parser.add_argument("--dataset", default="S5",
+                        help="Table-I dataset code to fit (default: S5)")
+    parser.add_argument("--size-factor", type=float, default=1.0)
+    parser.add_argument("--rho", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--requests", type=int, default=200, metavar="N",
+                        help="requests per client (default: 200)")
+    parser.add_argument("--concurrency", type=int, nargs="+",
+                        default=[1, 8, 64],
+                        help="concurrent client counts (default: 1 8 64)")
+    parser.add_argument("--batch-window-ms", type=float, default=1.0)
+    parser.add_argument("--max-batch", type=int, default=256)
+    args = parser.parse_args(argv)
+
+    record = run_benchmark(
+        dataset=args.dataset, size_factor=args.size_factor, rho=args.rho,
+        seed=args.seed, concurrency_levels=tuple(args.concurrency),
+        requests_per_client=args.requests,
+        batch_window=args.batch_window_ms / 1e3, max_batch=args.max_batch,
+    )
+
+    if not record["bit_identical"]:
+        print("PARITY FAILURE: frozen predictions differ from the classifier")
+        return 1
+
+    report = format_report(record)
+    print(report)
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "serve_bench.txt").write_text(report + "\n")
+    BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"[report saved to {OUTPUT_DIR / 'serve_bench.txt'}]")
+    print(f"[record saved to {BENCH_JSON}]")
+
+    gate = record["batched_vs_unbatched_at_max_concurrency"]
+    if gate["batched_rps"] < gate["unbatched_rps"]:
+        print(
+            f"FAIL: micro-batched throughput {gate['batched_rps']:.0f} req/s "
+            f"below unbatched {gate['unbatched_rps']:.0f} req/s at "
+            f"{gate['concurrency']} clients"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

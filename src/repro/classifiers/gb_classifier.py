@@ -81,3 +81,15 @@ class GranularBallClassifier(BaseClassifier):
         """Balls per training sample — the GBC efficiency measure."""
         validate_fitted(self)
         return self.n_balls_ / max(self.ball_set_.n_source_samples, 1)
+
+    def freeze(self, path) -> dict:
+        """Freeze the fitted model into an mmap-able serving artifact.
+
+        Writes the versioned, checksummed artifact consumed by
+        :class:`repro.serving.FrozenPredictor` and ``repro serve``; the
+        frozen predict path is bit-identical to :meth:`predict`.  Returns
+        the artifact header (layout + metadata).
+        """
+        from repro.serving.artifact import freeze_classifier
+
+        return freeze_classifier(self, path)

@@ -6,6 +6,8 @@ For users who want the paper's methods without writing Python::
     python -m repro.cli sample data.csv --method ggbs --label-column 0
     python -m repro.cli granulate data.csv --save balls.npz
     python -m repro.cli info data.csv
+    python -m repro.cli freeze data.csv --out model.gba
+    python -m repro.cli serve model.gba --port 8000
     python -m repro.cli bench table2 --jobs 4
     python -m repro.cli bench --profile full --jobs 0 --no-cache
     python -m repro.cli bench table2 --distributed --workers 4
@@ -31,6 +33,11 @@ behind the claim/lease protocol (see docs/architecture/store-backends.md)::
 
     python -m repro.cli bench table2 --distributed \
         --store-url fakes3://bucket-dir
+
+``freeze`` fits a granular-ball classifier once and writes the versioned,
+checksummed, mmap-able model artifact; ``serve`` answers ``POST /predict``
+over HTTP from that artifact with micro-batching, bit-identical to the
+in-memory classifier (see docs/architecture/serving.md).
 """
 
 from __future__ import annotations
@@ -159,6 +166,48 @@ def _cmd_bench(args) -> int:
     return run_all_main(argv)
 
 
+def _cmd_freeze(args) -> int:
+    from repro.classifiers.gb_classifier import GranularBallClassifier
+
+    x, y = load_csv(args.csv, args.label_column)
+    clf = GranularBallClassifier(
+        rho=args.rho,
+        random_state=args.seed,
+        include_orphans=not args.no_orphans,
+        backend=args.backend,
+    ).fit(x, y)
+    header = clf.freeze(args.out)
+    meta = header["meta"]
+    size = Path(args.out).stat().st_size
+    print(
+        f"froze {x.shape[0]} samples -> {meta['n_balls']} balls "
+        f"({clf.compression_ratio():.1%} of the data) in {args.out} "
+        f"({size} bytes, crc32 {header['data_crc32']:#010x})"
+    )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.serving.server import run_server
+
+    if args.batch_window_ms < 0:
+        raise SystemExit("serve: --batch-window-ms must be >= 0")
+    if args.max_batch < 1:
+        raise SystemExit("serve: --max-batch must be >= 1")
+    try:
+        return run_server(
+            args.artifact,
+            host=args.host,
+            port=args.port,
+            batch_window=args.batch_window_ms / 1e3,
+            max_batch=args.max_batch,
+            batching=not args.no_batch,
+            verify=not args.no_verify,
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(f"serve: {exc}")
+
+
 def _cmd_info(args) -> int:
     x, y = load_csv(args.csv, args.label_column)
     classes, counts = np.unique(y, return_counts=True)
@@ -210,6 +259,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_info = sub.add_parser("info", help="dataset profile + GBABS ratio probe")
     common(p_info)
     p_info.set_defaults(func=_cmd_info)
+
+    p_freeze = sub.add_parser(
+        "freeze",
+        help="fit a GB classifier and write an mmap-able serving artifact",
+    )
+    common(p_freeze)
+    p_freeze.add_argument("--out", required=True,
+                          help="artifact output path (e.g. model.gba)")
+    p_freeze.add_argument("--no-orphans", action="store_true",
+                          help="drop radius-0 orphan balls from the "
+                               "decision rule before freezing")
+    p_freeze.set_defaults(func=_cmd_freeze)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve POST /predict over HTTP from a frozen artifact",
+    )
+    p_serve.add_argument("artifact", help="artifact written by `repro freeze`")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8000,
+                         help="TCP port (0 = ephemeral, printed on start)")
+    p_serve.add_argument("--batch-window-ms", type=float, default=1.0,
+                         metavar="MS",
+                         help="micro-batch accumulation window "
+                              "(default: 1 ms)")
+    p_serve.add_argument("--max-batch", type=int, default=256, metavar="N",
+                         help="flush a batch early at this many rows")
+    p_serve.add_argument("--no-batch", action="store_true",
+                         help="answer each request individually "
+                              "(benchmark baseline)")
+    p_serve.add_argument("--no-verify", action="store_true",
+                         help="skip the artifact checksum at load")
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_bench = sub.add_parser(
         "bench",

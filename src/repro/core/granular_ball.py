@@ -25,7 +25,149 @@ import numpy as np
 
 from repro.core.neighbors import distances_to, pairwise_distances
 
-__all__ = ["GranularBall", "GranularBallSet"]
+__all__ = [
+    "GranularBall",
+    "GranularBallSet",
+    "AssignWorkspace",
+    "assign_nearest_ball",
+    "ball_sq_norms",
+    "DEFAULT_ASSIGN_CHUNK",
+    "SCHEMA_VERSION",
+]
+
+#: Version stamp written into every persisted ball-set ``.npz``.  Bump when
+#: the array layout changes; :meth:`GranularBallSet.load` rejects files with
+#: a missing or unknown stamp instead of failing deep inside numpy.
+SCHEMA_VERSION = 2
+
+#: Canonical query-chunk size of the nearest-ball kernel.  Both the
+#: in-memory :meth:`GranularBallSet.assign` and the frozen serving path
+#: (:mod:`repro.serving`) use this value, which makes their argmin results
+#: bit-identical for the same query batch: BLAS matmul low bits depend on
+#: the operand row count, so "same kernel + same chunking" is the contract.
+DEFAULT_ASSIGN_CHUNK = 1024
+
+
+def ball_sq_norms(centers: np.ndarray) -> np.ndarray:
+    """Squared L2 norm per ball centre, the cached half of the distance
+    expansion ``||x - c||^2 = ||x||^2 + ||c||^2 - 2 x.c``.
+
+    Uses the exact reduction of :func:`repro.core.neighbors.pairwise_distances`
+    (``np.sum(c * c, axis=1)``) so cached and non-cached paths agree
+    bit-for-bit.
+    """
+    centers = np.asarray(centers, dtype=np.float64)
+    return np.sum(centers * centers, axis=1)
+
+
+class AssignWorkspace:
+    """Reusable scratch buffers for :func:`assign_nearest_ball`.
+
+    A serving process answering millions of small predict calls should not
+    pay a fresh ``(chunk, m)`` allocation per request; the workspace owns
+    the buffers once and every call slices them to the live chunk size.
+    """
+
+    def __init__(self, chunk_size: int, n_balls: int, n_features: int):
+        self.chunk_size = int(chunk_size)
+        self.xx = np.empty((self.chunk_size, int(n_features)), dtype=np.float64)
+        self.qn = np.empty(self.chunk_size, dtype=np.float64)
+        self.mm = np.empty((self.chunk_size, int(n_balls)), dtype=np.float64)
+        self.sq = np.empty((self.chunk_size, int(n_balls)), dtype=np.float64)
+
+    def fits(self, chunk_size: int, n_balls: int, n_features: int) -> bool:
+        """True when the buffers can serve a kernel call of this shape."""
+        return (
+            self.chunk_size >= chunk_size
+            and self.mm.shape[1] == n_balls
+            and self.xx.shape[1] == n_features
+        )
+
+
+def assign_nearest_ball(
+    points: np.ndarray,
+    centers: np.ndarray,
+    radii: np.ndarray,
+    centers_sq: np.ndarray,
+    *,
+    chunk_size: int = DEFAULT_ASSIGN_CHUNK,
+    workspace: AssignWorkspace | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Nearest-ball index per query point, chunked to bounded memory.
+
+    Computes ``argmin_j ||x - c_j|| - r_j`` (distance to the ball surface,
+    the GBC decision rule) without ever materialising the full
+    ``(n_queries, n_balls)`` matrix: queries stream through in chunks of
+    ``chunk_size`` rows, and ``centers_sq`` (see :func:`ball_sq_norms`)
+    replaces the per-call recomputation of every ball-centre norm.
+
+    The floating-point expression is operation-for-operation the one
+    :func:`repro.core.neighbors.pairwise_distances` evaluates, so for a
+    query batch that fits in one chunk the result is bit-identical to the
+    historical dense path.  Across chunks, determinism is guaranteed by the
+    fixed canonical chunk size: every caller that sticks with the default
+    sees the same bits for the same query batch.
+
+    Parameters
+    ----------
+    points:
+        Query matrix ``(n, p)`` (float64, C-order).
+    centers, radii, centers_sq:
+        Ball geometry SoA: ``(m, p)`` centres, ``(m,)`` radii and cached
+        squared centre norms.
+    chunk_size:
+        Rows per streamed chunk; memory is ``O(chunk_size * m)``.
+    workspace:
+        Optional :class:`AssignWorkspace` to reuse scratch buffers across
+        calls (the hot serving path); shapes must fit or a fresh private
+        workspace is used for the call.
+    out:
+        Optional preallocated ``(n,)`` intp output vector.
+
+    Returns
+    -------
+    numpy.ndarray
+        Ball index per query, shape ``(n,)``, dtype intp.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    centers = np.asarray(centers, dtype=np.float64)
+    n, m = points.shape[0], centers.shape[0]
+    if m == 0:
+        raise RuntimeError("cannot assign points with an empty ball set")
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    if out is None:
+        out = np.empty(n, dtype=np.intp)
+    if workspace is None or not workspace.fits(
+        min(chunk_size, max(n, 1)), m, points.shape[1]
+    ):
+        workspace = AssignWorkspace(
+            min(chunk_size, max(n, 1)), m, points.shape[1]
+        )
+    centers_t = centers.T
+    radii_row = np.asarray(radii, dtype=np.float64)[None, :]
+    centers_sq_row = np.asarray(centers_sq, dtype=np.float64)[None, :]
+    for start in range(0, n, chunk_size):
+        stop = min(start + chunk_size, n)
+        c = stop - start
+        chunk = points[start:stop]
+        xx = workspace.xx[:c]
+        qn = workspace.qn[:c]
+        mm = workspace.mm[:c]
+        sq = workspace.sq[:c]
+        np.multiply(chunk, chunk, out=xx)
+        np.sum(xx, axis=1, out=qn)
+        np.dot(chunk, centers_t, out=mm)
+        # Same op order as pairwise_distances: (||x||^2 + ||c||^2) - 2 x.c
+        np.add(qn[:, None], centers_sq_row, out=sq)
+        np.multiply(mm, 2.0, out=mm)
+        np.subtract(sq, mm, out=sq)
+        np.maximum(sq, 0.0, out=sq)
+        np.sqrt(sq, out=sq)
+        np.subtract(sq, radii_row, out=sq)
+        out[start:stop] = np.argmin(sq, axis=1)
+    return out
 
 
 @dataclass(frozen=True)
@@ -120,6 +262,7 @@ class GranularBallSet:
             self._flat_indices = np.empty(0, dtype=np.intp)
         self._starts = np.concatenate(([0], np.cumsum(sizes)))
         self._sizes = sizes
+        self._centers_sq: np.ndarray | None = None
 
     @classmethod
     def from_arrays(
@@ -157,6 +300,7 @@ class GranularBallSet:
         self._sizes = np.diff(self._starts)
         if m and (self._sizes <= 0).any():
             raise ValueError("every ball must contain at least one sample")
+        self._centers_sq = None
         return self
 
     # -- basic container protocol ------------------------------------------
@@ -205,6 +349,18 @@ class GranularBallSet:
     def sizes(self) -> np.ndarray:
         """Vector of member counts, shape ``(m,)``."""
         return self._sizes
+
+    @property
+    def center_sq_norms(self) -> np.ndarray:
+        """Cached squared centre norms (see :func:`ball_sq_norms`).
+
+        Computed once per set and shared by every :meth:`assign` call and
+        by the frozen serving artifact, so the in-memory and frozen
+        prediction paths consume identical acceleration state.
+        """
+        if self._centers_sq is None:
+            self._centers_sq = ball_sq_norms(self._centers)
+        return self._centers_sq
 
     @property
     def member_indices(self) -> np.ndarray:
@@ -291,12 +447,17 @@ class GranularBallSet:
         idx = self._flat_indices
         return idx.size == np.unique(idx).size
 
-    def assign(self, points: np.ndarray) -> np.ndarray:
+    def assign(
+        self, points: np.ndarray, chunk_size: int = DEFAULT_ASSIGN_CHUNK
+    ) -> np.ndarray:
         """Nearest-ball assignment used by GB-based classifiers.
 
         Each query point is assigned to the ball minimising
         ``dist(point, c_i) - r_i`` (distance to the ball surface, negative
-        inside the ball), the standard GBC decision rule.
+        inside the ball), the standard GBC decision rule.  Queries stream
+        through :func:`assign_nearest_ball` in chunks with the centre norms
+        cached on the set, so memory stays ``O(chunk_size * n_balls)``
+        instead of ``O(n_queries * n_balls)`` however large the batch.
 
         Returns
         -------
@@ -306,8 +467,13 @@ class GranularBallSet:
         if len(self) == 0:
             raise RuntimeError("cannot assign points with an empty ball set")
         points = np.atleast_2d(np.asarray(points, dtype=np.float64))
-        dist = pairwise_distances(points, self._centers) - self._radii[None, :]
-        return np.argmin(dist, axis=1)
+        return assign_nearest_ball(
+            points,
+            self._centers,
+            self._radii,
+            self.center_sq_norms,
+            chunk_size=chunk_size,
+        )
 
     def predict(self, points: np.ndarray) -> np.ndarray:
         """Label of the nearest ball for each query point."""
@@ -331,10 +497,13 @@ class GranularBallSet:
         """Persist the ball set to an ``.npz`` file.
 
         The member indices of all balls are stored flattened with split
-        offsets, so arbitrarily sized sets round-trip exactly.
+        offsets, so arbitrarily sized sets round-trip exactly.  A
+        ``schema_version`` field stamps the layout; :meth:`load` refuses
+        files whose stamp is missing or unknown.
         """
         np.savez(
             path,
+            schema_version=np.array([SCHEMA_VERSION], dtype=np.int64),
             centers=self._centers,
             radii=self._radii,
             labels=self._labels,
@@ -343,10 +512,44 @@ class GranularBallSet:
             n_source_samples=np.array([self.n_source_samples]),
         )
 
+    _SAVE_FIELDS = (
+        "centers", "radii", "labels", "flat_indices", "offsets",
+        "n_source_samples",
+    )
+
     @classmethod
     def load(cls, path) -> "GranularBallSet":
-        """Inverse of :meth:`save`."""
+        """Inverse of :meth:`save`.
+
+        Raises
+        ------
+        ValueError
+            When the file has no ``schema_version`` stamp (written by a
+            pre-versioning release, or not a ball-set file at all), an
+            unknown stamp (written by a newer release), or is missing any
+            layout field — instead of an opaque ``KeyError`` deep inside
+            numpy.
+        """
         with np.load(path) as data:
+            if "schema_version" not in data:
+                raise ValueError(
+                    f"{path}: no schema_version field — this is not a "
+                    "granular-ball set file, or it was saved by a "
+                    "pre-versioning release; re-granulate and save again"
+                )
+            version = int(data["schema_version"][0])
+            if version != SCHEMA_VERSION:
+                raise ValueError(
+                    f"{path}: unsupported ball-set schema version {version} "
+                    f"(this build reads version {SCHEMA_VERSION}); "
+                    "re-save the set with a matching release"
+                )
+            missing = [k for k in cls._SAVE_FIELDS if k not in data]
+            if missing:
+                raise ValueError(
+                    f"{path}: ball-set file is missing fields {missing} — "
+                    "truncated or corrupt; re-granulate and save again"
+                )
             return cls.from_arrays(
                 centers=data["centers"],
                 radii=data["radii"],

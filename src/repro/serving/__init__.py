@@ -1,0 +1,43 @@
+"""The serving subsystem: freeze once, predict millions of times.
+
+Every model in this library is write-once/read-many — granulation is the
+expensive build step, prediction afterwards is pure array lookups.  This
+package is the "read many" half of that asymmetry (cf. the ZXC WORM codec
+design: spend unbounded encoder time once so the million-times-repeated
+decode path is as fast as the hardware allows):
+
+* :mod:`repro.serving.artifact` — a versioned, checksummed, mmap-able
+  binary container for frozen model state (SoA ball arrays + precomputed
+  acceleration state), published by atomic rename.
+* :mod:`repro.serving.predictor` — :class:`FrozenPredictor`, whose batched
+  predict path is bit-identical to a fitted
+  :class:`~repro.classifiers.gb_classifier.GranularBallClassifier` while
+  allocating nothing per request beyond the output.
+* :mod:`repro.serving.batching` — :class:`MicroBatcher`, coalescing
+  concurrent requests into one vectorised pass per ~1 ms window.
+* :mod:`repro.serving.server` — the ``repro serve`` asyncio HTTP service
+  with graceful SIGTERM drain.
+
+See ``docs/architecture/serving.md`` for the format layout, the parity
+contract and the micro-batching design.
+"""
+
+from repro.serving.artifact import (
+    Artifact,
+    FORMAT_VERSION,
+    freeze_classifier,
+    load_artifact,
+    write_artifact,
+)
+from repro.serving.batching import MicroBatcher
+from repro.serving.predictor import FrozenPredictor
+
+__all__ = [
+    "Artifact",
+    "FORMAT_VERSION",
+    "FrozenPredictor",
+    "MicroBatcher",
+    "freeze_classifier",
+    "load_artifact",
+    "write_artifact",
+]

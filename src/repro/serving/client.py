@@ -1,0 +1,91 @@
+"""Minimal asyncio HTTP client for the predict service.
+
+Speaks just enough keep-alive HTTP/1.1 for the serving endpoints; used by
+the test-suite, ``benchmarks/bench_serve.py`` and the CI serve-smoke —
+anything that needs to drive ``repro serve`` without a third-party HTTP
+dependency.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+
+__all__ = ["PredictClient"]
+
+
+class PredictClient:
+    """One keep-alive connection to a :class:`PredictServer`.
+
+    Usage::
+
+        client = await PredictClient.connect("127.0.0.1", 8000)
+        labels = await client.predict([[0.1, 0.2]])
+        await client.close()
+    """
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "PredictClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def request(self, method: str, path: str,
+                      payload: dict | None = None) -> tuple[int, dict]:
+        """One request/response round-trip; returns ``(status, body)``."""
+        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            "Host: predict\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "\r\n"
+        )
+        self._writer.write(head.encode("latin-1") + body)
+        await self._writer.drain()
+
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        status = int(status_line.split()[1])
+        headers = {}
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = line.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        raw = await self._reader.readexactly(length) if length else b""
+        return status, json.loads(raw) if raw else {}
+
+    async def predict(self, x) -> list:
+        """``POST /predict``; returns the label list or raises on error."""
+        if isinstance(x, np.ndarray):
+            x = x.tolist()
+        status, payload = await self.request("POST", "/predict", {"x": x})
+        if status != 200:
+            raise RuntimeError(
+                f"predict failed with {status}: {payload.get('error')}"
+            )
+        return payload["labels"]
+
+    async def healthz(self) -> dict:
+        status, payload = await self.request("GET", "/healthz")
+        if status != 200:
+            raise RuntimeError(f"healthz failed with {status}")
+        return payload
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass

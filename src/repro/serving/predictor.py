@@ -1,0 +1,146 @@
+"""Frozen model prediction — the hot half of the freeze/serve split.
+
+:class:`FrozenPredictor` answers the GBC decision rule from a memory-mapped
+artifact.  Its contract, pinned by ``tests/serving``:
+
+* **Bit-identical to the in-memory classifier.**  For the same query batch
+  it returns exactly the labels a fitted
+  :class:`~repro.classifiers.gb_classifier.GranularBallClassifier` would:
+  both paths run the same chunked kernel
+  (:func:`repro.core.granular_ball.assign_nearest_ball`) with the same
+  canonical chunk size over the same arrays — the artifact even carries the
+  precomputed squared centre norms so no acceleration state is derived
+  twice.
+* **Allocation-free steady state.**  The kernel's scratch buffers live on
+  the predictor and are reused across calls; a predict allocates nothing
+  beyond the output vector (plus numpy's small per-chunk argmin index
+  temporary).
+* **Shared, read-only model state.**  The ball arrays are views into the
+  mapped file; N predictor processes on one machine share a single
+  page-cache copy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.granular_ball import (
+    DEFAULT_ASSIGN_CHUNK,
+    AssignWorkspace,
+    assign_nearest_ball,
+)
+from repro.serving.artifact import Artifact, load_artifact
+
+__all__ = ["FrozenPredictor"]
+
+_REQUIRED_ARRAYS = ("centers", "radii", "labels", "center_sq_norms")
+
+
+class FrozenPredictor:
+    """Read-only granular-ball predictor over a frozen artifact.
+
+    Build one with :meth:`load` (the common case) or from an already-open
+    :class:`~repro.serving.artifact.Artifact`.
+
+    Parameters
+    ----------
+    artifact:
+        A loaded artifact of kind ``granular-ball-classifier``.
+    chunk_size:
+        Query rows per kernel chunk.  **Leave at the default** unless you
+        know what you are doing: the canonical chunk size is part of the
+        bit-parity contract with the in-memory classifier.
+    """
+
+    def __init__(self, artifact: Artifact,
+                 chunk_size: int = DEFAULT_ASSIGN_CHUNK):
+        kind = artifact.meta.get("kind")
+        if kind != "granular-ball-classifier":
+            raise ValueError(
+                f"{artifact.path}: artifact kind {kind!r} is not servable "
+                "by FrozenPredictor (expected 'granular-ball-classifier')"
+            )
+        missing = [n for n in _REQUIRED_ARRAYS if n not in artifact.arrays]
+        if missing:
+            raise ValueError(
+                f"{artifact.path}: artifact is missing arrays {missing}"
+            )
+        self._artifact = artifact
+        self._centers = artifact.arrays["centers"]
+        self._radii = artifact.arrays["radii"]
+        self._labels = artifact.arrays["labels"]
+        self._centers_sq = artifact.arrays["center_sq_norms"]
+        self._chunk_size = int(chunk_size)
+        self.classes_ = np.asarray(artifact.meta.get("classes", []))
+        self.n_balls = int(self._radii.shape[0])
+        self.n_features = int(self._centers.shape[1])
+        self._workspace = AssignWorkspace(
+            self._chunk_size, self.n_balls, self.n_features
+        )
+        # Reused output buffer for the assignment indices; grown on demand.
+        self._assign_out = np.empty(self._chunk_size, dtype=np.intp)
+
+    @classmethod
+    def load(cls, path, verify: bool = True,
+             chunk_size: int = DEFAULT_ASSIGN_CHUNK) -> "FrozenPredictor":
+        """Map ``path`` read-only and wrap it in a predictor.
+
+        ``verify`` checks the artifact checksum once at load (see
+        :func:`repro.serving.artifact.load_artifact`).
+        """
+        return cls(load_artifact(path, verify=verify), chunk_size=chunk_size)
+
+    @property
+    def meta(self) -> dict:
+        """The artifact's frozen metadata (params, provenance, counts)."""
+        return self._artifact.meta
+
+    @property
+    def path(self):
+        return self._artifact.path
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the mapped artifact in bytes."""
+        return self._artifact.nbytes
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Labels of the nearest-surface balls, one per query row.
+
+        Canonicalises the input exactly as the in-memory classifier does
+        (``np.atleast_2d`` over float64), then runs the shared chunked
+        kernel against the mapped arrays.
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if x.shape[1] != self.n_features:
+            raise ValueError(
+                f"query has {x.shape[1]} features, model expects "
+                f"{self.n_features}"
+            )
+        n = x.shape[0]
+        if n > self._assign_out.shape[0]:
+            self._assign_out = np.empty(
+                max(n, 2 * self._assign_out.shape[0]), dtype=np.intp
+            )
+        assigned = assign_nearest_ball(
+            x,
+            self._centers,
+            self._radii,
+            self._centers_sq,
+            chunk_size=self._chunk_size,
+            workspace=self._workspace,
+            out=self._assign_out[:n],
+        )
+        return self._labels[assigned].astype(np.intp, copy=False)
+
+    def close(self) -> None:
+        """Release the underlying mapping."""
+        self._centers = self._radii = None
+        self._labels = self._centers_sq = None
+        self._artifact.close()
+
+    def __enter__(self) -> "FrozenPredictor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

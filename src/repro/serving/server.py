@@ -1,0 +1,318 @@
+"""``repro serve`` — asyncio HTTP service over a frozen artifact.
+
+A deliberately small HTTP/1.1 server on stdlib asyncio (this build has no
+third-party web framework, and needs none: the request surface is two
+JSON endpoints).  Design points:
+
+* **Micro-batched by default.**  ``POST /predict`` submits to a
+  :class:`~repro.serving.batching.MicroBatcher`; concurrent requests are
+  answered by one vectorised kernel pass per ~1 ms window.  ``--no-batch``
+  serves each request individually (the benchmark baseline).
+* **Keep-alive.**  Connections serve any number of sequential requests;
+  serving fleets and the benchmark client reuse sockets.
+* **Graceful drain.**  SIGTERM/SIGINT stop the listener, flush the pending
+  batch so every in-flight request gets its answer, wait for open
+  connections to finish their current request, then exit 0.  No request
+  that was accepted is ever dropped.
+
+Endpoints::
+
+    POST /predict   {"x": [[...], ...]}  ->  {"labels": [...], "n": N}
+    GET  /healthz                        ->  model info + serving stats
+
+Errors are JSON too: 400 for malformed bodies, 404 for unknown routes,
+413 for oversized bodies, 503 while draining.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import time
+
+import numpy as np
+
+from repro.serving.batching import MicroBatcher
+from repro.serving.predictor import FrozenPredictor
+
+__all__ = ["PredictServer", "run_server"]
+
+#: Hard cap on request bodies; a predict row is ~tens of floats, so even
+#: generous batches sit far below this.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class _BadRequest(ValueError):
+    """Client-side error mapped to a 400 response."""
+
+
+async def _read_request(reader: asyncio.StreamReader):
+    """Parse one HTTP/1.1 request; returns ``None`` on EOF/closed peer."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionResetError, asyncio.IncompleteReadError):
+        return None
+    if not request_line or request_line in (b"\r\n", b"\n"):
+        return None
+    try:
+        method, target, _version = request_line.decode("latin-1").split()
+    except ValueError:
+        raise _BadRequest("malformed request line")
+    headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise _BadRequest("malformed Content-Length")
+    if length > MAX_BODY_BYTES:
+        raise _BadRequest(f"body exceeds {MAX_BODY_BYTES} bytes")
+    body = await reader.readexactly(length) if length else b""
+    return method, target, headers, body
+
+
+def _response(status: int, reason: str, payload: dict,
+              keep_alive: bool) -> bytes:
+    body = json.dumps(payload).encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+class PredictServer:
+    """The serving loop: listener + router + micro-batcher.
+
+    Parameters
+    ----------
+    predictor:
+        A loaded :class:`~repro.serving.predictor.FrozenPredictor`.
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (see
+        :attr:`port` after :meth:`start`).
+    batch_window:
+        Micro-batch accumulation window in seconds.
+    max_batch:
+        Row threshold flushing a batch early.
+    batching:
+        ``False`` answers each request with its own kernel pass (the
+        benchmark's unbatched baseline).
+    """
+
+    def __init__(self, predictor: FrozenPredictor, host: str = "127.0.0.1",
+                 port: int = 8000, *, batch_window: float = 0.001,
+                 max_batch: int = 256, batching: bool = True):
+        self.predictor = predictor
+        self.host = host
+        self.port = int(port)
+        self.batching = bool(batching)
+        self.batcher = (
+            MicroBatcher(predictor.predict, window=batch_window,
+                         max_batch=max_batch)
+            if batching
+            else None
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._draining = False
+        self._started = time.time()
+        self.n_http_requests = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting; resolves :attr:`port` when 0."""
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until(self, stop: asyncio.Event) -> None:
+        """Serve until ``stop`` is set, then drain gracefully."""
+        await stop.wait()
+        await self.shutdown()
+
+    async def shutdown(self, grace: float = 1.0) -> None:
+        """Stop accepting, flush the batcher, wait for open connections.
+
+        In-flight requests finish normally (the batcher flush resolves
+        every accepted predict); connections still idle after ``grace``
+        seconds are keep-alive sockets with no request in flight and are
+        closed outright.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self.batcher is not None:
+            await self.batcher.aclose()
+        if self._connections:
+            _done, pending = await asyncio.wait(
+                set(self._connections), timeout=grace
+            )
+            if pending:
+                for writer in list(self._writers):
+                    writer.close()
+                await asyncio.gather(*pending, return_exceptions=True)
+
+    def stats(self) -> dict:
+        record = {
+            "uptime_seconds": time.time() - self._started,
+            "n_http_requests": self.n_http_requests,
+            "batching": self.batching,
+        }
+        if self.batcher is not None:
+            record["batch"] = self.batcher.stats.as_dict()
+        return record
+
+    # -- connection handling --------------------------------------------
+
+    def _on_connection(self, reader, writer) -> None:
+        task = asyncio.ensure_future(self._serve_connection(reader, writer))
+        self._connections.add(task)
+        task.add_done_callback(self._connections.discard)
+
+    async def _serve_connection(self, reader, writer) -> None:
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except _BadRequest as exc:
+                    writer.write(_response(400, "Bad Request",
+                                           {"error": str(exc)}, False))
+                    break
+                if request is None:
+                    break
+                method, target, headers, body = request
+                self.n_http_requests += 1
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower() != "close"
+                    and not self._draining
+                )
+                status, reason, payload = await self._route(
+                    method, target, body
+                )
+                writer.write(_response(status, reason, payload, keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, asyncio.IncompleteReadError,
+                BrokenPipeError):
+            pass  # peer vanished mid-request; nothing to answer
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _route(self, method: str, target: str,
+                     body: bytes) -> tuple[int, str, dict]:
+        path = target.partition("?")[0]
+        if path == "/predict" and method == "POST":
+            return await self._handle_predict(body)
+        if path == "/healthz" and method == "GET":
+            meta = self.predictor.meta
+            return 200, "OK", {
+                "status": "draining" if self._draining else "ok",
+                "model": {
+                    "path": str(self.predictor.path),
+                    "n_balls": self.predictor.n_balls,
+                    "n_features": self.predictor.n_features,
+                    "n_source_samples": meta.get("n_source_samples"),
+                    "params": meta.get("params"),
+                },
+                "stats": self.stats(),
+            }
+        return 404, "Not Found", {"error": f"no route {method} {path}"}
+
+    async def _handle_predict(self, body: bytes) -> tuple[int, str, dict]:
+        if self._draining:
+            return 503, "Service Unavailable", {"error": "server draining"}
+        try:
+            payload = json.loads(body.decode("utf-8"))
+            x = np.asarray(payload["x"], dtype=np.float64)
+        except (ValueError, KeyError, TypeError):
+            return 400, "Bad Request", {
+                "error": 'body must be JSON {"x": [[...], ...]}'
+            }
+        if x.ndim not in (1, 2) or x.size == 0:
+            return 400, "Bad Request", {
+                "error": "x must be one sample or a non-empty matrix"
+            }
+        x = np.atleast_2d(x)
+        if x.shape[1] != self.predictor.n_features:
+            return 400, "Bad Request", {
+                "error": f"x has {x.shape[1]} features, model expects "
+                         f"{self.predictor.n_features}"
+            }
+        try:
+            if self.batcher is not None:
+                labels = await self.batcher.submit(x)
+            else:
+                labels = self.predictor.predict(x)
+        except RuntimeError:
+            return 503, "Service Unavailable", {"error": "server draining"}
+        return 200, "OK", {"labels": labels.tolist(), "n": int(x.shape[0])}
+
+
+async def _serve_async(predictor: FrozenPredictor, host: str, port: int, *,
+                       batch_window: float, max_batch: int,
+                       batching: bool) -> dict:
+    server = PredictServer(
+        predictor, host, port, batch_window=batch_window,
+        max_batch=max_batch, batching=batching,
+    )
+    await server.start()
+    mode = (
+        f"micro-batched (window {batch_window * 1e3:g} ms, "
+        f"max {max_batch} rows)"
+        if batching
+        else "unbatched"
+    )
+    print(
+        f"serving {predictor.path} on http://{server.host}:{server.port} "
+        f"[{mode}; {predictor.n_balls} balls, "
+        f"{predictor.n_features} features]",
+        flush=True,
+    )
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(sig, stop.set)
+    await server.serve_until(stop)
+    stats = server.stats()
+    print(f"drained cleanly after {stats['n_http_requests']} requests",
+          flush=True)
+    return stats
+
+
+def run_server(artifact_path, host: str = "127.0.0.1", port: int = 8000, *,
+               batch_window: float = 0.001, max_batch: int = 256,
+               batching: bool = True, verify: bool = True) -> int:
+    """Blocking entry point used by ``repro serve``.
+
+    Loads the artifact (mmap, optionally checksum-verified), serves until
+    SIGTERM/SIGINT, drains, and returns 0 on a clean exit.
+    """
+    with FrozenPredictor.load(artifact_path, verify=verify) as predictor:
+        asyncio.run(
+            _serve_async(
+                predictor, host, port, batch_window=batch_window,
+                max_batch=max_batch, batching=batching,
+            )
+        )
+    return 0

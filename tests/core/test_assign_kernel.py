@@ -1,0 +1,110 @@
+"""The chunked assign kernel vs the dense reference implementation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.granular_ball import (
+    DEFAULT_ASSIGN_CHUNK,
+    AssignWorkspace,
+    assign_nearest_ball,
+    ball_sq_norms,
+)
+from repro.core.neighbors import pairwise_distances
+from repro.core.rdgbg import RDGBG
+
+
+def _dense_reference(points, centers, radii):
+    """The historical in-memory path: full (n, m) distance matrix."""
+    return np.argmin(pairwise_distances(points, centers) - radii[None, :],
+                     axis=1)
+
+
+@pytest.fixture
+def geometry(moons):
+    x, y = moons
+    ball_set = RDGBG(rho=5, random_state=0).generate(x, y).ball_set
+    gen = np.random.default_rng(3)
+    queries = gen.normal(0.5, 1.5, (337, 2))
+    return ball_set, queries
+
+
+class TestKernelParity:
+    def test_single_chunk_matches_dense_reference(self, geometry):
+        """Batches within one chunk are the identical BLAS call, so the
+        argmin is bit-identical to the dense path."""
+        ball_set, queries = geometry
+        assert queries.shape[0] <= DEFAULT_ASSIGN_CHUNK
+        got = assign_nearest_ball(
+            queries, ball_set.centers, ball_set.radii,
+            ball_sq_norms(ball_set.centers),
+        )
+        np.testing.assert_array_equal(
+            got,
+            _dense_reference(queries, ball_set.centers, ball_set.radii),
+        )
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 64, 337, 10_000])
+    def test_any_chunking_matches_dense_argmin(self, geometry, chunk_size):
+        ball_set, queries = geometry
+        got = assign_nearest_ball(
+            queries, ball_set.centers, ball_set.radii,
+            ball_sq_norms(ball_set.centers), chunk_size=chunk_size,
+        )
+        np.testing.assert_array_equal(
+            got,
+            _dense_reference(queries, ball_set.centers, ball_set.radii),
+        )
+
+    def test_ball_set_assign_uses_the_kernel(self, geometry):
+        ball_set, queries = geometry
+        np.testing.assert_array_equal(
+            ball_set.assign(queries),
+            assign_nearest_ball(
+                queries, ball_set.centers, ball_set.radii,
+                ball_set.center_sq_norms,
+            ),
+        )
+
+    def test_workspace_reuse_changes_nothing(self, geometry):
+        ball_set, queries = geometry
+        centers_sq = ball_sq_norms(ball_set.centers)
+        workspace = AssignWorkspace(
+            DEFAULT_ASSIGN_CHUNK, len(ball_set), queries.shape[1]
+        )
+        out = np.empty(queries.shape[0], dtype=np.intp)
+        fresh = assign_nearest_ball(
+            queries, ball_set.centers, ball_set.radii, centers_sq
+        )
+        for _ in range(3):  # repeated calls on dirty buffers
+            reused = assign_nearest_ball(
+                queries, ball_set.centers, ball_set.radii, centers_sq,
+                workspace=workspace, out=out,
+            )
+            assert reused is out
+            np.testing.assert_array_equal(reused, fresh)
+
+    def test_cached_norms_property_matches_helper(self, geometry):
+        ball_set, _ = geometry
+        np.testing.assert_array_equal(
+            ball_set.center_sq_norms, ball_sq_norms(ball_set.centers)
+        )
+        # Cached: the same object comes back on the second access.
+        assert ball_set.center_sq_norms is ball_set.center_sq_norms
+
+
+class TestKernelValidation:
+    def test_empty_ball_set_rejected(self):
+        with pytest.raises(RuntimeError, match="empty"):
+            assign_nearest_ball(
+                np.zeros((2, 2)), np.empty((0, 2)), np.empty(0), np.empty(0)
+            )
+
+    def test_bad_chunk_size_rejected(self, geometry):
+        ball_set, queries = geometry
+        with pytest.raises(ValueError, match="chunk_size"):
+            assign_nearest_ball(
+                queries, ball_set.centers, ball_set.radii,
+                ball_sq_norms(ball_set.centers), chunk_size=0,
+            )

@@ -1,8 +1,9 @@
 """Round-trip tests for granular-ball set persistence."""
 
 import numpy as np
+import pytest
 
-from repro.core.granular_ball import GranularBallSet
+from repro.core.granular_ball import SCHEMA_VERSION, GranularBallSet
 from repro.core.rdgbg import RDGBG
 
 
@@ -40,3 +41,43 @@ class TestSaveLoad:
         restored = GranularBallSet.load(path)
         assert len(restored) == 0
         assert restored.n_source_samples == 0
+
+
+class TestSchemaVersion:
+    def _saved(self, moons, tmp_path):
+        x, y = moons
+        ball_set = RDGBG(rho=5, random_state=0).generate(x, y).ball_set
+        path = tmp_path / "balls.npz"
+        ball_set.save(path)
+        return path
+
+    def test_saved_file_carries_the_version_stamp(self, moons, tmp_path):
+        path = self._saved(moons, tmp_path)
+        with np.load(path) as data:
+            assert int(data["schema_version"][0]) == SCHEMA_VERSION
+
+    def test_missing_version_stamp_rejected(self, moons, tmp_path):
+        path = self._saved(moons, tmp_path)
+        with np.load(path) as data:
+            fields = {k: data[k] for k in data.files if k != "schema_version"}
+        np.savez(path, **fields)
+        with pytest.raises(ValueError, match="no schema_version"):
+            GranularBallSet.load(path)
+
+    def test_unknown_version_rejected(self, moons, tmp_path):
+        path = self._saved(moons, tmp_path)
+        with np.load(path) as data:
+            fields = {k: data[k] for k in data.files}
+        fields["schema_version"] = np.array([SCHEMA_VERSION + 7],
+                                            dtype=np.int64)
+        np.savez(path, **fields)
+        with pytest.raises(ValueError, match="unsupported"):
+            GranularBallSet.load(path)
+
+    def test_missing_field_rejected(self, moons, tmp_path):
+        path = self._saved(moons, tmp_path)
+        with np.load(path) as data:
+            fields = {k: data[k] for k in data.files if k != "radii"}
+        np.savez(path, **fields)
+        with pytest.raises(ValueError, match="radii"):
+            GranularBallSet.load(path)

@@ -1,0 +1,27 @@
+"""Shared fixtures for the serving test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.classifiers.gb_classifier import GranularBallClassifier
+
+
+@pytest.fixture
+def fitted_clf(moons):
+    x, y = moons
+    return GranularBallClassifier(rho=5, random_state=0).fit(x, y)
+
+
+@pytest.fixture
+def artifact_path(fitted_clf, tmp_path):
+    path = tmp_path / "model.gba"
+    fitted_clf.freeze(path)
+    return path
+
+
+@pytest.fixture
+def queries():
+    gen = np.random.default_rng(99)
+    return gen.normal(0.5, 1.5, (500, 2))

@@ -1,0 +1,168 @@
+"""The artifact container: round-trips, versioning, checksums, atomicity."""
+
+from __future__ import annotations
+
+import json
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.serving.artifact import (
+    FORMAT_VERSION,
+    MAGIC,
+    freeze_classifier,
+    load_artifact,
+    write_artifact,
+)
+
+
+def _sample_arrays():
+    gen = np.random.default_rng(7)
+    return {
+        "centers": gen.normal(size=(31, 5)),
+        "radii": gen.uniform(size=31),
+        "labels": gen.integers(0, 3, size=31).astype(np.int64),
+    }
+
+
+class TestRoundTrip:
+    def test_arrays_and_meta_survive(self, tmp_path):
+        path = tmp_path / "model.gba"
+        arrays = _sample_arrays()
+        meta = {"kind": "test", "nested": {"a": [1, 2, 3]}}
+        write_artifact(path, arrays, meta)
+        with load_artifact(path) as artifact:
+            assert artifact.version == FORMAT_VERSION
+            assert artifact.meta == meta
+            assert set(artifact.arrays) == set(arrays)
+            for name, original in arrays.items():
+                np.testing.assert_array_equal(artifact.arrays[name], original)
+                assert artifact.arrays[name].dtype == original.dtype
+
+    def test_views_are_read_only(self, tmp_path):
+        path = tmp_path / "model.gba"
+        write_artifact(path, _sample_arrays(), {})
+        with load_artifact(path) as artifact:
+            with pytest.raises((ValueError, RuntimeError)):
+                artifact.arrays["radii"][0] = 1.0
+
+    def test_arrays_are_64_byte_aligned(self, tmp_path):
+        path = tmp_path / "model.gba"
+        write_artifact(path, _sample_arrays(), {})
+        with load_artifact(path) as artifact:
+            offsets = [a.ctypes.data % 64 for a in artifact.arrays.values()]
+        assert offsets == [0] * len(offsets)
+
+    def test_no_tmp_spool_left_behind(self, tmp_path):
+        path = tmp_path / "model.gba"
+        write_artifact(path, _sample_arrays(), {})
+        leftovers = [p for p in tmp_path.iterdir() if p.name != "model.gba"]
+        assert leftovers == []
+
+    def test_overwrite_is_atomic_replacement(self, tmp_path):
+        path = tmp_path / "model.gba"
+        write_artifact(path, _sample_arrays(), {"rev": 1})
+        write_artifact(path, _sample_arrays(), {"rev": 2})
+        with load_artifact(path) as artifact:
+            assert artifact.meta["rev"] == 2
+
+
+class TestFailLoudly:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bogus.gba"
+        path.write_bytes(b"NOPE" + b"\0" * 64)
+        with pytest.raises(ValueError, match="bad magic"):
+            load_artifact(path)
+
+    def test_future_format_version(self, tmp_path):
+        path = tmp_path / "model.gba"
+        write_artifact(path, _sample_arrays(), {})
+        raw = bytearray(path.read_bytes())
+        raw[4:8] = (FORMAT_VERSION + 1).to_bytes(4, "little")
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ValueError, match="format version"):
+            load_artifact(path)
+
+    def test_truncated_file(self, tmp_path):
+        path = tmp_path / "model.gba"
+        write_artifact(path, _sample_arrays(), {})
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 40])
+        with pytest.raises(ValueError, match="truncated"):
+            load_artifact(path)
+
+    def test_flipped_payload_bit_fails_checksum(self, tmp_path):
+        path = tmp_path / "model.gba"
+        write_artifact(path, _sample_arrays(), {})
+        raw = bytearray(path.read_bytes())
+        raw[-5] ^= 0x40
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ValueError, match="checksum"):
+            load_artifact(path, verify=True)
+
+    def test_verify_false_skips_checksum(self, tmp_path):
+        path = tmp_path / "model.gba"
+        write_artifact(path, _sample_arrays(), {})
+        raw = bytearray(path.read_bytes())
+        raw[-5] ^= 0x40
+        path.write_bytes(bytes(raw))
+        with load_artifact(path, verify=False) as artifact:
+            assert "radii" in artifact.arrays
+
+    def test_corrupt_header_json(self, tmp_path):
+        path = tmp_path / "model.gba"
+        write_artifact(path, _sample_arrays(), {})
+        raw = bytearray(path.read_bytes())
+        raw[20] ^= 0xFF  # somewhere inside the header JSON
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ValueError):
+            load_artifact(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.gba"
+        path.write_bytes(b"")
+        with pytest.raises(ValueError, match="bad magic"):
+            load_artifact(path)
+
+
+class TestFreezeClassifier:
+    def test_header_matches_model(self, fitted_clf, tmp_path):
+        path = tmp_path / "model.gba"
+        header = freeze_classifier(fitted_clf, path)
+        meta = header["meta"]
+        assert meta["kind"] == "granular-ball-classifier"
+        assert meta["n_balls"] == fitted_clf.n_balls_
+        assert meta["classes"] == [int(c) for c in fitted_clf.classes_]
+        assert meta["params"]["rho"] == fitted_clf.rho
+        # Stored CRC matches an independent recomputation over the file.
+        raw = path.read_bytes()
+        header_len = int.from_bytes(raw[8:16], "little")
+        data_start = (16 + header_len + 63) // 64 * 64
+        assert zlib.crc32(raw[data_start:]) == header["data_crc32"]
+        stored = json.loads(raw[16:16 + header_len])
+        assert stored["meta"]["n_balls"] == meta["n_balls"]
+        assert raw[:4] == MAGIC
+
+    def test_acceleration_state_is_frozen(self, fitted_clf, tmp_path):
+        path = tmp_path / "model.gba"
+        freeze_classifier(fitted_clf, path)
+        ball_set = fitted_clf.ball_set_
+        with load_artifact(path) as artifact:
+            np.testing.assert_array_equal(
+                artifact.arrays["center_sq_norms"], ball_set.center_sq_norms
+            )
+            np.testing.assert_array_equal(
+                artifact.arrays["centers"], ball_set.centers
+            )
+            np.testing.assert_array_equal(
+                artifact.arrays["labels"], ball_set.labels
+            )
+
+    def test_unfitted_classifier_rejected(self, tmp_path):
+        from repro.classifiers.gb_classifier import GranularBallClassifier
+
+        with pytest.raises(RuntimeError, match="fitted"):
+            freeze_classifier(
+                GranularBallClassifier(), tmp_path / "model.gba"
+            )

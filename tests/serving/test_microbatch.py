@@ -1,0 +1,164 @@
+"""MicroBatcher semantics: coalescing, thresholds, routing, drain."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serving.batching import MicroBatcher
+
+
+class CountingPredict:
+    """Identity-ish predict that records every batch it sees."""
+
+    def __init__(self):
+        self.batches: list[np.ndarray] = []
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        self.batches.append(np.array(x))
+        return x[:, 0].astype(np.intp)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestCoalescing:
+    def test_concurrent_submits_share_one_pass(self):
+        predict = CountingPredict()
+
+        async def scenario():
+            batcher = MicroBatcher(predict, window=0.01, max_batch=1000)
+            rows = [np.full((1, 3), float(i)) for i in range(10)]
+            results = await asyncio.gather(
+                *[batcher.submit(r) for r in rows]
+            )
+            return results
+
+        results = run(scenario())
+        assert len(predict.batches) == 1
+        assert predict.batches[0].shape == (10, 3)
+        # Each submitter got exactly its own slice back.
+        for i, labels in enumerate(results):
+            np.testing.assert_array_equal(labels, [i])
+
+    def test_multi_row_requests_sliced_correctly(self):
+        predict = CountingPredict()
+
+        async def scenario():
+            batcher = MicroBatcher(predict, window=0.01, max_batch=1000)
+            a = np.arange(6, dtype=float).reshape(3, 2)
+            b = np.arange(100, 104, dtype=float).reshape(2, 2)
+            return await asyncio.gather(batcher.submit(a), batcher.submit(b))
+
+        la, lb = run(scenario())
+        np.testing.assert_array_equal(la, [0, 2, 4])
+        np.testing.assert_array_equal(lb, [100, 102])
+
+    def test_sequential_submits_get_separate_batches(self):
+        predict = CountingPredict()
+
+        async def scenario():
+            batcher = MicroBatcher(predict, window=0.0, max_batch=1000)
+            await batcher.submit(np.zeros((1, 2)))
+            await batcher.submit(np.ones((1, 2)))
+            return batcher.stats
+
+        stats = run(scenario())
+        assert stats.n_batches == 2
+        assert stats.n_requests == 2
+
+
+class TestThresholds:
+    def test_max_batch_flushes_without_waiting_the_window(self):
+        predict = CountingPredict()
+
+        async def scenario():
+            # A window long enough that the test would time out if the
+            # flush relied on the timer.
+            batcher = MicroBatcher(predict, window=60.0, max_batch=4)
+            rows = [np.full((1, 2), float(i)) for i in range(4)]
+            return await asyncio.wait_for(
+                asyncio.gather(*[batcher.submit(r) for r in rows]),
+                timeout=5.0,
+            )
+
+        run(scenario())
+        assert predict.batches[0].shape == (4, 2)
+        assert predict.batches and len(predict.batches) == 1
+
+    def test_oversized_single_request_flushes_immediately(self):
+        predict = CountingPredict()
+
+        async def scenario():
+            batcher = MicroBatcher(predict, window=60.0, max_batch=4)
+            return await asyncio.wait_for(
+                batcher.submit(np.zeros((9, 2))), timeout=5.0
+            )
+
+        labels = run(scenario())
+        assert labels.shape == (9,)
+        assert predict.batches[0].shape == (9, 2)
+
+    def test_full_flush_counter(self):
+        predict = CountingPredict()
+
+        async def scenario():
+            batcher = MicroBatcher(predict, window=60.0, max_batch=2)
+            await asyncio.gather(
+                batcher.submit(np.zeros((1, 2))),
+                batcher.submit(np.ones((1, 2))),
+            )
+            return batcher.stats
+
+        stats = run(scenario())
+        assert stats.n_full_flushes == 1
+        assert stats.max_batch_rows == 2
+
+
+class TestFailureAndDrain:
+    def test_predict_error_propagates_to_every_waiter(self):
+        def exploding(x):
+            raise RuntimeError("kernel on fire")
+
+        async def scenario():
+            batcher = MicroBatcher(exploding, window=0.005, max_batch=100)
+            tasks = [
+                asyncio.ensure_future(batcher.submit(np.zeros((1, 2))))
+                for _ in range(3)
+            ]
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            return results
+
+        results = run(scenario())
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    def test_aclose_drains_pending(self):
+        predict = CountingPredict()
+
+        async def scenario():
+            batcher = MicroBatcher(predict, window=60.0, max_batch=100)
+            task = asyncio.ensure_future(batcher.submit(np.zeros((2, 2))))
+            await asyncio.sleep(0)  # let the submit enqueue
+            await batcher.aclose()
+            return await asyncio.wait_for(task, timeout=5.0)
+
+        labels = run(scenario())
+        assert labels.shape == (2,)
+
+    def test_submit_after_close_raises(self):
+        async def scenario():
+            batcher = MicroBatcher(CountingPredict(), window=0.001)
+            await batcher.aclose()
+            with pytest.raises(RuntimeError, match="closed"):
+                await batcher.submit(np.zeros((1, 2)))
+
+        run(scenario())
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(CountingPredict(), window=-1.0)
+        with pytest.raises(ValueError):
+            MicroBatcher(CountingPredict(), max_batch=0)
