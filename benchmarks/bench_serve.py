@@ -41,7 +41,7 @@ import numpy as np
 
 from repro.classifiers.gb_classifier import GranularBallClassifier
 from repro.datasets import load_dataset
-from repro.serving import FrozenPredictor
+from repro.serving import FrozenPredictor, PredictorManager
 from repro.serving.client import PredictClient
 from repro.serving.server import PredictServer
 
@@ -295,6 +295,154 @@ def format_report(record: dict) -> str:
 
 
 # ----------------------------------------------------------------------
+# reload under load: hot swaps with zero dropped requests
+# ----------------------------------------------------------------------
+
+
+async def _reload_under_load_async(clf_v1, clf_v2, queries: np.ndarray, *,
+                                   work_dir: Path, clients: int,
+                                   reloads: int, settle: float) -> dict:
+    """``reloads`` hot artifact swaps while ``clients`` stream predicts.
+
+    The two classifiers are label-flips of one another, so every query
+    distinguishes which model answered: each streaming client asserts its
+    labels match exactly one of the two versions, and anything else (an
+    exception, a torn response, a half-swapped state) counts as a failed
+    request.  Gates downstream: ``failed_requests == 0`` and post-swap
+    predictions bit-identical to a fresh predictor on the final artifact.
+    """
+    artifact_path = work_dir / "reload-model.gba"
+    clf_v1.freeze(artifact_path)
+    probe = [queries[i % len(queries)].tolist() for i in range(clients)]
+    valid = [
+        (
+            clf_v1.predict(np.array([row])).tolist(),
+            clf_v2.predict(np.array([row])).tolist(),
+        )
+        for row in probe
+    ]
+
+    manager = PredictorManager(artifact_path, poll_interval=600.0)
+    server = PredictServer(manager, port=0, max_pending=max(256, 4 * clients))
+    await server.start()
+    failed = 0
+
+    async def client_loop(row, ok, stop):
+        nonlocal failed
+        client = await PredictClient.connect(
+            server.host, server.port, retries=4,
+            backoff=0.01, max_backoff=0.05,
+        )
+        count = 0
+        try:
+            while not stop.is_set():
+                try:
+                    labels = await client.predict([row])
+                    if labels not in ok:
+                        failed += 1
+                except Exception:
+                    failed += 1
+                count += 1
+                await asyncio.sleep(0)
+        finally:
+            await client.close()
+        return count, client.n_retries
+
+    try:
+        stop = asyncio.Event()
+        tasks = [
+            asyncio.ensure_future(client_loop(probe[i], valid[i], stop))
+            for i in range(clients)
+        ]
+        admin = await PredictClient.connect(server.host, server.port)
+        swap_seconds = []
+        try:
+            await asyncio.sleep(settle)
+            for i in range(reloads):
+                (clf_v2 if i % 2 == 0 else clf_v1).freeze(artifact_path)
+                status, entry = await admin.reload()
+                if status != 200 or entry.get("status") != "swapped":
+                    raise RuntimeError(f"swap {i + 1} failed: {entry}")
+                swap_seconds.append(entry["seconds"])
+                await asyncio.sleep(settle)
+            stop.set()
+            results = await asyncio.gather(*tasks)
+        finally:
+            await admin.close()
+        post_swap = manager.predict(np.array(probe))
+        with FrozenPredictor.load(artifact_path) as fresh:
+            parity = bool(
+                np.array_equal(post_swap, fresh.predict(np.array(probe)))
+            )
+        stats = server.stats()
+    finally:
+        await server.shutdown()
+        manager.close()
+
+    total = sum(count for count, _ in results)
+    return {
+        "clients": clients,
+        "reloads": reloads,
+        "total_requests": total,
+        "failed_requests": failed,
+        "client_retries": sum(retries for _, retries in results),
+        "server_5xx": stats["admission"]["n_errors"],
+        "server_shed": stats["admission"]["n_shed"],
+        "swap_seconds": {
+            "mean": float(np.mean(swap_seconds)),
+            "max": float(np.max(swap_seconds)),
+        },
+        "post_swap_bit_identical": parity,
+    }
+
+
+def measure_reload_under_load(clf_v1, clf_v2, queries: np.ndarray, *,
+                              work_dir: Path, clients: int = 8,
+                              reloads: int = 3,
+                              settle: float = 0.05) -> dict:
+    return asyncio.run(
+        _reload_under_load_async(
+            clf_v1, clf_v2, queries, work_dir=work_dir,
+            clients=clients, reloads=reloads, settle=settle,
+        )
+    )
+
+
+def run_reload_benchmark(*, dataset: str = "S5", size_factor: float = 0.5,
+                         rho: int = 5, seed: int = 0, clients: int = 8,
+                         reloads: int = 3) -> dict:
+    """Fit v1/v2 (label-flipped twins) and swap under streaming load."""
+    import tempfile
+
+    x, y = load_dataset(dataset, size_factor=size_factor, random_state=seed)
+    clf_v1 = GranularBallClassifier(rho=rho, random_state=seed).fit(x, y)
+    clf_v2 = GranularBallClassifier(rho=rho, random_state=seed).fit(x, 1 - y)
+    gen = np.random.default_rng(seed + 1)
+    queries = gen.normal(
+        x.mean(axis=0), x.std(axis=0) * 1.5, (128, x.shape[1])
+    )
+    with tempfile.TemporaryDirectory() as td:
+        return measure_reload_under_load(
+            clf_v1, clf_v2, queries, work_dir=Path(td),
+            clients=clients, reloads=reloads,
+        )
+
+
+def format_reload_report(record: dict) -> str:
+    swap = record["swap_seconds"]
+    return (
+        f"reload under load: {record['reloads']} swaps / "
+        f"{record['clients']} streaming clients — "
+        f"{record['total_requests']} requests, "
+        f"{record['failed_requests']} failed, "
+        f"{record['client_retries']} retries, "
+        f"swap {swap['mean'] * 1e3:.1f} ms mean / "
+        f"{swap['max'] * 1e3:.1f} ms max, "
+        f"post-swap bit-identical: {record['post_swap_bit_identical']}"
+    )
+
+
+# ----------------------------------------------------------------------
 # pytest smoke: small model, short matrix, parity is the contract
 # ----------------------------------------------------------------------
 
@@ -318,6 +466,15 @@ def test_frozen_serving_parity_and_shape():
     )
     # Coalescing happened: fewer kernel passes than requests.
     assert batched_8["batch"]["n_batches"] < batched_8["n_requests"]
+
+
+def test_reload_under_load_smoke():
+    record = run_reload_benchmark(size_factor=0.1, clients=4, reloads=2)
+    assert record["failed_requests"] == 0
+    assert record["server_5xx"] == 0
+    assert record["post_swap_bit_identical"]
+    assert record["total_requests"] > 0
+    assert "failed" in format_reload_report(record)
 
 
 def test_report_and_json_round_trip(tmp_path):
@@ -353,6 +510,12 @@ def main(argv=None) -> int:
                         help="concurrent client counts (default: 1 8 64)")
     parser.add_argument("--batch-window-ms", type=float, default=1.0)
     parser.add_argument("--max-batch", type=int, default=256)
+    parser.add_argument("--reloads", type=int, default=0, metavar="R",
+                        help="also run R hot swaps under streaming load "
+                             "and gate on zero failed requests "
+                             "(default: 0 = skip)")
+    parser.add_argument("--reload-clients", type=int, default=8,
+                        help="streaming clients for --reloads (default: 8)")
     args = parser.parse_args(argv)
 
     record = run_benchmark(
@@ -367,6 +530,16 @@ def main(argv=None) -> int:
         return 1
 
     report = format_report(record)
+
+    if args.reloads > 0:
+        reload_record = run_reload_benchmark(
+            dataset=args.dataset, size_factor=args.size_factor,
+            rho=args.rho, seed=args.seed, clients=args.reload_clients,
+            reloads=args.reloads,
+        )
+        record["reload_under_load"] = reload_record
+        report += "\n" + format_reload_report(reload_record)
+
     print(report)
 
     OUTPUT_DIR.mkdir(exist_ok=True)
@@ -383,6 +556,17 @@ def main(argv=None) -> int:
             f"{gate['concurrency']} clients"
         )
         return 1
+    reload_record = record.get("reload_under_load")
+    if reload_record is not None:
+        if reload_record["failed_requests"] > 0:
+            print(
+                f"FAIL: {reload_record['failed_requests']} requests failed "
+                f"across {reload_record['reloads']} hot swaps"
+            )
+            return 1
+        if not reload_record["post_swap_bit_identical"]:
+            print("FAIL: post-swap predictions differ from a fresh predictor")
+            return 1
     return 0
 
 

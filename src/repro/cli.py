@@ -194,6 +194,10 @@ def _cmd_serve(args) -> int:
         raise SystemExit("serve: --batch-window-ms must be >= 0")
     if args.max_batch < 1:
         raise SystemExit("serve: --max-batch must be >= 1")
+    if args.max_pending < 1:
+        raise SystemExit("serve: --max-pending must be >= 1")
+    if args.poll_interval_s <= 0:
+        raise SystemExit("serve: --poll-interval-s must be > 0")
     try:
         return run_server(
             args.artifact,
@@ -203,6 +207,13 @@ def _cmd_serve(args) -> int:
             max_batch=args.max_batch,
             batching=not args.no_batch,
             verify=not args.no_verify,
+            max_pending=args.max_pending,
+            request_timeout=(
+                None if args.request_timeout_s <= 0
+                else args.request_timeout_s
+            ),
+            poll_interval=args.poll_interval_s,
+            watch=not args.no_reload,
         )
     except (FileNotFoundError, ValueError) as exc:
         raise SystemExit(f"serve: {exc}")
@@ -291,6 +302,22 @@ def build_parser() -> argparse.ArgumentParser:
                               "(benchmark baseline)")
     p_serve.add_argument("--no-verify", action="store_true",
                          help="skip the artifact checksum at load")
+    p_serve.add_argument("--max-pending", type=int, default=64, metavar="N",
+                         help="admission limit: predicts allowed to wait "
+                              "at once before shedding with 503 + "
+                              "Retry-After (default: 64)")
+    p_serve.add_argument("--request-timeout-s", type=float, default=30.0,
+                         metavar="S",
+                         help="per-predict deadline; expiry answers 504 "
+                              "(0 disables; default: 30)")
+    p_serve.add_argument("--poll-interval-s", type=float, default=2.0,
+                         metavar="S",
+                         help="artifact-change poll interval for hot "
+                              "reload (default: 2); SIGHUP and POST "
+                              "/admin/reload also trigger a reload")
+    p_serve.add_argument("--no-reload", action="store_true",
+                         help="disable artifact watching (SIGHUP and "
+                              "/admin/reload still reload explicitly)")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_bench = sub.add_parser(

@@ -15,11 +15,21 @@ decode path is as fast as the hardware allows):
   allocating nothing per request beyond the output.
 * :mod:`repro.serving.batching` — :class:`MicroBatcher`, coalescing
   concurrent requests into one vectorised pass per ~1 ms window.
+* :mod:`repro.serving.manager` — :class:`PredictorManager`, hot artifact
+  reload: watch the artifact path, validate the replacement, swap it
+  atomically under live traffic, roll back on a corrupt publish.
 * :mod:`repro.serving.server` — the ``repro serve`` asyncio HTTP service
-  with graceful SIGTERM drain.
+  with admission control, per-request deadlines, liveness/readiness
+  endpoints and graceful SIGTERM drain.
+* :mod:`repro.serving.client` — :class:`~repro.serving.client.PredictClient`
+  with reconnect-on-close and capped exponential backoff, so fleets ride
+  through reloads and shedding invisibly.
+* :mod:`repro.serving.faults` — the chaos harness
+  (:class:`~repro.serving.faults._FaultInjector`) driving the
+  resilience test-suite.
 
 See ``docs/architecture/serving.md`` for the format layout, the parity
-contract and the micro-batching design.
+contract, the micro-batching design and the resilience layer.
 """
 
 from repro.serving.artifact import (
@@ -29,14 +39,17 @@ from repro.serving.artifact import (
     load_artifact,
     write_artifact,
 )
-from repro.serving.batching import MicroBatcher
+from repro.serving.batching import BatcherClosedError, MicroBatcher
+from repro.serving.manager import PredictorManager
 from repro.serving.predictor import FrozenPredictor
 
 __all__ = [
     "Artifact",
+    "BatcherClosedError",
     "FORMAT_VERSION",
     "FrozenPredictor",
     "MicroBatcher",
+    "PredictorManager",
     "freeze_classifier",
     "load_artifact",
     "write_artifact",

@@ -167,6 +167,11 @@ class Artifact:
         self.nbytes = int(nbytes)
         self._mapping = mapping
 
+    @property
+    def closed(self) -> bool:
+        """``True`` once the mapping has been released."""
+        return self._mapping is None
+
     def close(self) -> None:
         """Release the mapping (every array view must be dropped first)."""
         self.arrays = {}

@@ -27,7 +27,18 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["BatchStats", "MicroBatcher"]
+__all__ = ["BatcherClosedError", "BatchStats", "MicroBatcher"]
+
+
+class BatcherClosedError(RuntimeError):
+    """Submit refused because the batcher is closed (server draining).
+
+    A dedicated type so the server can answer 503 for the drain race
+    without also masking genuine predictor failures (which must surface
+    as 500s) behind the same ``except RuntimeError``.  Subclasses
+    :class:`RuntimeError` for compatibility with callers that predate the
+    distinction.
+    """
 
 
 @dataclass
@@ -87,7 +98,9 @@ class MicroBatcher:
     async def submit(self, x: np.ndarray) -> np.ndarray:
         """Queue a query batch; resolves with its labels after the flush."""
         if self._closed:
-            raise RuntimeError("MicroBatcher is closed (draining/shut down)")
+            raise BatcherClosedError(
+                "MicroBatcher is closed (draining/shut down)"
+            )
         x = np.atleast_2d(np.asarray(x, dtype=np.float64))
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()

@@ -1,44 +1,128 @@
-"""Minimal asyncio HTTP client for the predict service.
+"""Asyncio HTTP client for the predict service, with retry/backoff.
 
 Speaks just enough keep-alive HTTP/1.1 for the serving endpoints; used by
 the test-suite, ``benchmarks/bench_serve.py`` and the CI serve-smoke —
 anything that needs to drive ``repro serve`` without a third-party HTTP
 dependency.
+
+The client is the fleet's half of the resilience contract: a serving
+process that reloads, sheds load or drains answers with *retryable*
+conditions (503, 504, ``Connection: close``, a reset socket), and
+:meth:`PredictClient.predict` rides through them invisibly —
+
+* **reconnect-on-close**: a response carrying ``Connection: close`` (or
+  a vanished socket) marks the connection dead; the next request dials a
+  fresh one instead of dying on ``readline() == b""``;
+* **capped exponential backoff with jitter** on 503/504/connection
+  errors: waits double per attempt up to ``max_backoff``, each scaled by
+  a random factor in ``[0.5, 1.5)`` so a shed fleet does not retry in
+  lock-step, and a server-sent ``Retry-After`` is honoured (capped by
+  ``max_backoff``);
+* anything non-retryable (400, 404, …) raises :class:`PredictError`
+  immediately.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import random
 
 import numpy as np
 
-__all__ = ["PredictClient"]
+__all__ = ["PredictClient", "PredictError"]
+
+#: Statuses worth retrying: overload/drain shedding and deadline expiry.
+RETRYABLE_STATUSES = (503, 504)
+
+
+class PredictError(RuntimeError):
+    """A non-retryable (or retries-exhausted) predict failure.
+
+    Subclasses :class:`RuntimeError` so callers that predate the retry
+    layer keep working; :attr:`status` carries the HTTP status code.
+    """
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = int(status)
 
 
 class PredictClient:
-    """One keep-alive connection to a :class:`PredictServer`.
+    """One logical connection to a :class:`PredictServer`, auto-healing.
 
     Usage::
 
         client = await PredictClient.connect("127.0.0.1", 8000)
         labels = await client.predict([[0.1, 0.2]])
         await client.close()
+
+    Parameters
+    ----------
+    retries:
+        Retry attempts for :meth:`predict` beyond the first try, spent
+        on 503/504 responses and connection failures.
+    backoff:
+        First retry delay in seconds; doubles per attempt.
+    max_backoff:
+        Delay cap (also caps a server-sent ``Retry-After``).
     """
 
     def __init__(self, reader: asyncio.StreamReader,
-                 writer: asyncio.StreamWriter):
+                 writer: asyncio.StreamWriter, *, host: str | None = None,
+                 port: int | None = None, retries: int = 3,
+                 backoff: float = 0.05, max_backoff: float = 1.0):
         self._reader = reader
         self._writer = writer
+        self._host = host
+        self._port = port
+        self._connected = True
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.max_backoff = float(max_backoff)
+        #: Response headers of the most recent request (lower-cased names).
+        self.last_headers: dict[str, str] = {}
+        self.n_retries = 0
+        self.n_reconnects = 0
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "PredictClient":
+    async def connect(cls, host: str, port: int, **kwargs) -> "PredictClient":
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+        return cls(reader, writer, host=host, port=port, **kwargs)
+
+    # -- connection management ------------------------------------------
+
+    async def _reconnect(self) -> None:
+        if self._host is None or self._port is None:
+            raise ConnectionError(
+                "connection closed and no host/port to reconnect to"
+            )
+        await self._shutdown_socket()
+        self._reader, self._writer = await asyncio.open_connection(
+            self._host, self._port
+        )
+        self._connected = True
+        self.n_reconnects += 1
+
+    async def _shutdown_socket(self) -> None:
+        self._connected = False
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    # -- one round-trip --------------------------------------------------
 
     async def request(self, method: str, path: str,
                       payload: dict | None = None) -> tuple[int, dict]:
-        """One request/response round-trip; returns ``(status, body)``."""
+        """One request/response round-trip; returns ``(status, body)``.
+
+        Reconnects first if the previous response closed the connection.
+        No retries at this level — :meth:`predict` layers the policy.
+        """
+        if not self._connected:
+            await self._reconnect()
         body = b"" if payload is None else json.dumps(payload).encode("utf-8")
         head = (
             f"{method} {path} HTTP/1.1\r\n"
@@ -52,6 +136,7 @@ class PredictClient:
 
         status_line = await self._reader.readline()
         if not status_line:
+            self._connected = False
             raise ConnectionError("server closed the connection")
         status = int(status_line.split()[1])
         headers = {}
@@ -64,18 +149,59 @@ class PredictClient:
                 headers[name.strip().lower()] = value.strip()
         length = int(headers.get("content-length", "0"))
         raw = await self._reader.readexactly(length) if length else b""
+        self.last_headers = headers
+        if headers.get("connection", "").lower() == "close":
+            # Honour the server's close instead of failing the next
+            # request on a dead socket.
+            await self._shutdown_socket()
         return status, json.loads(raw) if raw else {}
 
+    # -- endpoints -------------------------------------------------------
+
     async def predict(self, x) -> list:
-        """``POST /predict``; returns the label list or raises on error."""
+        """``POST /predict`` with retry/backoff; returns the label list.
+
+        Retries 503/504 and connection failures up to ``retries`` times,
+        then raises (:class:`PredictError` for HTTP failures,
+        :class:`ConnectionError` for transport ones).
+        """
         if isinstance(x, np.ndarray):
             x = x.tolist()
-        status, payload = await self.request("POST", "/predict", {"x": x})
-        if status != 200:
-            raise RuntimeError(
-                f"predict failed with {status}: {payload.get('error')}"
-            )
-        return payload["labels"]
+        delay = self.backoff
+        for attempt in range(self.retries + 1):
+            retry_after = 0.0
+            try:
+                status, payload = await self.request(
+                    "POST", "/predict", {"x": x}
+                )
+            except (ConnectionError, asyncio.IncompleteReadError,
+                    OSError) as exc:
+                self._connected = False
+                if attempt >= self.retries:
+                    raise ConnectionError(
+                        f"predict failed after {attempt + 1} attempts: {exc}"
+                    ) from exc
+            else:
+                if status == 200:
+                    return payload["labels"]
+                if status not in RETRYABLE_STATUSES \
+                        or attempt >= self.retries:
+                    raise PredictError(
+                        status,
+                        f"predict failed with {status}: "
+                        f"{payload.get('error')}",
+                    )
+                try:
+                    retry_after = float(
+                        self.last_headers.get("retry-after", 0)
+                    )
+                except ValueError:
+                    retry_after = 0.0
+            self.n_retries += 1
+            wait = min(self.max_backoff, max(delay, retry_after))
+            await asyncio.sleep(wait * (0.5 + random.random()))
+            delay *= 2
+        raise AssertionError("unreachable")  # pragma: no cover
 
     async def healthz(self) -> dict:
         status, payload = await self.request("GET", "/healthz")
@@ -83,9 +209,14 @@ class PredictClient:
             raise RuntimeError(f"healthz failed with {status}")
         return payload
 
+    async def readyz(self) -> tuple[bool, dict]:
+        """``GET /readyz``; returns ``(ready, body)`` without raising."""
+        status, payload = await self.request("GET", "/readyz")
+        return status == 200, payload
+
+    async def reload(self) -> tuple[int, dict]:
+        """``POST /admin/reload``; returns ``(status, swap-entry)``."""
+        return await self.request("POST", "/admin/reload")
+
     async def close(self) -> None:
-        self._writer.close()
-        try:
-            await self._writer.wait_closed()
-        except (ConnectionResetError, BrokenPipeError):
-            pass
+        await self._shutdown_socket()

@@ -1,0 +1,152 @@
+"""Fault injection for the serving resilience suite (the chaos harness).
+
+Production failure modes are rare by construction, so the test-suite has
+to manufacture them.  :class:`_FaultInjector` is the seam: the server and
+the :class:`~repro.serving.manager.PredictorManager` accept one through
+their ``fault_injector`` test hook and consult it at the few points where
+real deployments actually break —
+
+* **before a predict** (:meth:`before_predict`): inject queueing delay
+  (drives the admission-control and deadline paths) or a hard predictor
+  failure (drives the 500-with-error-id path);
+* **before an artifact load** (:meth:`before_load`): fail the next N
+  loads, as a torn copy or bad disk would (drives reload rollback);
+* **on a connection** (:meth:`take_connection_drop`,
+  :meth:`take_forced_close`): drop the socket without a response, or
+  answer with ``Connection: close`` (drives client reconnect/retry).
+
+Armed faults are one-shot counters, so tests stay deterministic: arm
+exactly N faults, observe exactly N failures, and the system must be
+healthy again afterwards.  The ``n_*`` attributes count faults actually
+fired.
+
+:func:`corrupt_artifact` is the publish-side half of the harness: it
+damages an artifact file in place (bit flip, truncation, header garbage)
+the way a torn or bit-rotted publish would, for reload-rollback tests.
+
+Everything here is test/bench machinery — no production code path
+constructs an injector on its own.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from pathlib import Path
+
+__all__ = ["FaultInjected", "_FaultInjector", "corrupt_artifact"]
+
+
+class FaultInjected(Exception):
+    """Raised by an armed fault; deliberately NOT a ValueError/RuntimeError
+    subclass so handlers cannot accidentally classify it as a known,
+    benign condition."""
+
+
+class _FaultInjector:
+    """Deterministic one-shot fault source for server/manager test hooks."""
+
+    def __init__(self):
+        #: Seconds every predict waits before running (0 = no delay).
+        self.predict_delay = 0.0
+        self._predict_failures = 0
+        self._load_failures = 0
+        self._connection_drops = 0
+        self._forced_closes = 0
+        # Counters of faults actually fired, asserted by the tests.
+        self.n_delays = 0
+        self.n_predict_failures = 0
+        self.n_load_failures = 0
+        self.n_connection_drops = 0
+        self.n_forced_closes = 0
+
+    # -- arming ---------------------------------------------------------
+
+    def delay_predicts(self, seconds: float) -> None:
+        """Every subsequent predict sleeps this long before running."""
+        self.predict_delay = float(seconds)
+
+    def fail_predicts(self, n: int = 1) -> None:
+        """The next ``n`` predicts raise :class:`FaultInjected`."""
+        self._predict_failures += int(n)
+
+    def fail_loads(self, n: int = 1) -> None:
+        """The next ``n`` artifact loads raise :class:`FaultInjected`."""
+        self._load_failures += int(n)
+
+    def drop_connections(self, n: int = 1) -> None:
+        """The next ``n`` requests get their socket closed, no response."""
+        self._connection_drops += int(n)
+
+    def force_close_responses(self, n: int = 1) -> None:
+        """The next ``n`` responses carry ``Connection: close``."""
+        self._forced_closes += int(n)
+
+    # -- hooks consulted by server/manager ------------------------------
+
+    async def before_predict(self) -> None:
+        """Server hook: runs before each predict is submitted."""
+        if self.predict_delay > 0:
+            self.n_delays += 1
+            await asyncio.sleep(self.predict_delay)
+        if self._predict_failures > 0:
+            self._predict_failures -= 1
+            self.n_predict_failures += 1
+            raise FaultInjected("injected predictor failure")
+
+    def before_load(self, path) -> None:
+        """Manager hook: runs before each artifact load attempt."""
+        if self._load_failures > 0:
+            self._load_failures -= 1
+            self.n_load_failures += 1
+            raise FaultInjected(f"injected load failure for {path}")
+
+    def take_connection_drop(self) -> bool:
+        """Server hook: ``True`` = close this connection without replying."""
+        if self._connection_drops > 0:
+            self._connection_drops -= 1
+            self.n_connection_drops += 1
+            return True
+        return False
+
+    def take_forced_close(self) -> bool:
+        """Server hook: ``True`` = answer, but with ``Connection: close``."""
+        if self._forced_closes > 0:
+            self._forced_closes -= 1
+            self.n_forced_closes += 1
+            return True
+        return False
+
+
+def corrupt_artifact(path, mode: str = "flip-bit") -> None:
+    """Damage an artifact file in place, simulating a broken publish.
+
+    Modes
+    -----
+    ``flip-bit``
+        Flip one bit in the data section (checksum verification fails).
+    ``truncate``
+        Drop the final quarter of the file (size validation fails).
+    ``garbage-header``
+        Overwrite the JSON header bytes (header parse fails).
+
+    Each mode produces a file :func:`~repro.serving.artifact.load_artifact`
+    refuses with :class:`ValueError` — never one that silently serves
+    wrong predictions.
+    """
+    path = Path(path)
+    raw = bytearray(path.read_bytes())
+    if mode == "flip-bit":
+        raw[-8] ^= 0x40  # inside the last array of the data section
+    elif mode == "truncate":
+        raw = raw[: max(16, 3 * len(raw) // 4)]
+    elif mode == "garbage-header":
+        # Past magic/version/length prefix, into the JSON header itself.
+        for i in range(16, min(48, len(raw))):
+            raw[i] = 0xFF
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}")
+    with open(path, "wb") as handle:
+        handle.write(raw)
+        handle.flush()
+        os.fsync(handle.fileno())

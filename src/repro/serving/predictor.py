@@ -133,6 +133,11 @@ class FrozenPredictor:
         )
         return self._labels[assigned].astype(np.intp, copy=False)
 
+    @property
+    def closed(self) -> bool:
+        """``True`` once the underlying mapping has been released."""
+        return self._artifact.closed
+
     def close(self) -> None:
         """Release the underlying mapping."""
         self._centers = self._radii = None

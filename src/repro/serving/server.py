@@ -1,46 +1,74 @@
-"""``repro serve`` — asyncio HTTP service over a frozen artifact.
+"""``repro serve`` — resilient asyncio HTTP service over frozen artifacts.
 
 A deliberately small HTTP/1.1 server on stdlib asyncio (this build has no
-third-party web framework, and needs none: the request surface is two
-JSON endpoints).  Design points:
+third-party web framework, and needs none: the request surface is a
+handful of JSON endpoints).  Design points:
 
 * **Micro-batched by default.**  ``POST /predict`` submits to a
   :class:`~repro.serving.batching.MicroBatcher`; concurrent requests are
   answered by one vectorised kernel pass per ~1 ms window.  ``--no-batch``
   serves each request individually (the benchmark baseline).
+* **Hot artifact reload.**  The model lives behind a
+  :class:`~repro.serving.manager.PredictorManager`: republishing the
+  artifact file (or SIGHUP, or ``POST /admin/reload``) loads + validates
+  the new model in the background and swaps it atomically under traffic;
+  a corrupt replacement rolls back and the old model keeps serving.
+* **Admission control.**  At most ``max_pending`` predicts wait at once;
+  beyond that the server sheds with an explicit ``503`` +
+  ``Retry-After`` instead of queueing unboundedly toward collapse.
+* **Bounded waits.**  Every predict carries a deadline
+  (``request_timeout``); expiry answers ``504`` and the workspace stays
+  consistent for the next request.
+* **Liveness vs readiness.**  ``GET /healthz`` answers whenever the
+  process is alive (plus model info, serving stats and the swap
+  history); ``GET /readyz`` is the load-balancer gate — 503 while
+  draining, after a failed reload, or with the pending queue above its
+  high-water mark.
 * **Keep-alive.**  Connections serve any number of sequential requests;
   serving fleets and the benchmark client reuse sockets.
 * **Graceful drain.**  SIGTERM/SIGINT stop the listener, flush the pending
   batch so every in-flight request gets its answer, wait for open
   connections to finish their current request, then exit 0.  No request
-  that was accepted is ever dropped.
+  that was accepted is ever dropped; late requests on established
+  keep-alive sockets get ``503`` + ``Connection: close``.
 
 Endpoints::
 
-    POST /predict   {"x": [[...], ...]}  ->  {"labels": [...], "n": N}
-    GET  /healthz                        ->  model info + serving stats
+    POST /predict       {"x": [[...], ...]}  ->  {"labels": [...], "n": N}
+    GET  /healthz                            ->  liveness + model + stats
+    GET  /readyz                             ->  readiness gate (200/503)
+    POST /admin/reload                       ->  explicit artifact reload
 
 Errors are JSON too: 400 for malformed bodies, 404 for unknown routes,
-413 for oversized bodies, 503 while draining.
+413 for oversized bodies, 500 (with a logged ``error_id``) for predictor
+failures, 503 while draining/overloaded, 504 past the deadline.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import signal
 import time
+import uuid
 
 import numpy as np
 
-from repro.serving.batching import MicroBatcher
+from repro.serving.batching import BatcherClosedError, MicroBatcher
+from repro.serving.manager import PredictorManager
 from repro.serving.predictor import FrozenPredictor
 
 __all__ = ["PredictServer", "run_server"]
 
+log = logging.getLogger("repro.serving")
+
 #: Hard cap on request bodies; a predict row is ~tens of floats, so even
 #: generous batches sit far below this.
 MAX_BODY_BYTES = 16 * 1024 * 1024
+
+#: Delta-seconds hint sent with shed (503 overloaded) responses.
+RETRY_AFTER_SECONDS = 1
 
 
 class _BadRequest(ValueError):
@@ -77,26 +105,30 @@ async def _read_request(reader: asyncio.StreamReader):
     return method, target, headers, body
 
 
-def _response(status: int, reason: str, payload: dict,
-              keep_alive: bool) -> bytes:
+def _response(status: int, reason: str, payload: dict, keep_alive: bool,
+              extra_headers: dict | None = None) -> bytes:
     body = json.dumps(payload).encode("utf-8")
-    head = (
-        f"HTTP/1.1 {status} {reason}\r\n"
-        "Content-Type: application/json\r\n"
-        f"Content-Length: {len(body)}\r\n"
-        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-        "\r\n"
-    )
-    return head.encode("latin-1") + body
+    head = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        head.append(f"{name}: {value}")
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
 
 
 class PredictServer:
-    """The serving loop: listener + router + micro-batcher.
+    """The serving loop: listener + router + batcher + reload manager.
 
     Parameters
     ----------
     predictor:
-        A loaded :class:`~repro.serving.predictor.FrozenPredictor`.
+        A loaded :class:`~repro.serving.predictor.FrozenPredictor`
+        (wrapped in a non-watching
+        :class:`~repro.serving.manager.PredictorManager`) or a manager
+        built by the caller (``run_server`` does this, with watching).
     host, port:
         Bind address; ``port=0`` picks an ephemeral port (see
         :attr:`port` after :meth:`start`).
@@ -107,27 +139,67 @@ class PredictServer:
     batching:
         ``False`` answers each request with its own kernel pass (the
         benchmark's unbatched baseline).
+    max_pending:
+        Admission limit: predicts allowed to wait at once before the
+        server sheds with 503 + ``Retry-After``.
+    request_timeout:
+        Per-predict deadline in seconds (``None`` = unbounded).  Expiry
+        answers 504; the workspace stays consistent.
+    ready_fraction:
+        ``/readyz`` degrades once the pending queue exceeds this
+        fraction of ``max_pending`` (shedding is imminent).
+    fault_injector:
+        Optional :class:`~repro.serving.faults._FaultInjector` chaos
+        hook (tests/bench only).
     """
 
-    def __init__(self, predictor: FrozenPredictor, host: str = "127.0.0.1",
+    def __init__(self, predictor, host: str = "127.0.0.1",
                  port: int = 8000, *, batch_window: float = 0.001,
-                 max_batch: int = 256, batching: bool = True):
-        self.predictor = predictor
+                 max_batch: int = 256, batching: bool = True,
+                 max_pending: int = 64,
+                 request_timeout: float | None = None,
+                 ready_fraction: float = 0.8, fault_injector=None):
+        if isinstance(predictor, PredictorManager):
+            self.manager = predictor
+        elif isinstance(predictor, FrozenPredictor):
+            self.manager = PredictorManager.adopt(predictor)
+        else:
+            raise TypeError(
+                "predictor must be a FrozenPredictor or a PredictorManager"
+            )
         self.host = host
         self.port = int(port)
         self.batching = bool(batching)
         self.batcher = (
-            MicroBatcher(predictor.predict, window=batch_window,
+            MicroBatcher(self.manager.predict, window=batch_window,
                          max_batch=max_batch)
             if batching
             else None
         )
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.max_pending = int(max_pending)
+        self.request_timeout = (
+            None if request_timeout is None else float(request_timeout)
+        )
+        self.high_water = max(1, int(ready_fraction * self.max_pending))
+        self._faults = fault_injector
         self._server: asyncio.AbstractServer | None = None
         self._connections: set[asyncio.Task] = set()
         self._writers: set[asyncio.StreamWriter] = set()
         self._draining = False
         self._started = time.time()
         self.n_http_requests = 0
+        self._pending = 0
+        self.pending_high_water = 0
+        self.n_shed = 0
+        self.n_timeouts = 0
+        self.n_errors = 0
+
+    @property
+    def predictor(self) -> FrozenPredictor:
+        """The live predictor (changes across hot reloads)."""
+        return self.manager.current
 
     # -- lifecycle ------------------------------------------------------
 
@@ -171,10 +243,33 @@ class PredictServer:
             "uptime_seconds": time.time() - self._started,
             "n_http_requests": self.n_http_requests,
             "batching": self.batching,
+            "admission": {
+                "pending": self._pending,
+                "max_pending": self.max_pending,
+                "high_water": self.high_water,
+                "pending_high_water": self.pending_high_water,
+                "n_shed": self.n_shed,
+                "n_timeouts": self.n_timeouts,
+                "n_errors": self.n_errors,
+            },
+            "reload": self.manager.stats(),
         }
         if self.batcher is not None:
             record["batch"] = self.batcher.stats.as_dict()
         return record
+
+    def readiness(self) -> tuple[bool, list[str]]:
+        """The ``/readyz`` verdict: ``(ready, reasons-if-not)``."""
+        reasons = []
+        if self._draining:
+            reasons.append("draining")
+        if not self.manager.healthy:
+            reasons.append(f"last reload failed: {self.manager.last_error}")
+        if self._pending >= self.high_water:
+            reasons.append(
+                f"pending {self._pending} >= high-water {self.high_water}"
+            )
+        return not reasons, reasons
 
     # -- connection handling --------------------------------------------
 
@@ -190,21 +285,34 @@ class PredictServer:
                 try:
                     request = await _read_request(reader)
                 except _BadRequest as exc:
+                    # Flush before closing: without the drain the error
+                    # body can be lost in the close.
                     writer.write(_response(400, "Bad Request",
                                            {"error": str(exc)}, False))
+                    await writer.drain()
                     break
                 if request is None:
                     break
                 method, target, headers, body = request
                 self.n_http_requests += 1
+                if self._faults is not None \
+                        and self._faults.take_connection_drop():
+                    break  # chaos: vanish without a response
                 keep_alive = (
                     headers.get("connection", "keep-alive").lower() != "close"
                     and not self._draining
                 )
-                status, reason, payload = await self._route(
+                status, reason, payload, extra = await self._route(
                     method, target, body
                 )
-                writer.write(_response(status, reason, payload, keep_alive))
+                if self._faults is not None \
+                        and self._faults.take_forced_close():
+                    keep_alive = False  # chaos: answer, then hang up
+                if self._draining:
+                    keep_alive = False  # drained mid-request
+                writer.write(
+                    _response(status, reason, payload, keep_alive, extra)
+                )
                 await writer.drain()
                 if not keep_alive:
                     break
@@ -220,61 +328,129 @@ class PredictServer:
                 pass
 
     async def _route(self, method: str, target: str,
-                     body: bytes) -> tuple[int, str, dict]:
+                     body: bytes) -> tuple[int, str, dict, dict | None]:
         path = target.partition("?")[0]
         if path == "/predict" and method == "POST":
             return await self._handle_predict(body)
         if path == "/healthz" and method == "GET":
-            meta = self.predictor.meta
+            predictor = self.manager.current
+            meta = predictor.meta
+            ready, _reasons = self.readiness()
             return 200, "OK", {
                 "status": "draining" if self._draining else "ok",
+                "ready": ready,
+                "generation": self.manager.generation,
                 "model": {
-                    "path": str(self.predictor.path),
-                    "n_balls": self.predictor.n_balls,
-                    "n_features": self.predictor.n_features,
+                    "path": str(predictor.path),
+                    "n_balls": predictor.n_balls,
+                    "n_features": predictor.n_features,
                     "n_source_samples": meta.get("n_source_samples"),
                     "params": meta.get("params"),
                 },
+                "swaps": self.manager.history(),
                 "stats": self.stats(),
-            }
-        return 404, "Not Found", {"error": f"no route {method} {path}"}
+            }, None
+        if path == "/readyz" and method == "GET":
+            ready, reasons = self.readiness()
+            if ready:
+                return 200, "OK", {"ready": True}, None
+            return 503, "Service Unavailable", {
+                "ready": False, "reasons": reasons,
+            }, None
+        if path == "/admin/reload" and method == "POST":
+            entry = await self.manager.reload(reason="admin")
+            if entry["status"] == "swapped":
+                return 200, "OK", entry, None
+            # The old model keeps serving; 409 tells the deploy script
+            # its publish was refused without looking like a predict 5xx.
+            return 409, "Conflict", entry, None
+        return 404, "Not Found", {"error": f"no route {method} {path}"}, None
 
-    async def _handle_predict(self, body: bytes) -> tuple[int, str, dict]:
+    async def _submit(self, x: np.ndarray) -> np.ndarray:
+        """One predict through the chaos hook and batcher/manager."""
+        if self._faults is not None:
+            await self._faults.before_predict()
+        if self.batcher is not None:
+            return await self.batcher.submit(x)
+        return self.manager.predict(x)
+
+    async def _handle_predict(
+        self, body: bytes
+    ) -> tuple[int, str, dict, dict | None]:
         if self._draining:
-            return 503, "Service Unavailable", {"error": "server draining"}
+            return 503, "Service Unavailable", {
+                "error": "server draining"
+            }, None
         try:
             payload = json.loads(body.decode("utf-8"))
             x = np.asarray(payload["x"], dtype=np.float64)
         except (ValueError, KeyError, TypeError):
             return 400, "Bad Request", {
                 "error": 'body must be JSON {"x": [[...], ...]}'
-            }
+            }, None
         if x.ndim not in (1, 2) or x.size == 0:
             return 400, "Bad Request", {
                 "error": "x must be one sample or a non-empty matrix"
-            }
+            }, None
         x = np.atleast_2d(x)
-        if x.shape[1] != self.predictor.n_features:
+        n_features = self.manager.current.n_features
+        if x.shape[1] != n_features:
             return 400, "Bad Request", {
                 "error": f"x has {x.shape[1]} features, model expects "
-                         f"{self.predictor.n_features}"
-            }
+                         f"{n_features}"
+            }, None
+        if self._pending >= self.max_pending:
+            # Shed instead of queueing unboundedly: the client backs off
+            # and retries, the server stays answerable.
+            self.n_shed += 1
+            return 503, "Service Unavailable", {
+                "error": f"server overloaded ({self._pending} requests "
+                         "pending); retry later",
+            }, {"Retry-After": str(RETRY_AFTER_SECONDS)}
+        self._pending += 1
+        self.pending_high_water = max(self.pending_high_water, self._pending)
         try:
-            if self.batcher is not None:
-                labels = await self.batcher.submit(x)
+            if self.request_timeout is not None:
+                labels = await asyncio.wait_for(
+                    self._submit(x), self.request_timeout
+                )
             else:
-                labels = self.predictor.predict(x)
-        except RuntimeError:
-            return 503, "Service Unavailable", {"error": "server draining"}
-        return 200, "OK", {"labels": labels.tolist(), "n": int(x.shape[0])}
+                labels = await self._submit(x)
+        except asyncio.TimeoutError:
+            self.n_timeouts += 1
+            return 504, "Gateway Timeout", {
+                "error": f"predict exceeded the {self.request_timeout:g}s "
+                         "deadline"
+            }, None
+        except BatcherClosedError:
+            # The drain race: accepted before shutdown, submitted after
+            # the batcher closed.  A retryable condition, not a failure.
+            return 503, "Service Unavailable", {
+                "error": "server draining"
+            }, None
+        except Exception:
+            error_id = uuid.uuid4().hex[:12]
+            self.n_errors += 1
+            log.exception("predict failed [error_id %s]", error_id)
+            return 500, "Internal Server Error", {
+                "error": "internal predictor error",
+                "error_id": error_id,
+            }, None
+        finally:
+            self._pending -= 1
+        return 200, "OK", {
+            "labels": labels.tolist(), "n": int(x.shape[0])
+        }, None
 
 
-async def _serve_async(predictor: FrozenPredictor, host: str, port: int, *,
-                       batch_window: float, max_batch: int,
-                       batching: bool) -> dict:
+async def _serve_async(manager: PredictorManager, host: str, port: int, *,
+                       batch_window: float, max_batch: int, batching: bool,
+                       max_pending: int, request_timeout: float | None,
+                       watch: bool) -> dict:
     server = PredictServer(
-        predictor, host, port, batch_window=batch_window,
-        max_batch=max_batch, batching=batching,
+        manager, host, port, batch_window=batch_window,
+        max_batch=max_batch, batching=batching, max_pending=max_pending,
+        request_timeout=request_timeout,
     )
     await server.start()
     mode = (
@@ -283,6 +459,7 @@ async def _serve_async(predictor: FrozenPredictor, host: str, port: int, *,
         if batching
         else "unbatched"
     )
+    predictor = manager.current
     print(
         f"serving {predictor.path} on http://{server.host}:{server.port} "
         f"[{mode}; {predictor.n_balls} balls, "
@@ -293,7 +470,16 @@ async def _serve_async(predictor: FrozenPredictor, host: str, port: int, *,
     loop = asyncio.get_running_loop()
     for sig in (signal.SIGTERM, signal.SIGINT):
         loop.add_signal_handler(sig, stop.set)
-    await server.serve_until(stop)
+    loop.add_signal_handler(
+        signal.SIGHUP,
+        lambda: asyncio.ensure_future(manager.reload(reason="sighup")),
+    )
+    if watch:
+        await manager.start_watching()
+    try:
+        await server.serve_until(stop)
+    finally:
+        await manager.stop_watching()
     stats = server.stats()
     print(f"drained cleanly after {stats['n_http_requests']} requests",
           flush=True)
@@ -302,17 +488,28 @@ async def _serve_async(predictor: FrozenPredictor, host: str, port: int, *,
 
 def run_server(artifact_path, host: str = "127.0.0.1", port: int = 8000, *,
                batch_window: float = 0.001, max_batch: int = 256,
-               batching: bool = True, verify: bool = True) -> int:
+               batching: bool = True, verify: bool = True,
+               max_pending: int = 64, request_timeout: float | None = 30.0,
+               poll_interval: float = 2.0, watch: bool = True) -> int:
     """Blocking entry point used by ``repro serve``.
 
-    Loads the artifact (mmap, optionally checksum-verified), serves until
-    SIGTERM/SIGINT, drains, and returns 0 on a clean exit.
+    Loads the artifact (mmap, optionally checksum-verified) behind a
+    :class:`~repro.serving.manager.PredictorManager`, serves until
+    SIGTERM/SIGINT (reloading on artifact change, SIGHUP or
+    ``POST /admin/reload``), drains, and returns 0 on a clean exit.
     """
-    with FrozenPredictor.load(artifact_path, verify=verify) as predictor:
+    manager = PredictorManager(
+        artifact_path, verify=verify, poll_interval=poll_interval
+    )
+    try:
         asyncio.run(
             _serve_async(
-                predictor, host, port, batch_window=batch_window,
+                manager, host, port, batch_window=batch_window,
                 max_batch=max_batch, batching=batching,
+                max_pending=max_pending, request_timeout=request_timeout,
+                watch=watch,
             )
         )
+    finally:
+        manager.close()
     return 0

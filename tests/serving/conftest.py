@@ -15,6 +15,18 @@ def fitted_clf(moons):
 
 
 @pytest.fixture
+def fitted_clf_v2(moons):
+    """The 'new model': same geometry, every label flipped.
+
+    Granulation is label-permutation symmetric, so v2's balls coincide
+    with v1's but predict the opposite class for every query — any probe
+    point proves which model version answered.
+    """
+    x, y = moons
+    return GranularBallClassifier(rho=5, random_state=0).fit(x, 1 - y)
+
+
+@pytest.fixture
 def artifact_path(fitted_clf, tmp_path):
     path = tmp_path / "model.gba"
     fitted_clf.freeze(path)
