@@ -21,6 +21,15 @@ claim/lease protocol, then asserts the assembled store is
 object-store backend (conditional-put claims, metadata-timestamp leases)
 instead of the filesystem — CI exercises both.  Pytest mode runs the
 same checks at the default settings.
+
+``--chaos`` (objectstore only) is the CI ``chaos-smoke`` gate: the fleet
+runs under the :class:`~repro.experiments.dispatch.FleetSupervisor` with
+an injected fault schedule (``REPRO_STORE_FAULTS`` — a timed store
+brownout plus per-worker fail-first faults), and one worker is SIGKILLed
+mid-grid on top.  The pass condition tightens to: bit-parity still
+holds, the supervisor restarted the killed worker (``restarts >= 1``),
+and **zero unexpected worker deaths** — every exit code is benign
+(0/3), or the SIGKILL/SIGTERM the harness itself delivered.
 """
 
 from __future__ import annotations
@@ -28,6 +37,8 @@ from __future__ import annotations
 import argparse
 import glob
 import json
+import os
+import signal
 import sys
 import tempfile
 import time
@@ -36,6 +47,7 @@ from pathlib import Path
 from repro.experiments import dispatch
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.executor import ExperimentExecutor
+from repro.experiments.resilience import FAULTS_ENV, FaultSchedule
 from repro.experiments.store import CellStore
 
 OUTPUT_DIR = Path(__file__).parent / "output"
@@ -50,15 +62,124 @@ SMOKE = ExperimentConfig(
 )
 
 
+#: Lease TTL for the chaos fleet: short enough that claims orphaned by
+#: the SIGKILL are reaped within the smoke's budget, long enough that a
+#: brownout-stalled heartbeat does not lose a live lease.
+CHAOS_TTL = 3.0
+
+
+def _run_fleet(target, units, n_workers, jobs, timeout):
+    """Plain fleet: spawn, wait, return (wall_seconds, chaos_record)."""
+    start = time.perf_counter()
+    fleet = dispatch.spawn_workers(
+        target, n_workers, jobs=jobs,
+        stagger=max(1, len(units) // n_workers),
+    )
+    exit_codes = [p.wait(timeout=timeout) for p in fleet]
+    wall = time.perf_counter() - start
+    assert all(code == 0 for code in exit_codes), (
+        f"worker exit codes: {exit_codes}"
+    )
+    return wall, {}
+
+
+def _run_fleet_chaos(target, units, n_workers, jobs, timeout, store_root):
+    """Supervised fleet under injected faults plus one SIGKILL.
+
+    The schedule browns out the store for a window the whole fleet is
+    guaranteed to be alive in, and fails each worker's first store
+    operations (process-local counters) so every worker provably
+    exercises its retry path.  One worker is SIGKILLed as soon as a
+    claim proves the grid is underway; the supervisor must restart it.
+    """
+    schedule = FaultSchedule(
+        fail_first={"*": 3},
+        brownouts=[(time.time() + 1.0, time.time() + 4.0)],
+    )
+    faults = schedule.dump(Path(store_root) / "faults.json")
+    stagger = max(1, len(units) // n_workers)
+    commands = [
+        dispatch.worker_command(
+            target, index, jobs=jobs, lease_ttl=CHAOS_TTL, stagger=stagger,
+            extra_args=["--poll", "0.1", "--outage-grace", "60",
+                        "--max-idle", "120"],
+        )
+        for index in range(max(1, n_workers))
+    ]
+    supervisor = dispatch.FleetSupervisor(
+        commands, max_restarts=2, env={FAULTS_ENV: str(faults)},
+        log=lambda message: print(f"[chaos] {message}", flush=True),
+    )
+    store = CellStore(target, lease_ttl=CHAOS_TTL)
+    start = time.perf_counter()
+    supervisor.start()
+    try:
+        deadline = time.monotonic() + timeout
+        while not store.claim_names():
+            supervisor.poll()
+            assert not supervisor.fleet_dead(), "fleet died before claiming"
+            assert time.monotonic() < deadline, "no worker ever claimed"
+            time.sleep(0.05)
+        victim = supervisor.processes[0]
+        print(f"[chaos] SIGKILL worker pid {victim.pid}", flush=True)
+        os.kill(victim.pid, signal.SIGKILL)
+        # Drive the supervisor until the restart actually happens — a
+        # tiny grid can otherwise finish inside the crash-loop backoff
+        # window, and terminate() would cancel the pending respawn.
+        restart_deadline = time.monotonic() + 60.0
+        while supervisor.total_restarts() == 0:
+            assert time.monotonic() < restart_deadline, (
+                "SIGKILLed worker was never restarted"
+            )
+            supervisor.poll()
+            time.sleep(0.05)
+
+        def fleet_dead() -> bool:
+            supervisor.poll()
+            return supervisor.fleet_dead()
+
+        dispatch.wait_for_grid(
+            store, units, poll=0.2, timeout=timeout, should_abort=fleet_dead
+        )
+    finally:
+        supervisor.terminate()
+    wall = time.perf_counter() - start
+
+    summary = supervisor.summary()
+    restarts = supervisor.total_restarts()
+    exit_codes = [entry["exit_codes"] for entry in summary]
+    # Zero *unexpected* deaths: benign exits (0 done, 3 idle) plus the
+    # signals this harness itself delivered are the only codes allowed.
+    allowed = {0, 3, -signal.SIGKILL, -signal.SIGTERM}
+    unexpected = [
+        code for codes in exit_codes for code in codes if code not in allowed
+    ]
+    assert not unexpected, f"unexpected worker deaths: {summary}"
+    assert not any(entry["gave_up"] for entry in summary), (
+        f"supervisor abandoned a slot: {summary}"
+    )
+    assert restarts >= 1, f"SIGKILLed worker was never restarted: {summary}"
+    return wall, {
+        "chaos": True,
+        "supervisor_restarts": restarts,
+        "worker_exit_codes": exit_codes,
+    }
+
+
 def run_smoke(n_workers: int = 2, jobs: int = 1, timeout: float = 600.0,
-              backend: str = "file") -> dict:
+              backend: str = "file", chaos: bool = False) -> dict:
     """One full distributed pass in a temp store; returns the record.
 
     ``backend`` is ``file`` (the historical directory store) or
     ``objectstore`` (a ``fakes3://`` bucket — the claim/lease protocol on
-    conditional-put semantics).  Raises ``AssertionError`` on any
+    conditional-put semantics); ``chaos`` layers the supervised
+    fault-injection scenario on top (objectstore only — the fault seam
+    lives in the fake client).  Raises ``AssertionError`` on any
     contract violation (parity, leftover claims, leaked shared memory).
     """
+    if chaos and backend != "objectstore":
+        raise ValueError("--chaos needs --backend objectstore "
+                         "(fault injection is an object-store seam)")
     shm_before = set(glob.glob("/dev/shm/psm_*"))
     units = dispatch.plan_grid(SMOKE, ["table2"])
     serial = ExperimentExecutor(SMOKE, n_jobs=1, store=CellStore(None)).run(
@@ -72,24 +193,34 @@ def run_smoke(n_workers: int = 2, jobs: int = 1, timeout: float = 600.0,
         else:
             raise ValueError(f"unknown backend {backend!r}")
         dispatch.write_manifest(target, SMOKE, units)
-        start = time.perf_counter()
-        fleet = dispatch.spawn_workers(
-            target, n_workers, jobs=jobs,
-            stagger=max(1, len(units) // n_workers),
-        )
-        exit_codes = [p.wait(timeout=timeout) for p in fleet]
-        wall = time.perf_counter() - start
-        assert all(code == 0 for code in exit_codes), (
-            f"worker exit codes: {exit_codes}"
-        )
+        if chaos:
+            wall, extra = _run_fleet_chaos(
+                target, units, n_workers, jobs, timeout, store_root
+            )
+        else:
+            wall, extra = _run_fleet(target, units, n_workers, jobs, timeout)
 
-        store = CellStore(target)
+        store = CellStore(target, lease_ttl=CHAOS_TTL) if chaos \
+            else CellStore(target)
         for unit, reference in zip(units, serial):
             loaded = store.get("cell", unit.key)
             assert loaded is not None, f"missing cell {unit.key}"
             assert reference.exactly_equal(loaded), (
                 f"distributed result differs from serial: {unit.key}"
             )
+        if chaos:
+            # Claims/spools orphaned by the SIGKILL (or a release that
+            # failed mid-brownout) are not leaks — they age out by TTL.
+            # Wait them out before holding the clean-store line.
+            reap_deadline = time.monotonic() + 4 * CHAOS_TTL
+            while store.claim_names() or store.backend.stray_spools():
+                assert time.monotonic() < reap_deadline, (
+                    f"orphans never aged out: claims="
+                    f"{store.claim_names()} "
+                    f"spools={store.backend.stray_spools()}"
+                )
+                time.sleep(0.2)
+                store.reap_stale()
         leftover_claims = store.claim_names()
         stale = store.stale_claim_files()
         tmp_files = store.backend.stray_spools()
@@ -110,6 +241,7 @@ def run_smoke(n_workers: int = 2, jobs: int = 1, timeout: float = 600.0,
         "bit_identical": True,
         "leaked_segments": 0,
         "stale_claims": 0,
+        **extra,
     }
 
 
@@ -147,20 +279,35 @@ def main(argv=None) -> int:
                         default="file",
                         help="store backend the fleet shares (objectstore "
                              "= fakes3:// conditional-put bucket)")
+    parser.add_argument("--chaos", action="store_true",
+                        help="supervised fleet under an injected fault "
+                             "schedule (store brownout + fail-first) plus "
+                             "one SIGKILL; gates on parity, a successful "
+                             "restart and zero unexpected worker deaths "
+                             "(objectstore only)")
     args = parser.parse_args(argv)
 
     record = run_smoke(
         n_workers=args.workers, jobs=args.jobs, timeout=args.timeout,
-        backend=args.backend,
+        backend=args.backend, chaos=args.chaos,
     )
+    survived = ""
+    if args.chaos:
+        survived = (
+            f", survived brownout + SIGKILL "
+            f"({record['supervisor_restarts']} restart(s))"
+        )
     print(
         f"distributed smoke OK [{record['backend']}]: {record['n_cells']} "
         f"cells over {record['n_workers']} workers in "
         f"{record['wall_seconds']:.1f}s, bit-identical to serial, "
-        "no leaked segments, no stale claims"
+        f"no leaked segments, no stale claims{survived}"
     )
     OUTPUT_DIR.mkdir(exist_ok=True)
-    record_path = OUTPUT_DIR / f"distributed_smoke_{record['backend']}.json"
+    suffix = "_chaos" if args.chaos else ""
+    record_path = (
+        OUTPUT_DIR / f"distributed_smoke_{record['backend']}{suffix}.json"
+    )
     record_path.write_text(json.dumps(record, indent=2) + "\n")
     print(f"[record saved to {record_path}]")
     return 0

@@ -159,6 +159,10 @@ def _cmd_bench(args) -> int:
         argv += ["--distributed", "--workers", str(args.workers)]
     if args.workers_external:
         argv.append("--workers-external")
+    if args.max_restarts is not None:
+        argv += ["--max-restarts", str(args.max_restarts)]
+    if args.outage_grace is not None:
+        argv += ["--outage-grace", str(args.outage_grace)]
     if args.store:
         argv += ["--store", args.store]
     if args.timeout is not None:
@@ -346,6 +350,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--workers-external", action="store_true",
                          help="distributed, but wait for externally "
                               "launched workers instead of spawning any")
+    p_bench.add_argument("--max-restarts", type=int, default=None,
+                         metavar="N",
+                         help="supervisor restarts per crashed worker slot "
+                              "in --distributed mode")
+    p_bench.add_argument("--outage-grace", type=float, default=None,
+                         metavar="S",
+                         help="seconds workers ride out a store outage "
+                              "before exiting (distributed mode)")
     p_bench.add_argument("--store", "--store-url", dest="store",
                          metavar="DIR_OR_URL", default=None,
                          help="shared cell store for distributed runs: a "

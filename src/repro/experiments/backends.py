@@ -421,6 +421,14 @@ class FakeObjectStore:
       *conditional* put; returning ``True`` makes the put report a lost
       race even though the key is absent, modelling a concurrent winner
       whose write this client hasn't observed yet;
+    * ``error_injector(op, key) -> None`` — consulted at the start of
+      **every** client operation (``op`` is the method name); raising
+      models transport/service failure *before* the bucket is touched
+      (throttles, resets, brownouts).  The declarative driver for this
+      hook is :class:`~repro.experiments.resilience.FaultSchedule`,
+      whose ``injector()`` plugs in here — and which worker
+      subprocesses pick up automatically from a schedule file named by
+      ``REPRO_STORE_FAULTS`` (see :func:`resolve_backend`);
     * ``clock`` — the time source for ``last_modified`` metadata, so
       lease-expiry tests advance time instead of sleeping.
     """
@@ -431,18 +439,22 @@ class FakeObjectStore:
         clock: Callable[[], float] = time.time,
         latency: float = 0.0,
         conflict_injector: Callable[[str], bool] | None = None,
+        error_injector: Callable[[str, str], None] | None = None,
     ):
         self.bucket = bucket if bucket is not None else MemoryBucket()
         self.clock = clock
         self.latency = latency
         self.conflict_injector = conflict_injector
+        self.error_injector = error_injector
 
-    def _simulate_round_trip(self) -> None:
+    def _simulate_round_trip(self, op: str, key: str = "") -> None:
+        if self.error_injector is not None:
+            self.error_injector(op, key)
         if self.latency > 0:
             time.sleep(self.latency)
 
     def get_object(self, key: str) -> bytes:
-        self._simulate_round_trip()
+        self._simulate_round_trip("get_object", key)
         found = self.bucket.load(key)
         if found is None:
             raise KeyError(key)
@@ -450,7 +462,7 @@ class FakeObjectStore:
 
     def put_object(self, key: str, data: bytes,
                    if_none_match: bool = False) -> bool:
-        self._simulate_round_trip()
+        self._simulate_round_trip("put_object", key)
         if if_none_match:
             if self.conflict_injector is not None and self.conflict_injector(key):
                 return False
@@ -459,7 +471,7 @@ class FakeObjectStore:
         return True
 
     def head_object(self, key: str) -> dict | None:
-        self._simulate_round_trip()
+        self._simulate_round_trip("head_object", key)
         # Metadata-only: exists()/mtime() probes run every worker poll
         # round, so this must never transfer the payload.
         found = self.bucket.stat(key)
@@ -469,11 +481,11 @@ class FakeObjectStore:
         return {"last_modified": stamp, "size": size}
 
     def delete_object(self, key: str) -> None:
-        self._simulate_round_trip()
+        self._simulate_round_trip("delete_object", key)
         self.bucket.remove(key)
 
     def list_objects(self, prefix: str = "") -> list[str]:
-        self._simulate_round_trip()
+        self._simulate_round_trip("list_objects", prefix)
         return self.bucket.names(prefix)
 
     def stray_spools(self) -> list[str]:
@@ -661,6 +673,43 @@ def memory_bucket(name: str) -> MemoryBucket:
         return bucket
 
 
+#: One stateful fault injector per schedule file per process, so the
+#: schedule's fail-first-K counters span every backend this process
+#: resolves (the semantics :class:`FaultSchedule` documents).
+_FAULT_INJECTORS: dict[str, Callable[[str, str], None]] = {}
+
+
+def _env_fault_injector() -> Callable[[str, str], None] | None:
+    """The process-wide injector from ``REPRO_STORE_FAULTS``, if set."""
+    from repro.experiments import resilience
+
+    path = os.environ.get(resilience.FAULTS_ENV, "").strip()
+    if not path:
+        return None
+    injector = _FAULT_INJECTORS.get(path)
+    if injector is None:
+        injector = resilience.FaultSchedule.load(path).injector()
+        _FAULT_INJECTORS[path] = injector
+    return injector
+
+
+def _resilient(backend: StoreBackend, boto3: bool = False) -> StoreBackend:
+    """Wrap an object-store backend in the retry/breaker layer.
+
+    ``REPRO_STORE_RESILIENCE=off`` (or ``0``/``false``/``no``) returns
+    the raw backend — the escape hatch for debugging whether the
+    resilience layer itself is misbehaving.
+    """
+    from repro.experiments import resilience
+
+    if os.environ.get(resilience.RESILIENCE_ENV, "").strip().lower() in (
+        "off", "0", "false", "no",
+    ):
+        return backend
+    classify = resilience.classify_boto3 if boto3 else resilience.classify_default
+    return resilience.ResilientBackend(backend, classify=classify)
+
+
 def resolve_backend(target) -> StoreBackend | None:
     """Map a store target onto a :class:`StoreBackend`.
 
@@ -676,6 +725,18 @@ def resolve_backend(target) -> StoreBackend | None:
       object-store smoke runs on this);
     * ``s3://BUCKET[/PREFIX]`` → :class:`Boto3ObjectStore` (needs the
       optional boto3 dependency).
+
+    Every object-store form resolves wrapped in a
+    :class:`~repro.experiments.resilience.ResilientBackend`
+    (retry/backoff/circuit-breaker; ``s3://`` classifies errors via the
+    boto3 mapping) unless ``REPRO_STORE_RESILIENCE=off``.  The local
+    filesystem backend stays raw — its error behaviour is part of the
+    historical layout contract — though wrapping one explicitly works.
+    When ``REPRO_STORE_FAULTS`` names a
+    :class:`~repro.experiments.resilience.FaultSchedule` JSON file, the
+    fake stores (``mem`` / ``fakes3``) resolve with that schedule's
+    error injector attached — the seam the chaos suites and the CI
+    ``chaos-smoke`` job use to brown out real worker subprocesses.
 
     Unknown URL schemes raise ``ValueError`` rather than silently being
     treated as relative directories.
@@ -695,21 +756,25 @@ def resolve_backend(target) -> StoreBackend | None:
         return LocalFSBackend(rest)
     if scheme == "mem":
         name = rest.strip("/") or "default"
-        return ObjectStoreBackend(
-            FakeObjectStore(memory_bucket(name)), url=f"mem://{name}"
-        )
+        return _resilient(ObjectStoreBackend(
+            FakeObjectStore(memory_bucket(name),
+                            error_injector=_env_fault_injector()),
+            url=f"mem://{name}",
+        ))
     if scheme == "fakes3":
         root = Path(rest)
-        return ObjectStoreBackend(
-            FakeObjectStore(DirectoryBucket(root)), url=f"fakes3://{root}"
-        )
+        return _resilient(ObjectStoreBackend(
+            FakeObjectStore(DirectoryBucket(root),
+                            error_injector=_env_fault_injector()),
+            url=f"fakes3://{root}",
+        ))
     if scheme == "s3":
         bucket, _, prefix = rest.partition("/")
         if not bucket:
             raise ValueError(f"s3 URL needs a bucket: {text!r}")
-        return ObjectStoreBackend(
+        return _resilient(ObjectStoreBackend(
             Boto3ObjectStore(bucket), url=text, prefix=prefix
-        )
+        ), boto3=True)
     raise ValueError(
         f"unknown store URL scheme {scheme!r} in {text!r}; "
         "use file://, mem://, fakes3:// or s3://"

@@ -29,7 +29,13 @@ describe, so every function here accepts a store target in any form
 * :func:`spawn_workers` launches local worker processes
   (``python -m repro.experiments.worker``) for the single-node
   convenience path — multi-node runs start workers out-of-band and point
-  them at the shared directory.
+  them at the shared directory;
+* :class:`FleetSupervisor` keeps a spawned fleet alive: it logs every
+  worker exit with its exit code as it happens, restarts crashed workers
+  with crash-loop backoff up to a ``max_restarts`` cap, and reports
+  per-worker status (restarts, exit-code history) in a final summary —
+  so one SIGKILLed or browned-out worker no longer silently shrinks the
+  fleet until nothing is left.
 
 Experiments without a cell-backed grid (Table I, Figs. 5–6, the
 ablations) have nothing to distribute; the coordinator computes them
@@ -40,12 +46,14 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import subprocess
 import sys
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
+from repro.backoff import BackoffPolicy
 from repro.experiments.backends import (
     LocalFSBackend,
     StoreBackend,
@@ -67,7 +75,9 @@ __all__ = [
     "prune_manifests",
     "pending_units",
     "wait_for_grid",
+    "worker_command",
     "spawn_workers",
+    "FleetSupervisor",
 ]
 
 #: Manifest files live next to the results they describe.
@@ -369,6 +379,36 @@ def wait_for_grid(
         time.sleep(poll)
 
 
+def worker_command(
+    store_root: str | Path,
+    index: int = 0,
+    jobs: int = 1,
+    lease_ttl: float | None = None,
+    claim_order: str | None = None,
+    stagger: int = 0,
+    extra_args: list[str] | None = None,
+) -> list[str]:
+    """The ``python -m repro.experiments.worker`` argv for fleet slot
+    ``index``.
+
+    Factored out of :func:`spawn_workers` so the supervisor can respawn
+    a crashed slot with *exactly* the command that started it (same
+    claim order, same flags) — a restarted worker must be
+    indistinguishable from the original.
+    """
+    command = [sys.executable, "-m", "repro.experiments.worker",
+               "--store", str(store_root), "--jobs", str(jobs)]
+    if lease_ttl is not None:
+        command += ["--ttl", str(lease_ttl)]
+    if claim_order is not None:
+        command += ["--claim-order", claim_order]
+    elif stagger > 0:
+        command += ["--claim-order", f"rotate:{index * stagger}"]
+    if extra_args:
+        command += list(extra_args)
+    return command
+
+
 def spawn_workers(
     store_root: str | Path,
     n_workers: int,
@@ -377,6 +417,7 @@ def spawn_workers(
     claim_order: str | None = None,
     stagger: int = 0,
     extra_args: list[str] | None = None,
+    env: dict | None = None,
 ) -> list[subprocess.Popen]:
     """Launch local worker processes against a shared store.
 
@@ -386,18 +427,197 @@ def spawn_workers(
     workers).  With ``stagger > 0`` (and no explicit ``claim_order``)
     worker ``i`` claims in ``rotate:i*stagger`` order, so a fleet starts
     spread over the grid instead of racing for the same first cell.
+    ``env`` adds/overrides environment variables in the workers only —
+    the chaos suites use it to point ``REPRO_STORE_FAULTS`` at a fault
+    schedule the coordinator itself must not see.
     """
-    processes = []
-    for index in range(max(1, n_workers)):
-        command = [sys.executable, "-m", "repro.experiments.worker",
-                   "--store", str(store_root), "--jobs", str(jobs)]
-        if lease_ttl is not None:
-            command += ["--ttl", str(lease_ttl)]
-        if claim_order is not None:
-            command += ["--claim-order", claim_order]
-        elif stagger > 0:
-            command += ["--claim-order", f"rotate:{index * stagger}"]
-        if extra_args:
-            command += list(extra_args)
-        processes.append(subprocess.Popen(command))
-    return processes
+    worker_env = None
+    if env:
+        worker_env = dict(os.environ)
+        worker_env.update({k: str(v) for k, v in env.items()})
+    return [
+        subprocess.Popen(
+            worker_command(store_root, index, jobs=jobs, lease_ttl=lease_ttl,
+                           claim_order=claim_order, stagger=stagger,
+                           extra_args=extra_args),
+            env=worker_env,
+        )
+        for index in range(max(1, n_workers))
+    ]
+
+
+# ----------------------------------------------------------------------
+# Fleet supervision
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _WorkerSlot:
+    """Lifecycle record of one fleet position (survives its processes)."""
+
+    index: int
+    command: list[str]
+    process: subprocess.Popen | None = None
+    restarts: int = 0
+    exit_codes: list[int] = field(default_factory=list)
+    restart_at: float | None = None
+    gave_up: bool = False
+
+
+class FleetSupervisor:
+    """Keep a worker fleet alive: observe exits, restart crashes.
+
+    Before supervision existed the coordinator only noticed worker
+    deaths when *all* of them had died (``fleet_dead``), so a single
+    OOM-kill quietly halved a two-worker fleet for the rest of the grid.
+    The supervisor polls each slot, logs every exit with its exit code
+    the moment it happens, and classifies it by the worker exit-code
+    contract:
+
+    * ``0`` (grid done) and ``3`` (idle timeout) are *benign* — the
+      worker finished; nothing to restart;
+    * ``2`` (permanent store error) is *fatal* — a restarted worker
+      fails identically, so the slot is abandoned immediately;
+    * anything else (signal deaths like ``-SIGKILL``, exit ``4`` after
+      an outage outlasted the grace window, crashes) is *restartable*:
+      the slot respawns with its original command after a crash-loop
+      backoff delay (:class:`~repro.backoff.BackoffPolicy`, so a worker
+      dying instantly on start cannot hot-loop), up to ``max_restarts``
+      restarts per slot.
+
+    The coordinator drives :meth:`poll` from its wait loop and uses
+    :meth:`fleet_dead` as the abort probe; :meth:`summary` is the
+    per-worker status block for the final report.  Restarts never spawn
+    *extra* workers — one process per slot, always — so claim-owner
+    cardinality stays bounded by the requested fleet size.
+    """
+
+    BENIGN_EXITS = frozenset({0, 3})
+    FATAL_EXITS = frozenset({2})
+
+    def __init__(
+        self,
+        commands: list[list[str]],
+        max_restarts: int = 2,
+        backoff: BackoffPolicy | None = None,
+        env: dict | None = None,
+        clock=time.monotonic,
+        log=None,
+    ):
+        self._slots = [
+            _WorkerSlot(index=i, command=list(cmd))
+            for i, cmd in enumerate(commands)
+        ]
+        self.max_restarts = int(max_restarts)
+        self._backoff = backoff if backoff is not None else BackoffPolicy(
+            base=0.5, factor=2.0, cap=10.0
+        )
+        self._env = None
+        if env:
+            self._env = dict(os.environ)
+            self._env.update({k: str(v) for k, v in env.items()})
+        self._clock = clock
+        self._log = log or (lambda message: None)
+
+    def start(self) -> None:
+        for slot in self._slots:
+            slot.process = subprocess.Popen(slot.command, env=self._env)
+            self._log(f"worker {slot.index} started (pid {slot.process.pid})")
+
+    def poll(self) -> None:
+        """Observe exits, schedule and perform due restarts (non-blocking)."""
+        now = self._clock()
+        for slot in self._slots:
+            if slot.process is not None:
+                code = slot.process.poll()
+                if code is None:
+                    continue
+                slot.process = None
+                slot.exit_codes.append(code)
+                if code in self.BENIGN_EXITS:
+                    self._log(f"worker {slot.index} finished (exit {code})")
+                elif code in self.FATAL_EXITS:
+                    slot.gave_up = True
+                    self._log(
+                        f"worker {slot.index} hit a permanent store error "
+                        f"(exit {code}); not restarting"
+                    )
+                elif slot.restarts >= self.max_restarts:
+                    slot.gave_up = True
+                    self._log(
+                        f"worker {slot.index} died (exit {code}) after "
+                        f"{slot.restarts} restart(s); giving up on this slot"
+                    )
+                else:
+                    delay = self._backoff.delay(slot.restarts)
+                    slot.restart_at = now + delay
+                    self._log(
+                        f"worker {slot.index} died (exit {code}); "
+                        f"restarting in {delay:.1f}s "
+                        f"({slot.restarts + 1}/{self.max_restarts})"
+                    )
+            if slot.restart_at is not None and now >= slot.restart_at:
+                slot.restart_at = None
+                slot.restarts += 1
+                slot.process = subprocess.Popen(slot.command, env=self._env)
+                self._log(
+                    f"worker {slot.index} restarted "
+                    f"(pid {slot.process.pid}, restart {slot.restarts})"
+                )
+
+    @property
+    def processes(self) -> list[subprocess.Popen]:
+        """Live worker processes (one per running slot)."""
+        return [s.process for s in self._slots if s.process is not None]
+
+    def live_count(self) -> int:
+        return sum(
+            1 for s in self._slots
+            if s.process is not None and s.process.poll() is None
+        )
+
+    def fleet_dead(self) -> bool:
+        """No live process, no restart pending: the fleet cannot recover.
+
+        The coordinator's abort probe — call :meth:`poll` first so
+        freshly-died slots get their restart scheduled before being
+        counted dead.
+        """
+        return all(
+            (s.process is None or s.process.poll() is not None)
+            and s.restart_at is None
+            for s in self._slots
+        )
+
+    def total_restarts(self) -> int:
+        return sum(s.restarts for s in self._slots)
+
+    def terminate(self, timeout: float = 5.0) -> None:
+        """Stop every live worker (grid finished or coordinator aborting)."""
+        for slot in self._slots:
+            slot.restart_at = None  # no respawns after shutdown begins
+            if slot.process is not None and slot.process.poll() is None:
+                slot.process.terminate()
+        for slot in self._slots:
+            if slot.process is not None:
+                try:
+                    slot.process.wait(timeout=timeout)
+                except subprocess.TimeoutExpired:
+                    slot.process.kill()
+                    slot.process.wait()
+                slot.exit_codes.append(slot.process.returncode)
+                slot.process = None
+
+    def summary(self) -> list[dict]:
+        """Per-slot status for the coordinator's final report."""
+        report = []
+        for slot in self._slots:
+            running = slot.process is not None and slot.process.poll() is None
+            report.append({
+                "worker": slot.index,
+                "restarts": slot.restarts,
+                "exit_codes": list(slot.exit_codes),
+                "running": running,
+                "gave_up": slot.gave_up,
+            })
+        return report

@@ -1,0 +1,571 @@
+"""Fault-tolerant store I/O: retry, backoff, circuit breaker, fault taxonomy.
+
+Until this layer existed, the experiment path assumed a perfect store:
+one transient ``OSError`` or S3 throttle anywhere in ``get`` /
+``put_atomic`` / ``refresh_claim`` killed a worker outright, and a
+browning-out bucket could take a whole fleet down with it.  This module
+sits **between** :class:`~repro.experiments.store.CellStore` and the
+:class:`~repro.experiments.backends.StoreBackend` it talks to:
+
+* **Error taxonomy.**  Backend exceptions are classified *transient*
+  (throttles, 5xx, connection resets, timeouts — retry helps) or
+  *permanent* (``AccessDenied``, ``NoSuchBucket``, code bugs — retry is
+  a storm, fail fast).  The classified forms are
+  :class:`StoreUnavailableError` and :class:`StorePermanentError`;
+  :func:`classify_default` handles POSIX/transport exceptions and
+  :func:`classify_boto3` maps real S3 error codes.
+
+* **:class:`ResilientBackend`** wraps any backend and retries transient
+  failures with capped exponential backoff + jitter (the shared
+  :class:`~repro.backoff.BackoffPolicy`), bounded per logical operation
+  by ``op_timeout``.  Every retry is safe by the store's own contract:
+  reads are idempotent, ``put_atomic``/``stamp_mtime``/``delete``
+  converge on identical bytes, and a retried conditional put that
+  *actually* won server-side merely reports a lost race — the orphaned
+  claim ages out by TTL like any other (claims are an efficiency
+  device, never a correctness device).
+
+* **:class:`CircuitBreaker`.**  After ``threshold`` consecutive
+  transient failures the circuit *opens*: operations fail fast with
+  :class:`StoreUnavailableError` instead of stacking retry storms onto
+  a store that is already down.  After ``reset_after`` seconds the
+  circuit goes *half-open* and admits exactly one probe operation —
+  success closes it, failure re-opens it.  Counters for every state
+  transition are exposed via :meth:`ResilientBackend.stats`.
+
+* **:class:`FaultSchedule`** is the declarative chaos seam: a
+  JSON-serialisable description of injected faults (fail the first K
+  matching operations, absolute-time brownout windows, a seeded
+  per-operation throttle rate) consumed by
+  :class:`~repro.experiments.backends.FakeObjectStore`'s
+  ``error_injector`` hook.  Because the schedule serialises, *worker
+  subprocesses* can share one: point ``REPRO_STORE_FAULTS`` at a
+  schedule file and every ``mem:// | fakes3://`` backend resolved in
+  that process injects it — how the CI ``chaos-smoke`` job browns out a
+  real two-worker fleet.
+
+:func:`repro.experiments.backends.resolve_backend` wraps object-store
+backends (``mem:// | fakes3:// | s3://``) in a :class:`ResilientBackend`
+by default (``REPRO_STORE_RESILIENCE=off`` restores raw backends);
+``s3://`` stores classify through :func:`classify_boto3`.  The local
+filesystem backend stays unwrapped — its historical error handling is
+part of the byte-identical layout contract — but wrapping one explicitly
+works (flaky NFS).
+
+What this layer deliberately does **not** do: interrupt a hung attempt.
+``op_timeout`` bounds the *retry loop* (elapsed time across attempts),
+not a single blocking call — per-attempt socket deadlines belong to the
+transport (boto3's ``connect_timeout``/``read_timeout``), which is the
+only place they can be enforced without leaking threads.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.backoff import BackoffPolicy
+from repro.experiments.backends import StoreBackend
+
+__all__ = [
+    "StoreUnavailableError",
+    "StorePermanentError",
+    "TRANSIENT",
+    "PERMANENT",
+    "classify_default",
+    "classify_boto3",
+    "CircuitBreaker",
+    "ResilientBackend",
+    "FaultSchedule",
+    "FAULTS_ENV",
+    "RESILIENCE_ENV",
+]
+
+#: Environment variable naming a :class:`FaultSchedule` JSON file that
+#: every fake object store resolved in this process must inject.
+FAULTS_ENV = "REPRO_STORE_FAULTS"
+
+#: Set to ``off``/``0``/``false`` to resolve raw (unwrapped) backends.
+RESILIENCE_ENV = "REPRO_STORE_RESILIENCE"
+
+#: Classification verdicts.
+TRANSIENT = "transient"
+PERMANENT = "permanent"
+
+
+class StoreUnavailableError(RuntimeError):
+    """A store operation failed transiently and retries were exhausted
+    (or the circuit breaker is open).  The store is presumed *down, not
+    broken*: backing off and trying again later is the right response —
+    the worker loop's ``--outage-grace`` window does exactly that.
+    """
+
+    def __init__(self, message: str, op: str = "", attempts: int = 0,
+                 circuit_open: bool = False):
+        super().__init__(message)
+        self.op = op
+        self.attempts = int(attempts)
+        self.circuit_open = bool(circuit_open)
+
+
+class StorePermanentError(RuntimeError):
+    """A store operation failed in a way retrying cannot fix
+    (``AccessDenied``, a missing bucket, a code bug).  Callers must
+    surface it immediately — a retry loop here is a throttle storm
+    against a store that will never say yes."""
+
+    def __init__(self, message: str, op: str = ""):
+        super().__init__(message)
+        self.op = op
+
+
+# ----------------------------------------------------------------------
+# Classification
+# ----------------------------------------------------------------------
+
+
+def classify_default(exc: BaseException) -> str:
+    """Transient/permanent verdict for POSIX and transport exceptions.
+
+    Transient: connection failures, timeouts, and generic ``OSError``
+    (EIO on flaky network filesystems, reset sockets).  Permanent:
+    ``PermissionError`` (EACCES does not heal by retrying), the
+    already-classified taxonomy errors, and — deliberately — *every
+    other exception type*: an unrecognised error is far more likely a
+    bug than weather, and retrying bugs hides them.
+    """
+    if isinstance(exc, StorePermanentError):
+        return PERMANENT
+    if isinstance(exc, StoreUnavailableError):
+        return TRANSIENT
+    if isinstance(exc, PermissionError):
+        return PERMANENT
+    if isinstance(exc, (ConnectionError, TimeoutError, OSError)):
+        return TRANSIENT
+    return PERMANENT
+
+
+#: Real-S3 error codes worth retrying: throttles and server-side 5xx.
+_BOTO3_TRANSIENT_CODES = frozenset({
+    "Throttling", "ThrottlingException", "SlowDown",
+    "RequestLimitExceeded", "TooManyRequests",
+    "RequestTimeout", "RequestTimeoutException",
+    "InternalError", "ServiceUnavailable",
+    "500", "502", "503", "504",
+})
+
+#: Real-S3 error codes that fail fast: configuration/credential faults.
+_BOTO3_PERMANENT_CODES = frozenset({
+    "AccessDenied", "NoSuchBucket", "InvalidAccessKeyId",
+    "SignatureDoesNotMatch", "AccountProblem", "InvalidBucketName",
+    "PermanentRedirect", "403",
+})
+
+
+def classify_boto3(exc: BaseException) -> str:
+    """Transient/permanent verdict for boto3/botocore exceptions.
+
+    Reads the ``ClientError``-style ``exc.response["Error"]["Code"]``
+    when present; botocore's connection-level exceptions carry no code
+    (and subclass neither ``OSError`` nor ``ConnectionError``), so they
+    are recognised by type name — importing botocore here would defeat
+    the repo's no-required-boto3 rule.
+    """
+    code = str(
+        getattr(exc, "response", None) and exc.response.get("Error", {}).get("Code", "")
+        or ""
+    )
+    if code in _BOTO3_TRANSIENT_CODES:
+        return TRANSIENT
+    if code in _BOTO3_PERMANENT_CODES:
+        return PERMANENT
+    name = type(exc).__name__
+    if "Connection" in name or "Timeout" in name:
+        return TRANSIENT
+    return classify_default(exc)
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+
+
+class CircuitBreaker:
+    """Closed → open → half-open failure gate (thread-safe).
+
+    * **closed** — all operations pass; ``threshold`` *consecutive*
+      transient failures open the circuit.
+    * **open** — operations fail fast (no backend call) until
+      ``reset_after`` seconds have passed since opening.
+    * **half-open** — exactly one probe operation is admitted at a
+      time; its success closes the circuit, its failure re-opens it
+      with a fresh ``reset_after`` window.
+
+    The breaker is shared by every operation of one
+    :class:`ResilientBackend` — the worker's poll loop and its
+    heartbeat thread both feed it, which is what makes "the store is
+    down" a *backend-wide* verdict instead of a per-call discovery.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, threshold: int = 8, reset_after: float = 1.0,
+                 clock: Callable[[], float] = time.time):
+        self.threshold = int(threshold)
+        self.reset_after = float(reset_after)
+        self.clock = clock
+        self.state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+        self._lock = threading.Lock()
+        self.opens = 0
+        self.half_opens = 0
+        self.closes = 0
+
+    def allow(self) -> bool:
+        """Whether the next operation may touch the backend."""
+        with self._lock:
+            if self.state == self.CLOSED:
+                return True
+            if self.state == self.OPEN:
+                if self.clock() - self._opened_at < self.reset_after:
+                    return False
+                self.state = self.HALF_OPEN
+                self.half_opens += 1
+                self._probing = True
+                return True
+            # Half-open: admit one probe at a time.
+            if self._probing:
+                return False
+            self._probing = True
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self.state != self.CLOSED:
+                self.closes += 1
+            self.state = self.CLOSED
+            self._failures = 0
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._probing = False
+            self._failures += 1
+            if self.state == self.HALF_OPEN or self._failures >= self.threshold:
+                if self.state != self.OPEN:
+                    self.opens += 1
+                self.state = self.OPEN
+                self._opened_at = self.clock()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "state": self.state,
+                "consecutive_failures": self._failures,
+                "opens": self.opens,
+                "half_opens": self.half_opens,
+                "closes": self.closes,
+            }
+
+
+# ----------------------------------------------------------------------
+# The resilient backend wrapper
+# ----------------------------------------------------------------------
+
+
+class ResilientBackend(StoreBackend):
+    """Retry/backoff/circuit-breaker decorator around any backend.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped :class:`StoreBackend`; attribute access not covered
+        by the storage contract (``client``, ``path``, ``root``)
+        delegates to it, so diagnostics and tests keep working.
+    classify:
+        ``exception -> "transient" | "permanent"`` — the error taxonomy
+        (:func:`classify_default`, or :func:`classify_boto3` for real
+        S3).
+    max_attempts:
+        Tries per logical operation (first call + retries).
+    backoff:
+        Delay schedule between attempts (shared
+        :class:`~repro.backoff.BackoffPolicy`).
+    op_timeout:
+        Elapsed-seconds budget per logical operation: once exceeded, no
+        further retry is attempted (it bounds the retry loop, not a
+        single blocking call — see the module docstring).
+    breaker:
+        The failure gate; pass an injected-clock instance in tests.
+    sleep / clock:
+        Injected for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        inner: StoreBackend,
+        *,
+        classify: Callable[[BaseException], str] = classify_default,
+        max_attempts: int = 5,
+        backoff: BackoffPolicy | None = None,
+        op_timeout: float = 30.0,
+        breaker: CircuitBreaker | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.time,
+    ):
+        self.inner = inner
+        self.classify = classify
+        self.max_attempts = max(1, int(max_attempts))
+        self.backoff = backoff if backoff is not None else BackoffPolicy(
+            base=0.05, cap=2.0
+        )
+        self.op_timeout = float(op_timeout)
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self._sleep = sleep
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._counts = {
+            "ops": 0,
+            "retries": 0,
+            "transient_errors": 0,
+            "permanent_errors": 0,
+            "exhausted": 0,
+            "breaker_fast_fails": 0,
+        }
+        self._per_op: dict[str, int] = {}
+
+    # -- bookkeeping ----------------------------------------------------
+
+    @property
+    def url(self) -> str:  # type: ignore[override]
+        return self.inner.url
+
+    def __getattr__(self, name):
+        # Contract methods are defined below; anything else (``client``,
+        # ``path``, ``root``, driver extensions) belongs to the inner
+        # backend.  Only called when normal lookup fails — guard
+        # ``inner`` itself so unpickling half-built instances cannot
+        # recurse.
+        if name == "inner":
+            raise AttributeError(name)
+        return getattr(self.inner, name)
+
+    def _bump(self, key: str, n: int = 1) -> None:
+        with self._lock:
+            self._counts[key] += n
+
+    def stats(self) -> dict:
+        """Operation/retry/failure counters plus the breaker's state."""
+        with self._lock:
+            snapshot = dict(self._counts)
+            snapshot["per_op"] = dict(self._per_op)
+        snapshot["breaker"] = self.breaker.stats()
+        return snapshot
+
+    # -- the retry core -------------------------------------------------
+
+    def _call(self, op: str, fn: Callable):
+        started = self._clock()
+        attempt = 0
+        while True:
+            if not self.breaker.allow():
+                self._bump("breaker_fast_fails")
+                raise StoreUnavailableError(
+                    f"store circuit open: refusing {op!r}",
+                    op=op, attempts=attempt, circuit_open=True,
+                )
+            try:
+                result = fn()
+            except BaseException as exc:
+                verdict = self.classify(exc)
+                if verdict == PERMANENT:
+                    self._bump("permanent_errors")
+                    if isinstance(exc, StorePermanentError):
+                        raise
+                    raise StorePermanentError(
+                        f"store {op!r} failed permanently: {exc!r}", op=op
+                    ) from exc
+                self.breaker.record_failure()
+                self._bump("transient_errors")
+                attempt += 1
+                elapsed = self._clock() - started
+                if attempt >= self.max_attempts or elapsed >= self.op_timeout:
+                    self._bump("exhausted")
+                    raise StoreUnavailableError(
+                        f"store {op!r} unavailable after {attempt} "
+                        f"attempt(s) over {elapsed:.2f}s: {exc!r}",
+                        op=op, attempts=attempt,
+                    ) from exc
+                self._bump("retries")
+                self._sleep(self.backoff.delay(attempt - 1))
+            else:
+                self.breaker.record_success()
+                with self._lock:
+                    self._counts["ops"] += 1
+                    self._per_op[op] = self._per_op.get(op, 0) + 1
+                return result
+
+    # -- the storage contract, delegated through the retry core ---------
+
+    def get(self, name: str) -> bytes | None:
+        return self._call("get", lambda: self.inner.get(name))
+
+    def put_atomic(self, name: str, data: bytes) -> None:
+        return self._call("put_atomic", lambda: self.inner.put_atomic(name, data))
+
+    def exists(self, name: str) -> bool:
+        return self._call("exists", lambda: self.inner.exists(name))
+
+    def delete(self, name: str) -> None:
+        return self._call("delete", lambda: self.inner.delete(name))
+
+    def list(self, prefix: str = "") -> list[str]:
+        return self._call("list", lambda: self.inner.list(prefix))
+
+    def try_claim_exclusive(self, name: str, data: bytes) -> bool:
+        # Retried conditional puts can mis-report a lost race when the
+        # first attempt won but its response was lost in transit; the
+        # orphaned claim has no heartbeat and ages out by TTL — safe by
+        # the "claims are an efficiency device" invariant.
+        return self._call(
+            "try_claim_exclusive",
+            lambda: self.inner.try_claim_exclusive(name, data),
+        )
+
+    def stamp_mtime(self, name: str, data: bytes) -> None:
+        return self._call("stamp_mtime", lambda: self.inner.stamp_mtime(name, data))
+
+    def mtime(self, name: str) -> float | None:
+        return self._call("mtime", lambda: self.inner.mtime(name))
+
+    def stray_spools(self) -> list[str]:
+        return self._call("stray_spools", self.inner.stray_spools)
+
+
+# ----------------------------------------------------------------------
+# Declarative fault schedules (the chaos seam)
+# ----------------------------------------------------------------------
+
+#: Exception factory per fault kind.  ``unavailable``/``timeout`` are
+#: transient under :func:`classify_default`; ``permanent`` is not.
+_FAULT_KINDS = {
+    "unavailable": ConnectionError,
+    "timeout": TimeoutError,
+    "permanent": PermissionError,
+}
+
+
+@dataclass
+class FaultSchedule:
+    """Declarative, JSON-serialisable fault plan for the fake store.
+
+    Compose any of:
+
+    * ``fail_first`` — ``{op_or_"*": K}``: the first K matching
+      operations *observed by this process* fail.  Counters are
+      process-local by design (each worker of a fleet sees its own
+      first-K), so multi-process runs get deterministic per-worker
+      faults.
+    * ``brownouts`` — ``[(start, end), …]`` absolute epoch-second
+      windows during which **every** operation fails.  Absolute times
+      are what let one schedule file brown out a whole fleet of worker
+      subprocesses in the same wall-clock window.
+    * ``throttle_rate`` — per-operation failure probability drawn from
+      a ``seed``-ed RNG (deterministic per process).
+
+    ``kind`` selects the injected exception: ``unavailable``
+    (``ConnectionError``), ``timeout`` (``TimeoutError``) — both
+    transient — or ``permanent`` (``PermissionError``), which the
+    resilience layer must fail fast on, not retry.
+
+    Serialise with :meth:`to_dict`/:meth:`dump`; rehydrate with
+    :meth:`from_dict`/:meth:`load`.  Point :data:`FAULTS_ENV`
+    (``REPRO_STORE_FAULTS``) at a dumped file and every fake
+    object-store backend resolved in that process injects the schedule.
+    """
+
+    fail_first: dict[str, int] = field(default_factory=dict)
+    brownouts: list[tuple[float, float]] = field(default_factory=list)
+    throttle_rate: float = 0.0
+    seed: int = 0
+    kind: str = "unavailable"
+
+    def __post_init__(self):
+        if self.kind not in _FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"use one of {sorted(_FAULT_KINDS)}"
+            )
+
+    # -- serialisation --------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": 1,
+            "fail_first": dict(self.fail_first),
+            "brownouts": [[float(a), float(b)] for a, b in self.brownouts],
+            "throttle_rate": float(self.throttle_rate),
+            "seed": int(self.seed),
+            "kind": self.kind,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultSchedule":
+        return cls(
+            fail_first={str(k): int(v)
+                        for k, v in payload.get("fail_first", {}).items()},
+            brownouts=[(float(a), float(b))
+                       for a, b in payload.get("brownouts", [])],
+            throttle_rate=float(payload.get("throttle_rate", 0.0)),
+            seed=int(payload.get("seed", 0)),
+            kind=str(payload.get("kind", "unavailable")),
+        )
+
+    def dump(self, path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=1))
+        return path
+
+    @classmethod
+    def load(cls, path) -> "FaultSchedule":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    # -- the injector ---------------------------------------------------
+
+    def injector(
+        self, clock: Callable[[], float] = time.time
+    ) -> Callable[[str, str], None]:
+        """``(op, key) -> None`` hook raising per this schedule.
+
+        Stateful (first-K counters, the throttle RNG) — build one
+        injector per process/backend, not one per call.
+        """
+        remaining = dict(self.fail_first)
+        rng = random.Random(self.seed)
+        make = _FAULT_KINDS[self.kind]
+
+        def inject(op: str, key: str) -> None:
+            now = clock()
+            for start, end in self.brownouts:
+                if start <= now < end:
+                    raise make(
+                        f"injected store brownout ({op} {key!r}, "
+                        f"window {start:.0f}-{end:.0f})"
+                    )
+            for match in (op, "*"):
+                if remaining.get(match, 0) > 0:
+                    remaining[match] -= 1
+                    raise make(f"injected fault ({op} {key!r})")
+            if self.throttle_rate > 0 and rng.random() < self.throttle_rate:
+                raise make(f"injected throttle ({op} {key!r})")
+
+        return inject

@@ -139,20 +139,34 @@ def _coordinate(args, cfg, selected: list[str]) -> None:
     manifest = dispatch.write_manifest(store, cfg, units)
     print(f"[distributed] {len(units)} pending cells -> {manifest}")
 
-    processes = []
+    def log(message: str) -> None:
+        print(f"[distributed] {message}", flush=True)
+
+    supervisor = None
     if not args.workers_external:
-        processes = dispatch.spawn_workers(
-            store.url,
-            args.workers,
-            jobs=args.jobs,
-            stagger=max(1, len(units) // max(1, args.workers)),
+        n_workers = max(1, args.workers)
+        stagger = max(1, len(units) // n_workers)
+        commands = [
+            dispatch.worker_command(
+                store.url, index, jobs=args.jobs, stagger=stagger,
+                extra_args=["--outage-grace", str(args.outage_grace)],
+            )
+            for index in range(n_workers)
+        ]
+        supervisor = dispatch.FleetSupervisor(
+            commands, max_restarts=args.max_restarts, log=log
         )
-        print(f"[distributed] launched {len(processes)} workers")
+        supervisor.start()
     else:
         print(f"[distributed] waiting for external workers on {store.url}")
 
     def fleet_dead() -> bool:
-        return bool(processes) and all(p.poll() is not None for p in processes)
+        # poll() first: a freshly-died worker gets its exit logged and
+        # its restart scheduled before it can count as dead.
+        if supervisor is None:
+            return False
+        supervisor.poll()
+        return supervisor.fleet_dead()
 
     try:
         dispatch.wait_for_grid(
@@ -169,10 +183,13 @@ def _coordinate(args, cfg, selected: list[str]) -> None:
         # later would adopt them as part of their exit condition.
         dispatch.prune_manifests(store)
     finally:
-        for process in processes:
-            if process.poll() is None:
-                process.terminate()
-            process.wait()
+        if supervisor is not None:
+            supervisor.terminate()
+            for entry in supervisor.summary():
+                codes = ",".join(str(c) for c in entry["exit_codes"]) or "-"
+                status = "gave up" if entry["gave_up"] else "stopped"
+                log(f"worker {entry['worker']}: {status}, "
+                    f"restarts={entry['restarts']}, exits=[{codes}]")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -196,6 +213,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workers-external", action="store_true",
                         help="distributed, but launch no workers: wait for "
                              "externally started ones sharing --store")
+    parser.add_argument("--max-restarts", type=int, default=2, metavar="N",
+                        help="restarts per crashed worker slot before the "
+                             "supervisor gives up on it (default: 2)")
+    parser.add_argument("--outage-grace", type=float, default=60.0,
+                        metavar="S",
+                        help="seconds each worker keeps polling through a "
+                             "store outage before exiting (default: 60)")
     parser.add_argument("--store", "--store-url", dest="store",
                         metavar="DIR_OR_URL", default=None,
                         help="cell store: a directory or a file:// / "

@@ -602,6 +602,20 @@ class ClaimHeartbeat:
     lost anyway (reaped by a peer that thought us dead), it stops
     silently: the computation still finishes and stores its (idempotent)
     result, but must not stomp the new owner's claim.
+
+    **Refresh errors do not kill the heartbeat.**  Historically any
+    exception out of :meth:`CellStore.refresh_claim` killed this thread
+    silently, so one store blip expired a *live* lease mid-computation
+    and triggered exactly the duplicate-compute stampede the heartbeat
+    exists to prevent.  Now a failed refresh retries in-thread on a
+    tighter cadence (quarter interval, so several attempts fit inside
+    one TTL) until the store answers again — a successful refresh after
+    an outage re-stamps the lease — and the outcome is surfaced as two
+    distinct flags: ``lost`` (the lease was reaped; the result is still
+    stored, the claim must not be stomped) vs ``failed`` (the store
+    rejected the refresh permanently, e.g. ``AccessDenied``; the worker
+    loop should surface it, not recompute).  ``refresh_errors`` counts
+    the weathered blips for diagnostics.
     """
 
     def __init__(self, store: CellStore, kind: str, key: str, owner: str,
@@ -614,12 +628,34 @@ class ClaimHeartbeat:
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._run, daemon=True)
         self.lost = False
+        self.failed = False
+        self.refresh_errors = 0
 
     def _run(self) -> None:
-        while not self._stop.wait(self._interval):
-            if not self._store.refresh_claim(self._kind, self._key, self._owner):
+        from repro.experiments.resilience import StorePermanentError
+
+        wait = self._interval
+        while not self._stop.wait(wait):
+            try:
+                alive = self._store.refresh_claim(
+                    self._kind, self._key, self._owner
+                )
+            except StorePermanentError:
+                self.failed = True
+                return
+            except Exception:
+                # Transient store trouble (retries already exhausted by
+                # the resilient backend, or a raw backend hiccup): keep
+                # the thread alive and retry sooner than the normal
+                # cadence, so the lease is re-stamped the moment the
+                # store recovers.
+                self.refresh_errors += 1
+                wait = max(self._interval / 4.0, 0.05)
+                continue
+            if not alive:
                 self.lost = True
                 return
+            wait = self._interval
 
     def __enter__(self) -> "ClaimHeartbeat":
         self._thread.start()

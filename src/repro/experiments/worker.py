@@ -48,6 +48,10 @@ import os
 import sys
 import time
 
+from repro.experiments.resilience import (
+    StorePermanentError,
+    StoreUnavailableError,
+)
 from repro.experiments.store import (
     DEFAULT_LEASE_TTL,
     CellStore,
@@ -56,6 +60,11 @@ from repro.experiments.store import (
 )
 
 __all__ = ["claim_order_from", "default_owner", "worker_loop", "main"]
+
+#: Default seconds a worker keeps polling through a store outage before
+#: giving up (exit code 4).  Sized to ride out a typical object-store
+#: brownout (tens of seconds) without masking a real dead store for long.
+DEFAULT_OUTAGE_GRACE = 60.0
 
 
 def default_owner() -> str:
@@ -98,6 +107,7 @@ def worker_loop(
     heartbeat_interval: float | None = None,
     claim_order=None,
     max_idle: float = 300.0,
+    outage_grace: float = DEFAULT_OUTAGE_GRACE,
     units=None,
     log=None,
 ) -> dict:
@@ -106,10 +116,25 @@ def worker_loop(
     ``store_root`` is any store target (directory path, store URL, or a
     ready :class:`~repro.experiments.store.CellStore`'s backend).
     Returns a stats dict (cells computed, claim conflicts, reaped leases,
-    polling rounds, and ``idle_timeout`` when the loop gave up waiting on
-    peers that stopped making progress for ``max_idle`` seconds).
+    polling rounds, outage/lease-loss counters plus the resilient
+    backend's retry/breaker counters under ``store_resilience``, and
+    ``idle_timeout`` when the loop gave up waiting on peers that stopped
+    making progress for ``max_idle`` seconds).
     ``units`` overrides manifest discovery (tests inject a plan directly);
     ``claim_order`` is the interleaving seam (see :func:`claim_order_from`).
+
+    **Outage behaviour.**  A transient store failure
+    (:class:`~repro.experiments.resilience.StoreUnavailableError`, i.e.
+    the resilient backend already exhausted its per-operation retries or
+    its circuit breaker is open) does *not* kill the worker: the loop
+    backs off and keeps polling for up to ``outage_grace`` seconds,
+    resuming exactly where it left off when the store answers again (a
+    cell lost mid-compute is simply reclaimed and recomputed — results
+    are content-keyed and idempotent).  Only an outage outlasting the
+    grace window propagates (exit code 4 from :func:`main`); a
+    :class:`~repro.experiments.resilience.StorePermanentError`
+    (``AccessDenied``-class faults) propagates immediately (exit code 2)
+    because retrying it is a storm, not resilience.
 
     Deletion discipline: this loop only ever deletes *claims it owns*,
     *stale* claims/spools (via :meth:`CellStore.reap_stale`) and
@@ -138,95 +163,144 @@ def worker_loop(
         "reaped_claims": 0,
         "rounds": 0,
         "idle_timeout": False,
+        "outages": 0,
+        "lost_leases": 0,
+        "heartbeat_retries": 0,
     }
+
+    def release_best_effort(kind: str, key: str) -> None:
+        # Releasing a claim during an outage must not mask the original
+        # error (or crash the outage handler): an unreleased claim has
+        # no heartbeat and ages out by TTL like any orphan.
+        try:
+            store.release_claim(kind, key, owner)
+        except StoreUnavailableError:
+            pass
+
     try:
         last_progress = time.monotonic()
         previous_pending = None
         seen_plan = False
+        outage_since = None
         while True:
-            plan = units if units is not None else dispatch.load_manifests(store)
-            if not plan:
-                if units is not None or seen_plan:
-                    # Explicitly told there is nothing to do — or the
-                    # plan we were working from was pruned, which only
-                    # happens once its grid completed.
-                    break
-                # No manifests yet: workers legitimately start before
-                # their coordinator writes the plan (the multi-node
-                # flow), so wait for one to appear instead of mistaking
-                # an empty queue for a completed grid.
+            try:
+                plan = units if units is not None else dispatch.load_manifests(store)
+                if units is None:
+                    outage_since = None  # the manifest listing answered
+                if not plan:
+                    if units is not None or seen_plan:
+                        # Explicitly told there is nothing to do — or the
+                        # plan we were working from was pruned, which only
+                        # happens once its grid completed.
+                        break
+                    # No manifests yet: workers legitimately start before
+                    # their coordinator writes the plan (the multi-node
+                    # flow), so wait for one to appear instead of mistaking
+                    # an empty queue for a completed grid.
+                    if time.monotonic() - last_progress > max_idle:
+                        stats["idle_timeout"] = True
+                        break
+                    time.sleep(poll)
+                    continue
+                seen_plan = True
+                pending = dispatch.pending_units(store, plan)
+                outage_since = None  # the pending scan answered: store is back
+                if not pending:
+                    # The pending scan is a cheap stat-level probe; before
+                    # declaring the grid done, decode-check every entry so a
+                    # torn result (healed to a miss here) is recomputed now
+                    # rather than surprising the coordinator's assembly.
+                    if all(store.verify("cell", unit.key) for unit in plan):
+                        if units is None:
+                            dispatch.prune_manifests(store)
+                        break
+                    continue
+                stats["rounds"] += 1
+                if previous_pending is not None and len(pending) < previous_pending:
+                    last_progress = time.monotonic()  # peers are landing cells
+                previous_pending = len(pending)
+                progressed = False
+                # One batched listing guards against cells that landed since
+                # the pending scan; anything landing *after* this snapshot is
+                # still safe — the executor consults the store before
+                # computing, so a claimed-but-landed cell is a pure hit.
+                still_missing = set(
+                    store.filter_missing("cell", [u.key for u in pending])
+                )
+                for unit in order(pending):
+                    if unit.key not in still_missing:
+                        continue  # landed while we worked through the list
+                    if not store.try_claim("cell", unit.key, owner):
+                        stats["claim_conflicts"] += 1
+                        continue
+                    log(f"claimed {unit.spec.code}/{unit.spec.method}/"
+                        f"{unit.spec.classifier}")
+                    beat = ClaimHeartbeat(store, "cell", unit.key, owner,
+                                          interval)
+                    try:
+                        with beat:
+                            executor = ExperimentExecutor(
+                                unit.cfg, n_jobs=jobs, store=store
+                            )
+                            executor.run([unit.spec])
+                    finally:
+                        stats["heartbeat_retries"] += beat.refresh_errors
+                        if beat.lost:
+                            stats["lost_leases"] += 1
+                        release_best_effort("cell", unit.key)
+                    if beat.failed:
+                        raise StorePermanentError(
+                            f"lease refresh rejected permanently while "
+                            f"computing {unit.spec.code}/{unit.spec.method}",
+                            op="refresh_claim",
+                        )
+                    stats["computed"] += 1
+                    progressed = True
+                    last_progress = time.monotonic()
+                    # Cells land continuously while we computed; refresh the
+                    # snapshot (one listing) so peer-landed cells are skipped
+                    # rather than claimed-and-hit.
+                    still_missing = set(
+                        store.filter_missing("cell", [u.key for u in pending])
+                    )
+                if progressed:
+                    continue
+                # Everything pending is claimed by peers: wait for results to
+                # land, reaping any leases (and orphan .tmp spools) whose
+                # owners died so the grid cannot stall behind a crashed peer.
+                store.reap_stale()
+                if store.any_live_claim("cell", [u.key for u in pending]):
+                    # A heartbeated lease is proof a peer is computing (a
+                    # FULL-profile cell can legitimately outlast max_idle);
+                    # only a queue with no live leases counts as stalled.
+                    last_progress = time.monotonic()
                 if time.monotonic() - last_progress > max_idle:
                     stats["idle_timeout"] = True
                     break
                 time.sleep(poll)
-                continue
-            seen_plan = True
-            pending = dispatch.pending_units(store, plan)
-            if not pending:
-                # The pending scan is a cheap stat-level probe; before
-                # declaring the grid done, decode-check every entry so a
-                # torn result (healed to a miss here) is recomputed now
-                # rather than surprising the coordinator's assembly.
-                if all(store.verify("cell", unit.key) for unit in plan):
-                    if units is None:
-                        dispatch.prune_manifests(store)
-                    break
-                continue
-            stats["rounds"] += 1
-            if previous_pending is not None and len(pending) < previous_pending:
-                last_progress = time.monotonic()  # peers are landing cells
-            previous_pending = len(pending)
-            progressed = False
-            # One batched listing guards against cells that landed since
-            # the pending scan; anything landing *after* this snapshot is
-            # still safe — the executor consults the store before
-            # computing, so a claimed-but-landed cell is a pure hit.
-            still_missing = set(
-                store.filter_missing("cell", [u.key for u in pending])
-            )
-            for unit in order(pending):
-                if unit.key not in still_missing:
-                    continue  # landed while we worked through the list
-                if not store.try_claim("cell", unit.key, owner):
-                    stats["claim_conflicts"] += 1
-                    continue
-                log(f"claimed {unit.spec.code}/{unit.spec.method}/"
-                    f"{unit.spec.classifier}")
-                try:
-                    with ClaimHeartbeat(store, "cell", unit.key, owner,
-                                        interval):
-                        executor = ExperimentExecutor(
-                            unit.cfg, n_jobs=jobs, store=store
-                        )
-                        executor.run([unit.spec])
-                finally:
-                    store.release_claim("cell", unit.key, owner)
-                stats["computed"] += 1
-                progressed = True
-                last_progress = time.monotonic()
-                # Cells land continuously while we computed; refresh the
-                # snapshot (one listing) so peer-landed cells are skipped
-                # rather than claimed-and-hit.
-                still_missing = set(
-                    store.filter_missing("cell", [u.key for u in pending])
-                )
-            if progressed:
-                continue
-            # Everything pending is claimed by peers: wait for results to
-            # land, reaping any leases (and orphan .tmp spools) whose
-            # owners died so the grid cannot stall behind a crashed peer.
-            store.reap_stale()
-            if store.any_live_claim("cell", [u.key for u in pending]):
-                # A heartbeated lease is proof a peer is computing (a
-                # FULL-profile cell can legitimately outlast max_idle);
-                # only a queue with no live leases counts as stalled.
-                last_progress = time.monotonic()
-            if time.monotonic() - last_progress > max_idle:
-                stats["idle_timeout"] = True
-                break
-            time.sleep(poll)
+            except StoreUnavailableError as exc:
+                now = time.monotonic()
+                if outage_since is None:
+                    outage_since = now
+                    stats["outages"] += 1
+                    log(f"store unavailable ({exc}); degrading gracefully "
+                        f"for up to {outage_grace:.0f}s")
+                if now - outage_since > outage_grace:
+                    log("store outage outlasted the grace window; giving up")
+                    raise
+                # The resilient backend already retried with backoff (and
+                # its breaker fast-fails while open), so a gentle fixed
+                # cadence here is enough — the breaker's half-open probe is
+                # what discovers recovery.
+                time.sleep(max(poll, min(1.0, outage_grace / 16.0)))
+                # An interrupted round is simply retried: claims we held are
+                # released best-effort above, results are idempotent, and a
+                # worker never deletes anything mid-outage.
     finally:
         stats["reaped_claims"] = store.stats["reaped_claims"]
+        backend_stats = getattr(store.backend, "stats", None)
+        if callable(backend_stats):
+            stats["store_resilience"] = backend_stats()
         runner.configure_store(store=previous_store)
     return stats
 
@@ -252,6 +326,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-idle", type=float, default=300.0,
                         help="give up after this many seconds without "
                              "fleet-wide progress")
+    parser.add_argument("--outage-grace", type=float,
+                        default=DEFAULT_OUTAGE_GRACE,
+                        help="keep polling through a store outage for this "
+                             "many seconds before giving up (exit code 4)")
     parser.add_argument("--claim-order", default="sorted",
                         help="claim attempt order: sorted | reversed | "
                              "rotate:N (deterministic interleaving seam)")
@@ -260,16 +338,27 @@ def main(argv: list[str] | None = None) -> int:
     def log(message: str) -> None:
         print(f"[worker {os.getpid()}] {message}", flush=True)
 
-    stats = worker_loop(
-        args.store,
-        jobs=args.jobs,
-        owner=args.owner,
-        lease_ttl=args.ttl,
-        poll=args.poll,
-        claim_order=claim_order_from(args.claim_order),
-        max_idle=args.max_idle,
-        log=log,
-    )
+    # Exit code contract (the supervisor in run_all keys restart decisions
+    # off these): 0 done, 2 permanent store error (do not restart — it
+    # will fail identically), 3 idle timeout, 4 outage grace exhausted.
+    try:
+        stats = worker_loop(
+            args.store,
+            jobs=args.jobs,
+            owner=args.owner,
+            lease_ttl=args.ttl,
+            poll=args.poll,
+            claim_order=claim_order_from(args.claim_order),
+            max_idle=args.max_idle,
+            outage_grace=args.outage_grace,
+            log=log,
+        )
+    except StorePermanentError as exc:
+        log(f"fatal: {exc}")
+        return 2
+    except StoreUnavailableError as exc:
+        log(f"store unavailable past --outage-grace: {exc}")
+        return 4
     print(json.dumps(stats))
     return 3 if stats["idle_timeout"] else 0
 

@@ -17,7 +17,9 @@ conditions (503, 504, ``Connection: close``, a reset socket), and
   errors: waits double per attempt up to ``max_backoff``, each scaled by
   a random factor in ``[0.5, 1.5)`` so a shed fleet does not retry in
   lock-step, and a server-sent ``Retry-After`` is honoured (capped by
-  ``max_backoff``);
+  ``max_backoff``).  The delay schedule is the shared
+  :class:`~repro.backoff.BackoffPolicy` — the same policy the store
+  resilience layer retries with, so the two retry paths cannot drift;
 * anything non-retryable (400, 404, …) raises :class:`PredictError`
   immediately.
 """
@@ -29,6 +31,8 @@ import json
 import random
 
 import numpy as np
+
+from repro.backoff import BackoffPolicy
 
 __all__ = ["PredictClient", "PredictError"]
 
@@ -66,12 +70,17 @@ class PredictClient:
         First retry delay in seconds; doubles per attempt.
     max_backoff:
         Delay cap (also caps a server-sent ``Retry-After``).
+    rng:
+        Random source for the jitter draw (a seeded
+        :class:`random.Random` makes retry schedules deterministic in
+        tests; defaults to the module-level generator).
     """
 
     def __init__(self, reader: asyncio.StreamReader,
                  writer: asyncio.StreamWriter, *, host: str | None = None,
                  port: int | None = None, retries: int = 3,
-                 backoff: float = 0.05, max_backoff: float = 1.0):
+                 backoff: float = 0.05, max_backoff: float = 1.0,
+                 rng: random.Random | None = None):
         self._reader = reader
         self._writer = writer
         self._host = host
@@ -80,6 +89,10 @@ class PredictClient:
         self.retries = int(retries)
         self.backoff = float(backoff)
         self.max_backoff = float(max_backoff)
+        self._policy = BackoffPolicy(
+            base=self.backoff, cap=self.max_backoff,
+            rng=rng if rng is not None else random,
+        )
         #: Response headers of the most recent request (lower-cased names).
         self.last_headers: dict[str, str] = {}
         self.n_retries = 0
@@ -167,7 +180,6 @@ class PredictClient:
         """
         if isinstance(x, np.ndarray):
             x = x.tolist()
-        delay = self.backoff
         for attempt in range(self.retries + 1):
             retry_after = 0.0
             try:
@@ -198,9 +210,9 @@ class PredictClient:
                 except ValueError:
                     retry_after = 0.0
             self.n_retries += 1
-            wait = min(self.max_backoff, max(delay, retry_after))
-            await asyncio.sleep(wait * (0.5 + random.random()))
-            delay *= 2
+            # Shared policy, caller-owned clock: the policy computes, the
+            # coroutine sleeps (a server-sent Retry-After is the floor).
+            await asyncio.sleep(self._policy.delay(attempt, floor=retry_after))
         raise AssertionError("unreachable")  # pragma: no cover
 
     async def healthz(self) -> dict:

@@ -1,0 +1,893 @@
+"""Fault-tolerant store I/O: retry/backoff/circuit-breaker suite.
+
+What PR 4 proved for worker *crashes* (SIGKILL mid-cell → parity holds),
+this suite proves for store *failures*: a grid completes bit-identically
+to serial through transient backend errors, timed brownout windows and a
+supervisor-restarted worker — with zero unexpected worker deaths.
+
+Layers under test, bottom-up:
+
+* the shared :class:`~repro.backoff.BackoffPolicy` (deterministic with
+  an injected RNG — the serving client and the store retries consume
+  the same policy);
+* error classification (:func:`classify_default`, and
+  :func:`classify_boto3` against a scripted S3 client: throttles/5xx/
+  connection errors retry, ``AccessDenied``/``NoSuchBucket`` fail fast
+  with **no retry storm**);
+* :class:`ResilientBackend` retry/exhaustion/per-op-timeout semantics
+  and the :class:`CircuitBreaker` open → half-open → closed lifecycle,
+  all on injected clocks (no real sleeping);
+* :class:`ClaimHeartbeat` surviving a refresh outage (the satellite-1
+  fix: a store blip must not silently expire a live lease);
+* the worker loop's ``--outage-grace`` degradation and the
+  :class:`FleetSupervisor` restart policy;
+* end-to-end chaos: a two-worker fleet over fault-injected ``fakes3://``
+  riding out a timed brownout (bit-parity, zero deaths), and a
+  supervisor restarting a SIGKILLed worker mid-grid.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+import random
+
+from repro.backoff import BackoffPolicy
+from repro.experiments import dispatch, worker
+from repro.experiments.backends import (
+    Boto3ObjectStore,
+    FakeObjectStore,
+    MemoryBucket,
+    ObjectStoreBackend,
+    resolve_backend,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.executor import ExperimentExecutor
+from repro.experiments.resilience import (
+    FAULTS_ENV,
+    RESILIENCE_ENV,
+    CircuitBreaker,
+    FaultSchedule,
+    ResilientBackend,
+    StorePermanentError,
+    StoreUnavailableError,
+    classify_boto3,
+    classify_default,
+)
+from repro.experiments.store import CellStore, ClaimHeartbeat
+
+from tests.experiments.distributed_helpers import worker_env
+
+
+def no_sleep(_seconds):
+    """Injected sleep for retry tests: record nothing, wait nothing."""
+
+
+def make_resilient(schedule=None, **kwargs):
+    """A ResilientBackend over a fresh in-memory fake, faults optional.
+
+    Retry delays are computed (deterministic RNG) but never slept, so
+    every unit test here runs in microseconds of wall clock.
+    """
+    client = FakeObjectStore(
+        MemoryBucket(),
+        error_injector=schedule.injector() if schedule is not None else None,
+    )
+    inner = ObjectStoreBackend(client, url="mem://resilience-test")
+    kwargs.setdefault("backoff", BackoffPolicy(rng=random.Random(7)))
+    kwargs.setdefault("sleep", no_sleep)
+    return ResilientBackend(inner, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# The shared backoff policy
+# ----------------------------------------------------------------------
+
+
+class TestBackoffPolicy:
+    def test_deterministic_with_injected_rng(self):
+        a = BackoffPolicy(rng=random.Random(42))
+        b = BackoffPolicy(rng=random.Random(42))
+        assert [a.delay(i) for i in range(6)] == [b.delay(i) for i in range(6)]
+
+    def test_doubles_then_caps(self):
+        policy = BackoffPolicy(base=0.1, factor=2.0, cap=0.5,
+                               jitter=(1.0, 1.0))
+        assert [policy.delay(i) for i in range(5)] == [
+            0.1, 0.2, 0.4, 0.5, 0.5
+        ]
+
+    def test_floor_raises_delay_but_never_past_cap(self):
+        policy = BackoffPolicy(base=0.05, cap=1.0, jitter=(1.0, 1.0))
+        assert policy.delay(0, floor=0.7) == 0.7   # Retry-After honoured
+        assert policy.delay(0, floor=30.0) == 1.0  # but capped
+        assert policy.delay(5, floor=0.1) == 1.0   # growth past the floor
+
+    def test_jitter_stays_in_bounds(self):
+        policy = BackoffPolicy(base=0.2, cap=0.2, jitter=(0.5, 1.5),
+                               rng=random.Random(0))
+        for attempt in range(50):
+            assert 0.1 <= policy.delay(attempt) < 0.3
+
+
+# ----------------------------------------------------------------------
+# Error classification
+# ----------------------------------------------------------------------
+
+
+class FakeClientError(Exception):
+    """boto3 ``ClientError`` shape: the code rides in ``.response``."""
+
+    def __init__(self, code):
+        super().__init__(code)
+        self.response = {"Error": {"Code": code}}
+
+
+class EndpointConnectionError(Exception):
+    """botocore connection errors carry no code — matched by type name."""
+
+
+class TestClassification:
+    @pytest.mark.parametrize("exc", [
+        ConnectionError("reset"), TimeoutError("slow"), OSError(5, "EIO"),
+        ConnectionResetError("peer"), StoreUnavailableError("already"),
+    ])
+    def test_default_transient(self, exc):
+        assert classify_default(exc) == "transient"
+
+    @pytest.mark.parametrize("exc", [
+        PermissionError(13, "EACCES"), ValueError("a bug"),
+        KeyError("nope"), StorePermanentError("already"),
+    ])
+    def test_default_permanent(self, exc):
+        assert classify_default(exc) == "permanent"
+
+    @pytest.mark.parametrize("code", [
+        "Throttling", "ThrottlingException", "SlowDown", "TooManyRequests",
+        "RequestTimeout", "InternalError", "ServiceUnavailable", "503",
+    ])
+    def test_boto3_throttles_and_5xx_are_transient(self, code):
+        assert classify_boto3(FakeClientError(code)) == "transient"
+
+    @pytest.mark.parametrize("code", [
+        "AccessDenied", "NoSuchBucket", "InvalidAccessKeyId",
+        "SignatureDoesNotMatch",
+    ])
+    def test_boto3_config_faults_are_permanent(self, code):
+        assert classify_boto3(FakeClientError(code)) == "permanent"
+
+    def test_boto3_connection_errors_match_by_type_name(self):
+        assert classify_boto3(EndpointConnectionError("down")) == "transient"
+
+    def test_boto3_unknown_codes_fall_back_to_default(self):
+        assert classify_boto3(FakeClientError("SomethingNew")) == "permanent"
+        assert classify_boto3(ConnectionError("raw")) == "transient"
+
+
+# ----------------------------------------------------------------------
+# ResilientBackend retry semantics (injected clocks, zero wall time)
+# ----------------------------------------------------------------------
+
+
+class TestResilientRetries:
+    def test_transient_faults_retry_and_heal(self):
+        backend = make_resilient(FaultSchedule(fail_first={"put_object": 2}))
+        backend.put_atomic("a.json", b"payload")  # 2 failures, then lands
+        assert backend.get("a.json") == b"payload"
+        stats = backend.stats()
+        assert stats["transient_errors"] == 2
+        assert stats["retries"] == 2
+        assert stats["exhausted"] == 0
+        assert stats["per_op"]["put_atomic"] == 1
+
+    def test_exhausted_retries_raise_unavailable(self):
+        backend = make_resilient(FaultSchedule(fail_first={"*": 999}),
+                                 max_attempts=3)
+        with pytest.raises(StoreUnavailableError) as info:
+            backend.get("a.json")
+        assert info.value.op == "get"
+        assert info.value.attempts == 3
+        assert backend.stats()["exhausted"] == 1
+
+    def test_permanent_fault_fails_fast_without_retry(self):
+        calls = []
+        schedule = FaultSchedule(fail_first={"*": 999}, kind="permanent")
+        inject = schedule.injector()
+
+        def counting(op, key):
+            calls.append(op)
+            inject(op, key)
+
+        client = FakeObjectStore(MemoryBucket(), error_injector=counting)
+        backend = ResilientBackend(
+            ObjectStoreBackend(client, url="mem://perm"), sleep=no_sleep
+        )
+        with pytest.raises(StorePermanentError):
+            backend.get("a.json")
+        assert len(calls) == 1, "permanent errors must not be retried"
+        stats = backend.stats()
+        assert stats["permanent_errors"] == 1
+        assert stats["transient_errors"] == 0
+
+    def test_op_timeout_bounds_the_retry_loop(self):
+        clock = {"now": 0.0}
+        backend = make_resilient(
+            FaultSchedule(fail_first={"*": 999}),
+            max_attempts=100,
+            op_timeout=1.0,
+            backoff=BackoffPolicy(base=0.5, cap=1.0, jitter=(1.0, 1.0)),
+            sleep=lambda s: clock.__setitem__("now", clock["now"] + s),
+            clock=lambda: clock["now"],
+            breaker=CircuitBreaker(threshold=10_000),
+        )
+        with pytest.raises(StoreUnavailableError) as info:
+            backend.get("a.json")
+        # 0.5s + 1.0s of backoff crosses the 1.0s budget on attempt 3 —
+        # far short of max_attempts: the deadline, not the count, stopped it.
+        assert info.value.attempts == 3
+
+    def test_unknown_attributes_delegate_to_inner(self):
+        backend = make_resilient()
+        assert backend.client is backend.inner.client  # driver extension
+        assert backend.url == backend.inner.url
+
+    def test_retried_conditional_put_converges(self):
+        # The injected fault fires before the bucket is touched, so the
+        # retry finds the key still absent and wins cleanly; a fault
+        # *after* a server-side win would report a lost race whose
+        # orphaned claim simply ages out by TTL — safe either way.
+        backend = make_resilient(
+            FaultSchedule(fail_first={"put_object": 1})
+        )
+        assert backend.try_claim_exclusive("k.claim", b"me") is True
+        assert backend.inner.exists("k.claim")
+        assert backend.stats()["transient_errors"] == 1
+
+
+class TestCircuitBreaker:
+    def make(self, threshold=3, reset_after=10.0):
+        clock = {"now": 0.0}
+        breaker = CircuitBreaker(threshold=threshold, reset_after=reset_after,
+                                 clock=lambda: clock["now"])
+        return breaker, clock
+
+    def test_opens_after_consecutive_failures(self):
+        breaker, _ = self.make(threshold=3)
+        for _ in range(3):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        breaker, _ = self.make(threshold=3)
+        for _ in range(10):  # failures interleaved with successes
+            breaker.record_failure()
+            breaker.record_failure()
+            breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker, clock = self.make(threshold=1, reset_after=5.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock["now"] = 6.0
+        assert breaker.allow(), "reset_after elapsed: probe admitted"
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert not breaker.allow(), "second caller must wait for the probe"
+
+    def test_probe_success_closes_probe_failure_reopens(self):
+        breaker, clock = self.make(threshold=1, reset_after=5.0)
+        breaker.record_failure()
+        clock["now"] = 6.0
+        assert breaker.allow()
+        breaker.record_failure()          # probe failed
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow(), "re-opened with a fresh window"
+        clock["now"] = 12.0
+        assert breaker.allow()
+        breaker.record_success()          # probe succeeded
+        assert breaker.state == CircuitBreaker.CLOSED
+        stats = breaker.stats()
+        assert stats["opens"] == 2
+        assert stats["half_opens"] == 2
+        assert stats["closes"] == 1
+
+    def test_open_breaker_fast_fails_without_touching_backend(self):
+        calls = []
+
+        def counting(op, key):
+            calls.append(op)
+            raise ConnectionError("down")
+
+        client = FakeObjectStore(MemoryBucket(), error_injector=counting)
+        backend = ResilientBackend(
+            ObjectStoreBackend(client, url="mem://breaker"),
+            max_attempts=2,
+            sleep=no_sleep,
+            breaker=CircuitBreaker(threshold=2, reset_after=60.0),
+        )
+        with pytest.raises(StoreUnavailableError):
+            backend.get("a.json")         # 2 attempts, opens the breaker
+        before = len(calls)
+        with pytest.raises(StoreUnavailableError) as info:
+            backend.get("b.json")         # fast-fail: no backend call
+        assert info.value.circuit_open
+        assert len(calls) == before
+        assert backend.stats()["breaker_fast_fails"] == 1
+
+
+# ----------------------------------------------------------------------
+# Fault schedules (the declarative chaos seam)
+# ----------------------------------------------------------------------
+
+
+class TestFaultSchedule:
+    def test_json_round_trip(self, tmp_path):
+        schedule = FaultSchedule(
+            fail_first={"get_object": 3, "*": 1},
+            brownouts=[(100.0, 200.0)],
+            throttle_rate=0.25,
+            seed=9,
+            kind="timeout",
+        )
+        path = schedule.dump(tmp_path / "faults.json")
+        assert FaultSchedule.load(path) == schedule
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultSchedule(kind="gremlins")
+
+    def test_brownout_window_fails_everything_then_clears(self):
+        clock = {"now": 0.0}
+        inject = FaultSchedule(brownouts=[(10.0, 20.0)]).injector(
+            clock=lambda: clock["now"]
+        )
+        inject("get_object", "k")             # before the window: clean
+        clock["now"] = 15.0
+        with pytest.raises(ConnectionError, match="brownout"):
+            inject("get_object", "k")
+        clock["now"] = 20.0                   # end is exclusive
+        inject("get_object", "k")
+
+    def test_throttle_rate_is_seeded_and_deterministic(self):
+        def outcomes(seed):
+            inject = FaultSchedule(throttle_rate=0.5, seed=seed).injector()
+            results = []
+            for _ in range(40):
+                try:
+                    inject("get_object", "k")
+                    results.append(True)
+                except ConnectionError:
+                    results.append(False)
+            return results
+
+        assert outcomes(3) == outcomes(3)
+        assert True in outcomes(3) and False in outcomes(3)
+
+    def test_env_schedule_attaches_to_resolved_fakes(self, tmp_path,
+                                                     monkeypatch):
+        path = FaultSchedule(fail_first={"get_object": 2}).dump(
+            tmp_path / "faults.json"
+        )
+        monkeypatch.setenv(FAULTS_ENV, str(path))
+        backend = resolve_backend(f"mem://env-faults-{tmp_path.name}")
+        assert isinstance(backend, ResilientBackend)
+        backend.put_atomic("a.json", b"v")
+        assert backend.get("a.json") == b"v"  # first-2 faults retried away
+        assert backend.stats()["transient_errors"] == 2
+
+    def test_kill_switch_resolves_raw_backends(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(RESILIENCE_ENV, "off")
+        backend = resolve_backend(f"mem://raw-{tmp_path.name}")
+        assert isinstance(backend, ObjectStoreBackend)
+        assert not isinstance(backend, ResilientBackend)
+
+
+# ----------------------------------------------------------------------
+# Boto3ObjectStore error mapping against a scripted S3 client
+# ----------------------------------------------------------------------
+
+
+class Body:
+    def __init__(self, data):
+        self._data = data
+
+    def read(self):
+        return self._data
+
+
+class ScriptedS3:
+    """Minimal boto3-shaped client: a scripted fault per call, in order.
+
+    ``script`` entries are error codes (raised as :class:`FakeClientError`),
+    an exception instance (raised as-is), or ``None`` (the call succeeds).
+    An exhausted script means success.
+    """
+
+    def __init__(self, script=(), objects=None):
+        self.script = list(script)
+        self.objects = dict(objects or {})
+        self.calls = 0
+
+    def _step(self):
+        self.calls += 1
+        if self.script:
+            fault = self.script.pop(0)
+            if isinstance(fault, BaseException):
+                raise fault
+            if fault is not None:
+                raise FakeClientError(fault)
+
+    def get_object(self, Bucket, Key):
+        self._step()
+        if Key not in self.objects:
+            raise FakeClientError("NoSuchKey")
+        return {"Body": Body(self.objects[Key])}
+
+    def put_object(self, Bucket, Key, Body, **kwargs):
+        self._step()
+        self.objects[Key] = Body
+
+    def list_objects_v2(self, Bucket, Prefix="", **kwargs):
+        self._step()
+        keys = sorted(k for k in self.objects if k.startswith(Prefix))
+        return {"Contents": [{"Key": k} for k in keys], "IsTruncated": False}
+
+    def delete_object(self, Bucket, Key):
+        self._step()
+        self.objects.pop(Key, None)
+
+
+def resilient_s3(script, objects=None, **kwargs):
+    client = ScriptedS3(script, objects)
+    inner = ObjectStoreBackend(
+        Boto3ObjectStore("bucket", client=client), url="s3://bucket"
+    )
+    kwargs.setdefault("sleep", no_sleep)
+    kwargs.setdefault("backoff", BackoffPolicy(rng=random.Random(1)))
+    return ResilientBackend(inner, classify=classify_boto3, **kwargs), client
+
+
+class TestBoto3Classification:
+    def test_throttles_are_retried_to_success(self):
+        backend, client = resilient_s3(
+            ["Throttling", "SlowDown"], objects={"k": b"value"}
+        )
+        assert backend.get("k") == b"value"
+        assert client.calls == 3
+        assert backend.stats()["transient_errors"] == 2
+
+    def test_5xx_and_connection_errors_are_retried(self):
+        backend, client = resilient_s3(
+            ["InternalError", "503", EndpointConnectionError("down")],
+            objects={"k": b"value"},
+        )
+        assert backend.get("k") == b"value"
+        assert client.calls == 4
+
+    def test_access_denied_fails_fast_no_retry_storm(self):
+        backend, client = resilient_s3(["AccessDenied"] * 50)
+        with pytest.raises(StorePermanentError):
+            backend.get("k")
+        assert client.calls == 1
+
+    def test_no_such_bucket_fails_fast_on_list(self):
+        backend, client = resilient_s3(["NoSuchBucket"] * 50)
+        with pytest.raises(StorePermanentError):
+            backend.list()
+        assert client.calls == 1
+
+    def test_missing_key_is_a_clean_none_not_an_error(self):
+        backend, client = resilient_s3([])
+        assert backend.get("absent") is None
+        assert backend.stats()["permanent_errors"] == 0
+
+
+# ----------------------------------------------------------------------
+# ClaimHeartbeat outage survival (the satellite-1 fix)
+# ----------------------------------------------------------------------
+
+
+class FlakyRefreshStore:
+    """CellStore stand-in scripting ``refresh_claim`` outcomes."""
+
+    def __init__(self, outcomes):
+        self.outcomes = list(outcomes)  # exceptions, True, or False
+        self.calls = 0
+
+    def refresh_claim(self, kind, key, owner):
+        self.calls += 1
+        outcome = self.outcomes.pop(0) if self.outcomes else True
+        if isinstance(outcome, BaseException):
+            raise outcome
+        return outcome
+
+
+def run_heartbeat(store, duration=0.5):
+    beat = ClaimHeartbeat(store, "cell", "k", "me", interval=0.02)
+    with beat:
+        time.sleep(duration)
+    return beat
+
+
+class TestClaimHeartbeat:
+    def test_refresh_errors_do_not_kill_the_heartbeat(self):
+        store = FlakyRefreshStore([ConnectionError("blip")] * 3)
+        beat = run_heartbeat(store, duration=0.4)
+        assert beat.refresh_errors == 3
+        assert not beat.lost and not beat.failed
+        assert store.calls > 3, "heartbeat must keep refreshing after blips"
+
+    def test_permanent_refresh_failure_sets_failed(self):
+        store = FlakyRefreshStore([StorePermanentError("denied")])
+        beat = run_heartbeat(store, duration=0.2)
+        assert beat.failed and not beat.lost
+        assert store.calls == 1, "permanent rejection must stop the thread"
+
+    def test_lost_lease_still_detected(self):
+        store = FlakyRefreshStore([True, False])
+        beat = run_heartbeat(store, duration=0.2)
+        assert beat.lost and not beat.failed
+
+    def test_live_lease_restamped_after_real_outage(self):
+        """End-to-end over a real backend: a refresh outage must neither
+        kill the heartbeat nor silently expire the live lease — the lease
+        is re-stamped the moment the store recovers."""
+        failing = {"on": False}
+
+        def injector(op, key):
+            if failing["on"]:
+                raise ConnectionError("injected refresh outage")
+
+        backend = ObjectStoreBackend(
+            FakeObjectStore(MemoryBucket(), error_injector=injector),
+            url="mem://hb-outage",
+        )
+        store = CellStore(backend, lease_ttl=30.0)
+        assert store.try_claim("cell", "k1", "me")
+        claim = store.claim_name("cell", "k1")
+        with ClaimHeartbeat(store, "cell", "k1", "me", interval=0.05) as beat:
+            time.sleep(0.12)
+            failing["on"] = True
+            time.sleep(0.3)
+            failing["on"] = False
+            recovered_at = time.time()
+            time.sleep(0.3)
+        assert beat.refresh_errors >= 1
+        assert not beat.lost and not beat.failed
+        assert backend.mtime(claim) >= recovered_at - 0.25
+        # The lease is still exclusively ours.
+        assert not store.try_claim("cell", "k1", "intruder")
+
+
+# ----------------------------------------------------------------------
+# Worker outage grace
+# ----------------------------------------------------------------------
+
+#: Chaos grid: small enough for CI, big enough that a brownout window
+#: reliably overlaps live claim/execute/poll traffic from two workers.
+CHAOS_CFG = ExperimentConfig(
+    name="chaos-tiny",
+    size_factor=0.1,
+    datasets=("S5", "S6"),
+    n_splits=2,
+    n_repeats=2,
+    n_estimators=3,
+)
+
+_SERIAL_CACHE: dict = {}
+
+
+def chaos_plan(target):
+    units = dispatch.plan_grid(CHAOS_CFG, ["table2"])
+    dispatch.write_manifest(target, CHAOS_CFG, units)
+    return units
+
+
+def chaos_serial(units):
+    if "value" not in _SERIAL_CACHE:
+        _SERIAL_CACHE["value"] = ExperimentExecutor(
+            CHAOS_CFG, n_jobs=1, store=CellStore(None)
+        ).run([u.spec for u in units])
+    return _SERIAL_CACHE["value"]
+
+
+def assert_bit_parity(target, units):
+    store = CellStore(target, lease_ttl=2.0)
+    for unit, reference in zip(units, chaos_serial(units)):
+        loaded = store.get("cell", unit.key)
+        assert loaded is not None, f"missing cell {unit.key}"
+        assert reference.exactly_equal(loaded), f"parity broken: {unit.key}"
+    # A release that failed mid-brownout legitimately orphans its claim;
+    # that is not a leak — orphans age out by TTL.  Wait them out.
+    deadline = time.monotonic() + 10.0
+    while store.claim_names():
+        assert time.monotonic() < deadline, (
+            f"claims never aged out: {store.claim_names()}"
+        )
+        time.sleep(0.1)
+        store.reap_stale()
+    assert store.backend.stray_spools() == []
+
+
+class TestWorkerOutageGrace:
+    def test_outage_within_grace_is_survived_in_process(self, tmp_path):
+        """worker_loop rides out a brownout shorter than --outage-grace."""
+        bucket = f"fakes3://{tmp_path / 'bucket'}"
+        units = chaos_plan(bucket)
+        # The window is already open when the loop starts, so its very
+        # first store operation fails — no racing the (tiny) grid.
+        schedule = FaultSchedule(
+            brownouts=[(time.time() - 1.0, time.time() + 1.5)]
+        )
+        backend = resolve_backend(bucket)
+        backend.inner.client.error_injector = schedule.injector()
+        stats = worker.worker_loop(
+            backend, jobs=1, lease_ttl=2.0, poll=0.05,
+            max_idle=60.0, outage_grace=30.0, units=units,
+        )
+        # An outage can interrupt a round *after* its cell landed but
+        # before the counter ticked, so "computed" may undercount — the
+        # invariant is survival plus a complete, bit-identical grid.
+        assert 1 <= stats["computed"] <= len(units)
+        assert stats["outages"] + stats["heartbeat_retries"] >= 1 or \
+            stats["store_resilience"]["transient_errors"] >= 1
+        assert_bit_parity(bucket, units)
+
+    def test_outage_past_grace_raises_unavailable(self, tmp_path):
+        bucket = f"fakes3://{tmp_path / 'bucket'}"
+        chaos_plan(bucket)
+        backend = resolve_backend(bucket)
+        backend.inner.client.error_injector = FaultSchedule(
+            brownouts=[(0.0, float("inf"))]
+        ).injector()
+        with pytest.raises(StoreUnavailableError):
+            worker.worker_loop(
+                backend, jobs=1, lease_ttl=2.0, poll=0.02,
+                max_idle=60.0, outage_grace=0.5,
+            )
+
+    def test_permanent_error_escapes_immediately(self, tmp_path):
+        bucket = f"fakes3://{tmp_path / 'bucket'}"
+        chaos_plan(bucket)
+        backend = resolve_backend(bucket)
+        backend.inner.client.error_injector = FaultSchedule(
+            fail_first={"*": 9999}, kind="permanent"
+        ).injector()
+        started = time.monotonic()
+        with pytest.raises(StorePermanentError):
+            worker.worker_loop(
+                backend, jobs=1, lease_ttl=2.0, poll=0.02,
+                max_idle=60.0, outage_grace=60.0,
+            )
+        assert time.monotonic() - started < 10.0, \
+            "permanent errors must not wait out the grace window"
+
+
+# ----------------------------------------------------------------------
+# Fleet supervision
+# ----------------------------------------------------------------------
+
+
+def crash_once_command(flag_path, crash_code=17):
+    """argv for a process that crashes on first run, succeeds after."""
+    script = (
+        "import os, sys\n"
+        f"flag = {str(flag_path)!r}\n"
+        "if not os.path.exists(flag):\n"
+        "    open(flag, 'w').close()\n"
+        f"    sys.exit({crash_code})\n"
+        "sys.exit(0)\n"
+    )
+    return [sys.executable, "-c", script]
+
+
+def drive_to_completion(supervisor, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    supervisor.poll()
+    while not supervisor.fleet_dead():
+        assert time.monotonic() < deadline, "fleet never settled"
+        time.sleep(0.02)
+        supervisor.poll()
+
+
+FAST_RESTARTS = BackoffPolicy(base=0.05, cap=0.1, jitter=(1.0, 1.0))
+
+
+class TestFleetSupervisor:
+    def test_crashed_worker_is_restarted_with_original_command(self, tmp_path):
+        supervisor = dispatch.FleetSupervisor(
+            [crash_once_command(tmp_path / "flag")],
+            max_restarts=2, backoff=FAST_RESTARTS,
+        )
+        supervisor.start()
+        drive_to_completion(supervisor)
+        (entry,) = supervisor.summary()
+        assert entry["restarts"] == 1
+        assert entry["exit_codes"] == [17, 0]
+        assert not entry["gave_up"]
+
+    def test_max_restarts_caps_a_crash_loop(self):
+        always_crash = [sys.executable, "-c", "import sys; sys.exit(9)"]
+        supervisor = dispatch.FleetSupervisor(
+            [always_crash], max_restarts=2, backoff=FAST_RESTARTS,
+        )
+        supervisor.start()
+        drive_to_completion(supervisor)
+        (entry,) = supervisor.summary()
+        assert entry["restarts"] == 2
+        assert entry["exit_codes"] == [9, 9, 9]
+        assert entry["gave_up"]
+
+    def test_permanent_store_exit_is_never_restarted(self):
+        fatal = [sys.executable, "-c", "import sys; sys.exit(2)"]
+        supervisor = dispatch.FleetSupervisor(
+            [fatal], max_restarts=5, backoff=FAST_RESTARTS,
+        )
+        supervisor.start()
+        drive_to_completion(supervisor)
+        (entry,) = supervisor.summary()
+        assert entry["restarts"] == 0
+        assert entry["exit_codes"] == [2]
+        assert entry["gave_up"]
+
+    def test_benign_exits_are_not_restarted(self):
+        done = [sys.executable, "-c", "import sys; sys.exit(0)"]
+        idle = [sys.executable, "-c", "import sys; sys.exit(3)"]
+        supervisor = dispatch.FleetSupervisor(
+            [done, idle], max_restarts=5, backoff=FAST_RESTARTS,
+        )
+        supervisor.start()
+        drive_to_completion(supervisor)
+        first, second = supervisor.summary()
+        assert first["exit_codes"] == [0] and first["restarts"] == 0
+        assert second["exit_codes"] == [3] and second["restarts"] == 0
+        assert not first["gave_up"] and not second["gave_up"]
+
+    def test_terminate_cancels_pending_restarts(self):
+        crash = [sys.executable, "-c", "import sys; sys.exit(9)"]
+        supervisor = dispatch.FleetSupervisor(
+            [crash], max_restarts=5,
+            backoff=BackoffPolicy(base=30.0, cap=30.0, jitter=(1.0, 1.0)),
+        )
+        supervisor.start()
+        deadline = time.monotonic() + 10.0
+        while supervisor.total_restarts() == 0:
+            supervisor.poll()
+            (entry,) = supervisor.summary()
+            if entry["exit_codes"]:
+                break  # crash observed, restart scheduled 30s out
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        supervisor.terminate()
+        assert supervisor.fleet_dead()
+        assert supervisor.total_restarts() == 0
+
+
+# ----------------------------------------------------------------------
+# End-to-end chaos: the acceptance scenarios
+# ----------------------------------------------------------------------
+
+
+def spawn_chaos_worker(target, faults_path=None, *extra):
+    env = worker_env()
+    if faults_path is not None:
+        env[FAULTS_ENV] = str(faults_path)
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.experiments.worker",
+         "--store", str(target), "--ttl", "2.0", "--poll", "0.05",
+         "--outage-grace", "45", "--max-idle", "30", *extra],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+
+
+def worker_stats(output: str) -> dict:
+    """The final-line JSON stats a worker prints on clean exit."""
+    lines = [l for l in output.strip().splitlines() if l.strip()]
+    return json.loads(lines[-1])
+
+
+class TestChaosEndToEnd:
+    def test_grid_under_brownout_is_bit_identical_with_zero_deaths(
+        self, tmp_path
+    ):
+        """Acceptance: a two-worker fakes3 fleet rides out a timed store
+        brownout — every worker survives to exit 0 and the store is
+        bit-identical to serial."""
+        target = f"fakes3://{tmp_path / 'bucket'}"
+        units = chaos_plan(target)
+        # Two fault sources compose: a brownout window that opens before
+        # the workers boot (their first store traffic lands inside it on
+        # any normally-loaded machine), plus fail-first-K faults whose
+        # process-local counters guarantee *each* worker weathers
+        # transient errors even if a pathologically slow boot misses the
+        # window entirely — the weathering assertion below never races
+        # the wall clock.  --outage-grace comfortably covers the window.
+        schedule = FaultSchedule(
+            fail_first={"*": 3},
+            brownouts=[(time.time() - 1.0, time.time() + 6.0)],
+        )
+        faults = schedule.dump(tmp_path / "faults.json")
+        workers = [
+            spawn_chaos_worker(target, faults, "--claim-order", order)
+            for order in ("sorted", "reversed")
+        ]
+        outputs = []
+        for process in workers:
+            out, _ = process.communicate(timeout=300)
+            outputs.append(out)
+            # "Zero deaths" means no crash/fatal/outage exit.  0 is the
+            # normal finish; 3 is the benign straggler case — a worker
+            # that booted slowly enough (loaded CI machine) that its
+            # peer finished the grid and pruned the manifests first.
+            assert process.returncode in (0, 3), out
+        assert_bit_parity(target, units)
+        stats = [worker_stats(out) for out in outputs]
+        weathered = sum(
+            s["outages"] + s["heartbeat_retries"]
+            + s.get("store_resilience", {}).get("transient_errors", 0)
+            for s in stats
+        )
+        assert weathered >= 1, (
+            "brownout window never intersected worker traffic:\n"
+            + "\n".join(outputs)
+        )
+
+    def test_supervisor_restarts_sigkilled_worker_and_grid_completes(
+        self, tmp_path
+    ):
+        """Acceptance: SIGKILL one worker of a supervised fleet mid-grid;
+        the supervisor restarts it and parity holds."""
+        target = f"fakes3://{tmp_path / 'bucket'}"
+        units = chaos_plan(target)
+        commands = [
+            dispatch.worker_command(
+                target, index, jobs=1, lease_ttl=2.0, stagger=3,
+                extra_args=["--poll", "0.05", "--max-idle", "60",
+                            "--outage-grace", "30"],
+            )
+            for index in range(2)
+        ]
+        events = []
+        supervisor = dispatch.FleetSupervisor(
+            commands, max_restarts=2, backoff=FAST_RESTARTS,
+            env=worker_env(), log=events.append,
+        )
+        supervisor.start()
+        store = CellStore(target, lease_ttl=2.0)
+        try:
+            deadline = time.monotonic() + 120
+            while not store.claim_names():
+                supervisor.poll()
+                assert not supervisor.fleet_dead(), "\n".join(events)
+                assert time.monotonic() < deadline, "no worker ever claimed"
+                time.sleep(0.005)
+            victim = supervisor.processes[0]
+            os.kill(victim.pid, signal.SIGKILL)
+            # Drive the supervisor until the restart is performed — a
+            # small grid can otherwise complete inside the backoff
+            # window and terminate() would cancel the pending respawn.
+            restart_deadline = time.monotonic() + 60.0
+            while supervisor.total_restarts() == 0:
+                assert time.monotonic() < restart_deadline, \
+                    "\n".join(events)
+                supervisor.poll()
+                time.sleep(0.02)
+
+            dispatch.wait_for_grid(
+                store, units, poll=0.05, timeout=240,
+                should_abort=lambda: (supervisor.poll(),
+                                      supervisor.fleet_dead())[1],
+            )
+        finally:
+            supervisor.terminate()
+        assert supervisor.total_restarts() >= 1, "\n".join(events)
+        summary = supervisor.summary()
+        assert any(-signal.SIGKILL in s["exit_codes"] for s in summary)
+        assert not any(s["gave_up"] for s in summary), "\n".join(events)
+        assert_bit_parity(target, units)
