@@ -48,7 +48,7 @@ from repro.experiments import dispatch
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.executor import ExperimentExecutor
 from repro.experiments.resilience import FAULTS_ENV, FaultSchedule
-from repro.experiments.store import CellStore
+from repro.experiments.store import CellStore, default_store_codec
 
 OUTPUT_DIR = Path(__file__).parent / "output"
 
@@ -68,12 +68,13 @@ SMOKE = ExperimentConfig(
 CHAOS_TTL = 3.0
 
 
-def _run_fleet(target, units, n_workers, jobs, timeout):
+def _run_fleet(target, units, n_workers, jobs, timeout, extra_args=()):
     """Plain fleet: spawn, wait, return (wall_seconds, chaos_record)."""
     start = time.perf_counter()
     fleet = dispatch.spawn_workers(
         target, n_workers, jobs=jobs,
         stagger=max(1, len(units) // n_workers),
+        extra_args=list(extra_args),
     )
     exit_codes = [p.wait(timeout=timeout) for p in fleet]
     wall = time.perf_counter() - start
@@ -81,6 +82,65 @@ def _run_fleet(target, units, n_workers, jobs, timeout):
         f"worker exit codes: {exit_codes}"
     )
     return wall, {}
+
+
+def _run_fleet_elastic(target, units, jobs, timeout, extra_args=()):
+    """Elastic supervised fleet: start at one worker, let queue depth
+    scale the fleet, and let lru work-stealing drain the tail.
+
+    Pass conditions layered on top of parity: the supervisor provably
+    scaled up at least once (the 12-cell grid is deep enough to pull in
+    the whole allowed range), and every exit is benign — a finished
+    worker (0/3) or a retirement/terminate SIGTERM the supervisor itself
+    delivered.  Claims orphaned by a mid-compute retirement age out by
+    the short lease TTL and are stolen by survivors — that is the
+    "stragglers never serialise the tail" property under test.
+    """
+    def command_for(index: int) -> list[str]:
+        return dispatch.worker_command(
+            target, index, jobs=jobs, lease_ttl=CHAOS_TTL,
+            claim_order="lru",
+            extra_args=["--poll", "0.1", "--max-idle", "120",
+                        *extra_args],
+        )
+
+    supervisor = dispatch.FleetSupervisor(
+        [command_for(0)], max_restarts=2,
+        command_factory=command_for,
+        min_workers=1, max_workers=3, scale_threshold=2,
+        log=lambda message: print(f"[elastic] {message}", flush=True),
+    )
+    store = CellStore(target, lease_ttl=CHAOS_TTL)
+    start = time.perf_counter()
+    supervisor.start()
+    try:
+        def fleet_dead() -> bool:
+            supervisor.poll()
+            return supervisor.fleet_dead()
+
+        dispatch.wait_for_grid(
+            store, units, poll=0.2, timeout=timeout,
+            should_abort=fleet_dead,
+            on_poll=lambda remaining: supervisor.autoscale(len(remaining)),
+        )
+    finally:
+        supervisor.terminate()
+    wall = time.perf_counter() - start
+
+    summary = supervisor.summary()
+    allowed = {0, 3, -signal.SIGTERM}
+    unexpected = [
+        code for entry in summary for code in entry["exit_codes"]
+        if code not in allowed
+    ]
+    assert not unexpected, f"unexpected worker deaths: {summary}"
+    assert supervisor.scale_ups >= 1, f"fleet never scaled up: {summary}"
+    return wall, {
+        "elastic": True,
+        "scale_ups": supervisor.scale_ups,
+        "scale_downs": supervisor.scale_downs,
+        "worker_exit_codes": [entry["exit_codes"] for entry in summary],
+    }
 
 
 def _run_fleet_chaos(target, units, n_workers, jobs, timeout, store_root):
@@ -167,24 +227,33 @@ def _run_fleet_chaos(target, units, n_workers, jobs, timeout, store_root):
 
 
 def run_smoke(n_workers: int = 2, jobs: int = 1, timeout: float = 600.0,
-              backend: str = "file", chaos: bool = False) -> dict:
+              backend: str = "file", chaos: bool = False,
+              elastic: bool = False, codec: str | None = None) -> dict:
     """One full distributed pass in a temp store; returns the record.
 
     ``backend`` is ``file`` (the historical directory store) or
     ``objectstore`` (a ``fakes3://`` bucket — the claim/lease protocol on
     conditional-put semantics); ``chaos`` layers the supervised
     fault-injection scenario on top (objectstore only — the fault seam
-    lives in the fake client).  Raises ``AssertionError`` on any
+    lives in the fake client); ``elastic`` runs a queue-depth-autoscaled
+    supervised fleet from a single starting worker instead of a fixed
+    one.  ``codec`` pins the fleet's payload compression (default: the
+    store's own default, zlib) — the record carries the stored-vs-raw
+    byte accounting either way, and any compressing codec must land at
+    ≤ 60% of the raw payload bytes.  Raises ``AssertionError`` on any
     contract violation (parity, leftover claims, leaked shared memory).
     """
     if chaos and backend != "objectstore":
         raise ValueError("--chaos needs --backend objectstore "
                          "(fault injection is an object-store seam)")
+    if chaos and elastic:
+        raise ValueError("--chaos and --elastic are separate scenarios")
     shm_before = set(glob.glob("/dev/shm/psm_*"))
     units = dispatch.plan_grid(SMOKE, ["table2"])
     serial = ExperimentExecutor(SMOKE, n_jobs=1, store=CellStore(None)).run(
         [u.spec for u in units]
     )
+    codec_args = ["--store-codec", codec] if codec else []
     with tempfile.TemporaryDirectory(prefix="dist-smoke-") as store_root:
         if backend == "objectstore":
             target = f"fakes3://{Path(store_root) / 'bucket'}"
@@ -197,10 +266,17 @@ def run_smoke(n_workers: int = 2, jobs: int = 1, timeout: float = 600.0,
             wall, extra = _run_fleet_chaos(
                 target, units, n_workers, jobs, timeout, store_root
             )
+        elif elastic:
+            wall, extra = _run_fleet_elastic(
+                target, units, jobs, timeout, extra_args=codec_args
+            )
         else:
-            wall, extra = _run_fleet(target, units, n_workers, jobs, timeout)
+            wall, extra = _run_fleet(
+                target, units, n_workers, jobs, timeout,
+                extra_args=codec_args,
+            )
 
-        store = CellStore(target, lease_ttl=CHAOS_TTL) if chaos \
+        store = CellStore(target, lease_ttl=CHAOS_TTL) if (chaos or elastic) \
             else CellStore(target)
         for unit, reference in zip(units, serial):
             loaded = store.get("cell", unit.key)
@@ -208,10 +284,11 @@ def run_smoke(n_workers: int = 2, jobs: int = 1, timeout: float = 600.0,
             assert reference.exactly_equal(loaded), (
                 f"distributed result differs from serial: {unit.key}"
             )
-        if chaos:
-            # Claims/spools orphaned by the SIGKILL (or a release that
-            # failed mid-brownout) are not leaks — they age out by TTL.
-            # Wait them out before holding the clean-store line.
+        if chaos or elastic:
+            # Claims/spools orphaned by the SIGKILL (chaos) or by a
+            # mid-compute retirement SIGTERM (elastic) are not leaks —
+            # they age out by TTL.  Wait them out before holding the
+            # clean-store line.
             reap_deadline = time.monotonic() + 4 * CHAOS_TTL
             while store.claim_names() or store.backend.stray_spools():
                 assert time.monotonic() < reap_deadline, (
@@ -228,6 +305,15 @@ def run_smoke(n_workers: int = 2, jobs: int = 1, timeout: float = 600.0,
         assert not stale, f"stale claims: {stale}"
         assert not tmp_files, f"torn spool files: {tmp_files}"
 
+        codec_report = store.codec_report()
+        effective_codec = (codec or default_store_codec()).lower()
+        if effective_codec != "none":
+            assert (codec_report["stored_bytes"]
+                    <= 0.6 * codec_report["raw_bytes"]), (
+                f"compressed store too large: {codec_report['stored_bytes']} "
+                f"stored vs {codec_report['raw_bytes']} raw bytes"
+            )
+
     leaked = set(glob.glob("/dev/shm/psm_*")) - shm_before
     assert not leaked, f"leaked shared-memory segments: {leaked}"
     return {
@@ -241,6 +327,10 @@ def run_smoke(n_workers: int = 2, jobs: int = 1, timeout: float = 600.0,
         "bit_identical": True,
         "leaked_segments": 0,
         "stale_claims": 0,
+        "store_codec": effective_codec,
+        "payload_bytes_stored": codec_report["stored_bytes"],
+        "payload_bytes_raw": codec_report["raw_bytes"],
+        "payload_entries_by_codec": codec_report["by_codec"],
         **extra,
     }
 
@@ -260,6 +350,15 @@ def test_two_workers_share_one_object_store_bit_identically():
     record = run_smoke(n_workers=2, backend="objectstore")
     assert record["bit_identical"]
     assert record["backend"] == "objectstore"
+    # The default codec compresses: the record proves the footprint win.
+    assert record["payload_bytes_stored"] <= 0.6 * record["payload_bytes_raw"]
+
+
+def test_elastic_fleet_scales_up_and_converges_bit_identically():
+    record = run_smoke(backend="objectstore", elastic=True)
+    assert record["bit_identical"]
+    assert record["scale_ups"] >= 1
+    assert record["stale_claims"] == 0
 
 
 # ----------------------------------------------------------------------
@@ -285,11 +384,19 @@ def main(argv=None) -> int:
                              "one SIGKILL; gates on parity, a successful "
                              "restart and zero unexpected worker deaths "
                              "(objectstore only)")
+    parser.add_argument("--elastic", action="store_true",
+                        help="autoscaled supervised fleet: start 1 worker, "
+                             "gate on an observed scale-up, lru work "
+                             "stealing, parity and a clean store")
+    parser.add_argument("--store-codec", default=None, metavar="CODEC",
+                        help="payload compression for the fleet "
+                             "(zlib | lzma | none; default zlib)")
     args = parser.parse_args(argv)
 
     record = run_smoke(
         n_workers=args.workers, jobs=args.jobs, timeout=args.timeout,
-        backend=args.backend, chaos=args.chaos,
+        backend=args.backend, chaos=args.chaos, elastic=args.elastic,
+        codec=args.store_codec,
     )
     survived = ""
     if args.chaos:
@@ -297,14 +404,27 @@ def main(argv=None) -> int:
             f", survived brownout + SIGKILL "
             f"({record['supervisor_restarts']} restart(s))"
         )
+    elif args.elastic:
+        survived = (
+            f", elastic fleet scaled up {record['scale_ups']}x / "
+            f"down {record['scale_downs']}x"
+        )
+    ratio = (record["payload_bytes_stored"]
+             / max(1, record["payload_bytes_raw"]))
     print(
         f"distributed smoke OK [{record['backend']}]: {record['n_cells']} "
         f"cells over {record['n_workers']} workers in "
         f"{record['wall_seconds']:.1f}s, bit-identical to serial, "
-        f"no leaked segments, no stale claims{survived}"
+        f"no leaked segments, no stale claims, "
+        f"{record['store_codec']} payloads at {ratio:.0%} of raw"
+        f"{survived}"
     )
     OUTPUT_DIR.mkdir(exist_ok=True)
-    suffix = "_chaos" if args.chaos else ""
+    suffix = "_chaos" if args.chaos else "_elastic" if args.elastic else ""
+    if args.store_codec:
+        # An explicit codec is its own CI scenario; keep its record
+        # distinct from the default-codec run's.
+        suffix += f"_{args.store_codec}"
     record_path = (
         OUTPUT_DIR / f"distributed_smoke_{record['backend']}{suffix}.json"
     )

@@ -165,6 +165,12 @@ def _cmd_bench(args) -> int:
         argv += ["--outage-grace", str(args.outage_grace)]
     if args.store:
         argv += ["--store", args.store]
+    if args.store_codec:
+        argv += ["--store-codec", args.store_codec]
+    if args.min_workers is not None:
+        argv += ["--min-workers", str(args.min_workers)]
+    if args.max_workers is not None:
+        argv += ["--max-workers", str(args.max_workers)]
     if args.timeout is not None:
         argv += ["--timeout", str(args.timeout)]
     return run_all_main(argv)
@@ -363,6 +369,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="shared cell store for distributed runs: a "
                               "directory or a file:// / mem:// / "
                               "fakes3:// / s3:// URL")
+    p_bench.add_argument("--store-codec", default=None, metavar="CODEC",
+                         help="cell-store payload compression "
+                              "(zlib | lzma | none; default: zlib)")
+    p_bench.add_argument("--min-workers", type=int, default=None,
+                         metavar="N",
+                         help="elastic fleet floor in --distributed mode "
+                              "(enables queue-depth autoscaling)")
+    p_bench.add_argument("--max-workers", type=int, default=None,
+                         metavar="N",
+                         help="elastic fleet ceiling (default: --workers)")
     p_bench.add_argument("--timeout", type=float, default=None, metavar="S",
                          help="fail a distributed wait after this long")
     p_bench.set_defaults(func=_cmd_bench)

@@ -53,6 +53,9 @@ against every backend):
    missing name return ``None`` (races against concurrent deletes must
    not raise).
 5. ``list`` reflects completed writes only (no spool/temp artifacts).
+6. ``list_page`` walks the same namespace as ``list`` in bounded pages:
+   every name appears exactly once across a token walk started from
+   ``None``, and the continuation token is opaque to callers.
 """
 
 from __future__ import annotations
@@ -63,6 +66,7 @@ import os
 import tempfile
 import threading
 import time
+from collections import Counter
 from pathlib import Path, PurePosixPath
 from typing import Callable
 
@@ -118,6 +122,35 @@ class StoreBackend(abc.ABC):
         filter server-side, so hot polling paths (manifest discovery)
         should always pass one rather than scan the whole store.
         """
+
+    #: Default page size for :meth:`list_page` (mirrors S3's 1000-key
+    #: ``MaxKeys`` ceiling).
+    DEFAULT_PAGE_LIMIT = 1000
+
+    def list_page(
+        self, prefix: str = "", token: str | None = None,
+        limit: int = DEFAULT_PAGE_LIMIT,
+    ) -> tuple[list[str], str | None]:
+        """One bounded page of :meth:`list`, with a continuation token.
+
+        Returns ``(names, next_token)``: up to ``limit`` sorted names,
+        plus an *opaque* token to pass back for the next page (``None``
+        when the walk is complete).  Polling paths should prefer this
+        over :meth:`list` so their cost per round trip stays bounded no
+        matter how many entries have landed in the store.  This default
+        pages over :meth:`list`; backends with a native paging primitive
+        (``os.scandir``, ``list_objects_v2``'s ``MaxKeys``) override it.
+
+        Entries created or deleted mid-walk may or may not appear — the
+        same snapshot looseness real object-store listings have; callers
+        already tolerate it (claims age by TTL, results are immutable).
+        """
+        names = self.list(prefix)
+        if token is not None:
+            names = [n for n in names if n > token]
+        page = names[:limit]
+        next_token = page[-1] if len(names) > len(page) else None
+        return page, next_token
 
     @abc.abstractmethod
     def try_claim_exclusive(self, name: str, data: bytes) -> bool:
@@ -252,22 +285,42 @@ class LocalFSBackend(StoreBackend):
     def delete(self, name: str) -> None:
         self.path(name).unlink(missing_ok=True)
 
-    def list(self, prefix: str = "") -> list[str]:
+    def _scan(self, prefix: str, token: str | None) -> list[str]:
+        """Sorted entry names via one ``os.scandir`` sweep (no per-name
+        ``stat``: the dirent's type field answers ``is_file``)."""
         if not self.root.exists():
             return []
-        return sorted(
-            p.name for p in self.root.iterdir()
-            if p.is_file() and not p.name.endswith(".tmp")
-            and p.name.startswith(prefix)
-        )
+        names = []
+        with os.scandir(self.root) as entries:
+            for entry in entries:
+                name = entry.name
+                if (entry.is_file() and not name.endswith(".tmp")
+                        and name.startswith(prefix)
+                        and (token is None or name > token)):
+                    names.append(name)
+        names.sort()
+        return names
+
+    def list(self, prefix: str = "") -> list[str]:
+        return self._scan(prefix, token=None)
+
+    def list_page(
+        self, prefix: str = "", token: str | None = None,
+        limit: int = StoreBackend.DEFAULT_PAGE_LIMIT,
+    ) -> tuple[list[str], str | None]:
+        names = self._scan(prefix, token)
+        page = names[:limit]
+        next_token = page[-1] if len(names) > len(page) else None
+        return page, next_token
 
     def stray_spools(self) -> list[str]:
         if not self.root.exists():
             return []
-        return sorted(
-            p.name for p in self.root.iterdir()
-            if p.is_file() and p.name.endswith(".tmp")
-        )
+        with os.scandir(self.root) as entries:
+            return sorted(
+                e.name for e in entries
+                if e.is_file() and e.name.endswith(".tmp")
+            )
 
     def try_claim_exclusive(self, name: str, data: bytes) -> bool:
         return _create_exclusive(self.path(name), data)
@@ -430,7 +483,12 @@ class FakeObjectStore:
       subprocesses pick up automatically from a schedule file named by
       ``REPRO_STORE_FAULTS`` (see :func:`resolve_backend`);
     * ``clock`` — the time source for ``last_modified`` metadata, so
-      lease-expiry tests advance time instead of sleeping.
+      lease-expiry tests advance time instead of sleeping;
+    * ``page_size`` — hard cap on keys per ``list_objects_page`` reply,
+      modelling a provider that truncates below the requested
+      ``max_keys`` (real S3 may return fewer keys than asked for);
+    * ``op_counts`` — a per-operation round-trip counter, so tests can
+      assert a polling loop's *cost*, not just its answers.
     """
 
     def __init__(
@@ -440,14 +498,19 @@ class FakeObjectStore:
         latency: float = 0.0,
         conflict_injector: Callable[[str], bool] | None = None,
         error_injector: Callable[[str, str], None] | None = None,
+        page_size: int | None = None,
     ):
         self.bucket = bucket if bucket is not None else MemoryBucket()
         self.clock = clock
         self.latency = latency
         self.conflict_injector = conflict_injector
         self.error_injector = error_injector
+        self.page_size = page_size
+        #: op name -> number of simulated round trips performed.
+        self.op_counts: Counter[str] = Counter()
 
     def _simulate_round_trip(self, op: str, key: str = "") -> None:
+        self.op_counts[op] += 1
         if self.error_injector is not None:
             self.error_injector(op, key)
         if self.latency > 0:
@@ -487,6 +550,26 @@ class FakeObjectStore:
     def list_objects(self, prefix: str = "") -> list[str]:
         self._simulate_round_trip("list_objects", prefix)
         return self.bucket.names(prefix)
+
+    def list_objects_page(
+        self, prefix: str = "", token: str | None = None,
+        max_keys: int = 1000,
+    ) -> tuple[list[str], str | None]:
+        """One truncated listing page, S3-style.
+
+        The continuation token is the last key of the previous page
+        (opaque to callers); ``page_size`` — when set — caps the reply
+        below ``max_keys``, modelling a provider that truncates harder
+        than asked.
+        """
+        self._simulate_round_trip("list_objects_page", prefix)
+        names = self.bucket.names(prefix)
+        if token is not None:
+            names = [n for n in names if n > token]
+        limit = max(1, min(max_keys, self.page_size or max_keys))
+        page = names[:limit]
+        next_token = page[-1] if len(names) > len(page) else None
+        return page, next_token
 
     def stray_spools(self) -> list[str]:
         """Orphaned write artifacts in the bucket (directory driver only).
@@ -544,10 +627,31 @@ class ObjectStoreBackend(StoreBackend):
         self.client.delete_object(self._key(name))
 
     def list(self, prefix: str = "") -> list[str]:
+        # A foreign key sharing the bucket (another application's object,
+        # a partial prefix match like "grids/run-10/…" vs "grids/run-1")
+        # must be filtered out, not blindly sliced into a mangled name.
         base = f"{self.prefix}/" if self.prefix else ""
         return sorted(
             key[len(base):] for key in self.client.list_objects(base + prefix)
+            if key.startswith(base + prefix)
         )
+
+    def list_page(
+        self, prefix: str = "", token: str | None = None,
+        limit: int = StoreBackend.DEFAULT_PAGE_LIMIT,
+    ) -> tuple[list[str], str | None]:
+        pager = getattr(self.client, "list_objects_page", None)
+        if pager is None:
+            # Clients without a native paging call (minimal adapters)
+            # fall back to slicing the full listing.
+            return super().list_page(prefix, token, limit)
+        base = f"{self.prefix}/" if self.prefix else ""
+        keys, next_token = pager(base + prefix, token, limit)
+        names = sorted(
+            key[len(base):] for key in keys
+            if key.startswith(base + prefix)
+        )
+        return names, next_token
 
     def stray_spools(self) -> list[str]:
         """Orphaned write artifacts, when the client can surface them.
@@ -639,18 +743,32 @@ class Boto3ObjectStore:
     def delete_object(self, key: str) -> None:
         self._s3.delete_object(Bucket=self.bucket, Key=key)
 
+    def list_objects_page(
+        self, prefix: str = "", token: str | None = None,
+        max_keys: int = 1000,
+    ) -> tuple[list[str], str | None]:
+        """One ``list_objects_v2`` call: ``MaxKeys`` bounds the reply,
+        S3's own ``NextContinuationToken`` is the (opaque) token."""
+        kwargs = {"Bucket": self.bucket, "Prefix": prefix,
+                  "MaxKeys": int(max_keys)}
+        if token:
+            kwargs["ContinuationToken"] = token
+        page = self._s3.list_objects_v2(**kwargs)
+        keys = [item["Key"] for item in page.get("Contents", [])]
+        next_token = (
+            page.get("NextContinuationToken") if page.get("IsTruncated")
+            else None
+        )
+        return keys, next_token
+
     def list_objects(self, prefix: str = "") -> list[str]:
         keys: list[str] = []
         token: str | None = None
         while True:
-            kwargs = {"Bucket": self.bucket, "Prefix": prefix}
-            if token:
-                kwargs["ContinuationToken"] = token
-            page = self._s3.list_objects_v2(**kwargs)
-            keys.extend(item["Key"] for item in page.get("Contents", []))
-            if not page.get("IsTruncated"):
+            page, token = self.list_objects_page(prefix, token)
+            keys.extend(page)
+            if token is None:
                 return keys
-            token = page.get("NextContinuationToken")
 
 
 # ----------------------------------------------------------------------

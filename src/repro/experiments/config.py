@@ -53,6 +53,12 @@ class ExperimentConfig:
         shipped in work manifests (see :meth:`to_dict`).  Explicit
         ``--store/--store-url`` flags, ``REPRO_CELLSTORE_DIR`` and the
         ``REPRO_CELLSTORE=off`` kill switch take precedence.
+    store_codec:
+        Optional default payload-compression codec for this profile
+        (``zlib | lzma | none``).  Deployment configuration like
+        ``store_url`` — excluded from :meth:`to_dict` for the same
+        reasons; the ``--store-codec`` flag and ``REPRO_STORE_CODEC``
+        take precedence.
     """
 
     name: str
@@ -66,6 +72,7 @@ class ExperimentConfig:
     noise_ratios: tuple[float, ...] = (0.05, 0.10, 0.20, 0.30, 0.40)
     rho_grid: tuple[int, ...] = (3, 5, 7, 9, 11, 13, 15, 17, 19)
     store_url: str | None = None
+    store_codec: str | None = None
 
     def scaled(self, **changes) -> "ExperimentConfig":
         """Copy with selected fields replaced."""
@@ -83,6 +90,7 @@ class ExperimentConfig:
         """
         payload = asdict(self)
         payload.pop("store_url", None)
+        payload.pop("store_codec", None)
         for field_name in ("datasets", "noise_ratios", "rho_grid"):
             payload[field_name] = list(payload[field_name])
         return payload

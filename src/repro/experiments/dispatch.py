@@ -230,12 +230,16 @@ _MANIFEST_CACHE: dict[tuple[str, str], tuple[float, list[WorkUnit]]] = {}
 
 
 def _manifest_names(backend: StoreBackend) -> list[str]:
-    # Prefix-filtered: workers poll this every round, and object stores
-    # list server-side — never scan the whole store for a few manifests.
-    return [
-        n for n in backend.list(prefix="plan-")
-        if n.endswith(MANIFEST_SUFFIX)
-    ]
+    # Prefix-filtered and paginated: workers poll this every round, and
+    # object stores list server-side in bounded pages — never scan the
+    # whole store (or hold an unbounded listing) for a few manifests.
+    names: list[str] = []
+    token = None
+    while True:
+        page, token = backend.list_page(prefix="plan-", token=token)
+        names.extend(n for n in page if n.endswith(MANIFEST_SUFFIX))
+        if token is None:
+            return names
 
 
 def _parse_manifest(backend: StoreBackend, name: str) -> list[WorkUnit] | None:
@@ -346,6 +350,7 @@ def wait_for_grid(
     timeout: float | None = None,
     should_abort=None,
     on_progress=None,
+    on_poll=None,
 ) -> None:
     """Block until every unit's result is in the store.
 
@@ -353,7 +358,10 @@ def wait_for_grid(
     return raises ``RuntimeError`` — the coordinator passes a "did every
     spawned worker die?" probe so a crashed fleet fails fast instead of
     hanging on an empty queue.  ``on_progress(done, total)`` fires
-    whenever the completed count changes.
+    whenever the completed count changes.  ``on_poll(remaining)`` fires
+    every poll round with the still-pending units — the elastic
+    coordinator feeds this queue depth to
+    :meth:`FleetSupervisor.autoscale`.
     """
     deadline = None if timeout is None else time.monotonic() + timeout
     total = len(units)
@@ -364,6 +372,8 @@ def wait_for_grid(
         if done != last_done and on_progress is not None:
             on_progress(done, total)
             last_done = done
+        if on_poll is not None:
+            on_poll(remaining)
         if not remaining:
             return
         if should_abort is not None and should_abort():
@@ -462,6 +472,7 @@ class _WorkerSlot:
     exit_codes: list[int] = field(default_factory=list)
     restart_at: float | None = None
     gave_up: bool = False
+    retired: bool = False
 
 
 class FleetSupervisor:
@@ -490,6 +501,17 @@ class FleetSupervisor:
     per-worker status block for the final report.  Restarts never spawn
     *extra* workers — one process per slot, always — so claim-owner
     cardinality stays bounded by the requested fleet size.
+
+    **Elasticity.**  With a ``command_factory`` the fleet autoscales:
+    the coordinator feeds pending-queue depth to :meth:`autoscale`,
+    which spawns a new slot while depth exceeds ``scale_threshold``
+    cells per active worker (up to ``max_workers``) and retires the
+    newest slots (SIGTERM; exit recorded as retirement, never
+    restarted) when the queue drains below the threshold (down to
+    ``min_workers``).  A retired worker's orphaned claims simply age
+    out by lease TTL and are stolen by survivors — claims are an
+    efficiency device, never a correctness one, so scaling down
+    mid-grid cannot lose results.
     """
 
     BENIGN_EXITS = frozenset({0, 3})
@@ -503,6 +525,10 @@ class FleetSupervisor:
         env: dict | None = None,
         clock=time.monotonic,
         log=None,
+        command_factory=None,
+        min_workers: int | None = None,
+        max_workers: int | None = None,
+        scale_threshold: int = 4,
     ):
         self._slots = [
             _WorkerSlot(index=i, command=list(cmd))
@@ -518,6 +544,15 @@ class FleetSupervisor:
             self._env.update({k: str(v) for k, v in env.items()})
         self._clock = clock
         self._log = log or (lambda message: None)
+        self._command_factory = command_factory
+        self.min_workers = max(1, int(min_workers if min_workers is not None
+                                      else len(self._slots)))
+        self.max_workers = max(self.min_workers,
+                               int(max_workers if max_workers is not None
+                                   else len(self._slots)))
+        self.scale_threshold = max(1, int(scale_threshold))
+        self.scale_ups = 0
+        self.scale_downs = 0
 
     def start(self) -> None:
         for slot in self._slots:
@@ -534,7 +569,11 @@ class FleetSupervisor:
                     continue
                 slot.process = None
                 slot.exit_codes.append(code)
-                if code in self.BENIGN_EXITS:
+                if slot.retired:
+                    # An asked-for exit (scale-down SIGTERM usually lands
+                    # as a signal death) — never restarted.
+                    self._log(f"worker {slot.index} retired (exit {code})")
+                elif code in self.BENIGN_EXITS:
                     self._log(f"worker {slot.index} finished (exit {code})")
                 elif code in self.FATAL_EXITS:
                     slot.gave_up = True
@@ -563,6 +602,59 @@ class FleetSupervisor:
                 self._log(
                     f"worker {slot.index} restarted "
                     f"(pid {slot.process.pid}, restart {slot.restarts})"
+                )
+
+    def _active_slots(self) -> list[_WorkerSlot]:
+        """Slots still participating: running, or with a restart pending."""
+        return [
+            s for s in self._slots
+            if not s.gave_up and not s.retired
+            and ((s.process is not None and s.process.poll() is None)
+                 or s.restart_at is not None)
+        ]
+
+    def autoscale(self, pending: int) -> None:
+        """Resize the fleet to the queue depth (no-op on fixed fleets).
+
+        Desired size is one worker per ``scale_threshold`` pending
+        cells, clamped to ``[min_workers, max_workers]``.  Scaling up
+        appends fresh slots from ``command_factory``; scaling down
+        SIGTERMs the *newest* active slots (their exits are recorded as
+        retirements by :meth:`poll`, never restarted).  Call after
+        :meth:`poll` so freshly-dead slots are not counted active.
+        """
+        if self._command_factory is None:
+            return
+        active = self._active_slots()
+        desired = -(-int(pending) // self.scale_threshold)  # ceil division
+        desired = max(self.min_workers, min(self.max_workers, desired))
+        if pending <= 0 and len(active) < desired:
+            # A drained queue never spawns: workers that already exited
+            # benignly (grid done) must not be replaced at shutdown.
+            desired = len(active)
+        if len(active) < desired:
+            for _ in range(desired - len(active)):
+                index = len(self._slots)
+                slot = _WorkerSlot(
+                    index=index, command=list(self._command_factory(index))
+                )
+                self._slots.append(slot)
+                slot.process = subprocess.Popen(slot.command, env=self._env)
+                self.scale_ups += 1
+                self._log(
+                    f"scaled up: worker {index} started "
+                    f"(pid {slot.process.pid}; {pending} cells pending)"
+                )
+        elif len(active) > desired:
+            for slot in reversed(active[desired - len(active):]):
+                slot.retired = True
+                slot.restart_at = None
+                if slot.process is not None and slot.process.poll() is None:
+                    slot.process.terminate()
+                self.scale_downs += 1
+                self._log(
+                    f"scaling down: worker {slot.index} retiring "
+                    f"({pending} cells pending)"
                 )
 
     @property
@@ -619,5 +711,6 @@ class FleetSupervisor:
                 "exit_codes": list(slot.exit_codes),
                 "running": running,
                 "gave_up": slot.gave_up,
+                "retired": slot.retired,
             })
         return report

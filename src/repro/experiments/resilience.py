@@ -431,6 +431,14 @@ class ResilientBackend(StoreBackend):
     def list(self, prefix: str = "") -> list[str]:
         return self._call("list", lambda: self.inner.list(prefix))
 
+    def list_page(self, prefix: str = "", token: str | None = None,
+                  limit: int = StoreBackend.DEFAULT_PAGE_LIMIT):
+        # A retried page is safe: tokens are stateless on the backend
+        # side, so re-fetching the same page merely re-reads names.
+        return self._call(
+            "list_page", lambda: self.inner.list_page(prefix, token, limit)
+        )
+
     def try_claim_exclusive(self, name: str, data: bytes) -> bool:
         # Retried conditional puts can mis-report a lost race when the
         # first attempt won but its response was lost in transit; the

@@ -142,14 +142,43 @@ def _coordinate(args, cfg, selected: list[str]) -> None:
     def log(message: str) -> None:
         print(f"[distributed] {message}", flush=True)
 
+    extra_args = ["--outage-grace", str(args.outage_grace)]
+    if args.store_codec:
+        extra_args += ["--store-codec", args.store_codec]
+
     supervisor = None
-    if not args.workers_external:
+    elastic = args.min_workers is not None or args.max_workers is not None
+    if args.workers_external:
+        print(f"[distributed] waiting for external workers on {store.url}")
+    elif elastic:
+        # Elastic fleet: start at the floor, let queue depth pull in more
+        # workers.  The lru claim order makes late joiners steal the
+        # least-recently-attempted cells instead of queueing behind a
+        # straggler's fixed permutation.
+        min_workers = max(1, args.min_workers or 1)
+        max_workers = max(min_workers, args.max_workers or args.workers)
+
+        def command_for(index: int) -> list[str]:
+            return dispatch.worker_command(
+                store.url, index, jobs=args.jobs, claim_order="lru",
+                extra_args=extra_args,
+            )
+
+        supervisor = dispatch.FleetSupervisor(
+            [command_for(index) for index in range(min_workers)],
+            max_restarts=args.max_restarts, log=log,
+            command_factory=command_for,
+            min_workers=min_workers, max_workers=max_workers,
+            scale_threshold=args.scale_threshold,
+        )
+        supervisor.start()
+    else:
         n_workers = max(1, args.workers)
         stagger = max(1, len(units) // n_workers)
         commands = [
             dispatch.worker_command(
                 store.url, index, jobs=args.jobs, stagger=stagger,
-                extra_args=["--outage-grace", str(args.outage_grace)],
+                extra_args=extra_args,
             )
             for index in range(n_workers)
         ]
@@ -157,8 +186,6 @@ def _coordinate(args, cfg, selected: list[str]) -> None:
             commands, max_restarts=args.max_restarts, log=log
         )
         supervisor.start()
-    else:
-        print(f"[distributed] waiting for external workers on {store.url}")
 
     def fleet_dead() -> bool:
         # poll() first: a freshly-died worker gets its exit logged and
@@ -167,6 +194,10 @@ def _coordinate(args, cfg, selected: list[str]) -> None:
             return False
         supervisor.poll()
         return supervisor.fleet_dead()
+
+    def on_poll(remaining) -> None:
+        if supervisor is not None:
+            supervisor.autoscale(len(remaining))
 
     try:
         dispatch.wait_for_grid(
@@ -178,6 +209,7 @@ def _coordinate(args, cfg, selected: list[str]) -> None:
             on_progress=lambda done, total: print(
                 f"[distributed] {done}/{total} cells done", flush=True
             ),
+            on_poll=on_poll,
         )
         # Consumed manifests must not linger: workers joining this store
         # later would adopt them as part of their exit condition.
@@ -185,9 +217,17 @@ def _coordinate(args, cfg, selected: list[str]) -> None:
     finally:
         if supervisor is not None:
             supervisor.terminate()
+            if supervisor.scale_ups or supervisor.scale_downs:
+                log(f"fleet scaled up {supervisor.scale_ups}x, "
+                    f"down {supervisor.scale_downs}x")
             for entry in supervisor.summary():
                 codes = ",".join(str(c) for c in entry["exit_codes"]) or "-"
-                status = "gave up" if entry["gave_up"] else "stopped"
+                if entry["gave_up"]:
+                    status = "gave up"
+                elif entry["retired"]:
+                    status = "retired"
+                else:
+                    status = "stopped"
                 log(f"worker {entry['worker']}: {status}, "
                     f"restarts={entry['restarts']}, exits=[{codes}]")
 
@@ -213,6 +253,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workers-external", action="store_true",
                         help="distributed, but launch no workers: wait for "
                              "externally started ones sharing --store")
+    parser.add_argument("--min-workers", type=int, default=None, metavar="N",
+                        help="elastic fleet floor: start this many workers "
+                             "and let queue depth scale the fleet up to "
+                             "--max-workers (enables autoscaling)")
+    parser.add_argument("--max-workers", type=int, default=None, metavar="N",
+                        help="elastic fleet ceiling (default: --workers)")
+    parser.add_argument("--scale-threshold", type=int, default=4, metavar="N",
+                        help="pending cells per worker before the "
+                             "autoscaler adds another (default: 4)")
+    parser.add_argument("--store-codec", default=None, metavar="CODEC",
+                        help="payload compression codec (zlib | lzma | "
+                             "none; default: $REPRO_STORE_CODEC or zlib); "
+                             "passed through to spawned workers")
     parser.add_argument("--max-restarts", type=int, default=2, metavar="N",
                         help="restarts per crashed worker slot before the "
                              "supervisor gives up on it (default: 2)")
@@ -247,16 +300,25 @@ def main(argv: list[str] | None = None) -> int:
     from repro.experiments.store import cellstore_disabled
 
     cellstore_off = cellstore_disabled()
+    # Codec precedence mirrors the store-target one: explicit flag, then
+    # the environment (inside CellStore), then the profile default.
+    codec = args.store_codec or (
+        cfg.store_codec if not os.environ.get("REPRO_STORE_CODEC") else None
+    )
     if args.store:
-        configure_store(root=args.store, persist=not args.no_cache)
+        configure_store(root=args.store, persist=not args.no_cache,
+                        codec=codec)
     elif (cfg.store_url and not os.environ.get("REPRO_CELLSTORE_DIR")
           and not cellstore_off):
         # Profile-level default store; explicit flags and the environment
         # — including the REPRO_CELLSTORE=off kill switch — override it
         # (it is deployment config, not an experiment knob).
-        configure_store(root=cfg.store_url, persist=not args.no_cache)
+        configure_store(root=cfg.store_url, persist=not args.no_cache,
+                        codec=codec)
     elif args.no_cache:
         configure_store(persist=False)
+    elif codec:
+        configure_store(codec=codec)
     # In distributed mode grid experiments become pure store hits after
     # the wait, so --jobs only matters for the locally-computed rest
     # (ablations, fig5/6) — pass it through either way.

@@ -68,6 +68,7 @@ def configure_store(
     root: str | None | object = ...,
     persist: bool | None = None,
     store: CellStore | None = None,
+    codec: str | None = None,
 ) -> CellStore:
     """Replace or adjust the process-wide store.
 
@@ -76,16 +77,23 @@ def configure_store(
     a directory, a ``file:// | mem:// | fakes3:// | s3://`` store URL or
     ``None`` for memory-only; ``configure_store(persist=False)`` keeps
     the current location but disables durable writes/reads (the
-    ``--no-cache`` path).
+    ``--no-cache`` path).  ``codec`` selects the payload compression
+    codec for new writes (``None`` keeps the default resolution — the
+    ``REPRO_STORE_CODEC`` environment knob, then zlib).
     """
     global _STORE
     if store is not None:
         _STORE = store
     elif root is not ...:
-        _STORE = CellStore(root, persist=True if persist is None else persist)
-    elif persist is not None:
+        _STORE = CellStore(root, persist=True if persist is None else persist,
+                           codec=codec)
+    elif persist is not None or codec is not None:
         current = get_store()
-        _STORE = CellStore(current.source, persist=persist)
+        _STORE = CellStore(
+            current.source,
+            persist=current.persist if persist is None else persist,
+            codec=codec or current.codec_name,
+        )
     return get_store()
 
 

@@ -49,9 +49,25 @@ entry (a lease reaped from a live-but-stalled owner, a heartbeat lost to
 a reap race), both write byte-identical entries through the backend's
 atomic put and the store still converges to the single correct value.
 
+**Compressed payloads.**  Result entries are written through a
+*compress-once / decode-many* codec (``zlib`` by default — cells are
+computed once and polled/read many times, so one compression pays for
+itself across every later read).  Each entry carries a small
+self-describing envelope naming the codec that produced it, which is
+what keeps a store readable forever: legacy pre-envelope entries (raw
+``.npz``/``.json`` bytes) pass through untouched, and entries written
+with different codecs coexist in one store.  A truncated or corrupt
+compressed payload fails its decode exactly like a torn legacy entry
+and heals the same way — deleted, recomputed, rewritten.  All workers
+sharing a store should agree on the codec (like ``lease_ttl``): mixed
+codecs stay *readable* but duplicated computations then converge in
+value rather than byte-for-byte.
+
 Environment knobs: ``REPRO_CELLSTORE_DIR`` overrides the store location
 (a directory or any ``file:// | mem:// | fakes3:// | s3://`` URL),
-``REPRO_CELLSTORE=off`` disables the durable layer entirely.
+``REPRO_CELLSTORE=off`` disables the durable layer entirely,
+``REPRO_STORE_CODEC`` selects the payload codec (``zlib`` | ``lzma`` |
+``none``; the ``--store-codec`` flags override it).
 """
 
 from __future__ import annotations
@@ -59,10 +75,12 @@ from __future__ import annotations
 import hashlib
 import io
 import json
+import lzma
 import os
 import socket
 import threading
 import time
+import zlib
 from pathlib import Path
 from typing import Any, Callable
 
@@ -83,6 +101,11 @@ __all__ = [
     "cellstore_disabled",
     "default_store_root",
     "default_claim_owner",
+    "default_store_codec",
+    "encode_envelope",
+    "decode_envelope",
+    "CODECS",
+    "DEFAULT_CODEC",
     "DEFAULT_LEASE_TTL",
 ]
 
@@ -92,6 +115,59 @@ SCHEMA_VERSION = 1
 #: Default lease duration: a claim not heartbeat within this many seconds
 #: is presumed orphaned (its owner crashed) and may be reaped.
 DEFAULT_LEASE_TTL = 30.0
+
+# ----------------------------------------------------------------------
+# Payload codec (compress once on put, decode on every get/verify)
+# ----------------------------------------------------------------------
+
+#: codec name -> (encode, decode).  Every encoder must be deterministic
+#: for a given input (fixed level/preset): identical recomputations must
+#: keep producing identical stored bytes, the property the distributed
+#: convergence argument rests on.  Registry is extensible — a zstd pair
+#: would slot in here if the dependency were available.
+CODECS: dict[str, tuple[Callable[[bytes], bytes], Callable[[bytes], bytes]]] = {
+    "none": (lambda data: data, lambda data: data),
+    "zlib": (lambda data: zlib.compress(data, 6), zlib.decompress),
+    "lzma": (lambda data: lzma.compress(data, preset=1), lzma.decompress),
+}
+
+#: Cells are written once and read many times, so the cheap-to-decode
+#: codec wins by default.
+DEFAULT_CODEC = "zlib"
+
+#: Envelope prefix of codec-wrapped entries.  The first byte collides
+#: with neither legacy representation — raw ``.npz`` payloads start with
+#: ``PK\x03\x04`` (zip), raw ``.json`` payloads with ``{`` — so legacy
+#: entries are recognised unambiguously and keep reading forever.
+_ENVELOPE_MAGIC = b"\xabRS1\x00"
+
+
+def default_store_codec() -> str:
+    """Codec selected by ``REPRO_STORE_CODEC`` (default: ``zlib``)."""
+    return os.environ.get("REPRO_STORE_CODEC", "").strip().lower() or DEFAULT_CODEC
+
+
+def encode_envelope(codec: str, raw: bytes) -> bytes:
+    """Wrap ``raw`` in the self-describing codec envelope."""
+    name = codec.encode("ascii")
+    return _ENVELOPE_MAGIC + bytes([len(name)]) + name + CODECS[codec][0](raw)
+
+
+def decode_envelope(payload: bytes) -> tuple[str | None, bytes]:
+    """``(codec name, raw bytes)`` of a stored entry payload.
+
+    Legacy pre-envelope entries return ``(None, payload)`` untouched.
+    Raises (``KeyError`` for an unknown codec, the codec's own error for
+    a truncated/garbage body) so the caller's heal path can treat the
+    entry as corrupt.
+    """
+    if not payload.startswith(_ENVELOPE_MAGIC):
+        return None, payload
+    offset = len(_ENVELOPE_MAGIC)
+    name_len = payload[offset]
+    name = payload[offset + 1:offset + 1 + name_len].decode("ascii")
+    body = payload[offset + 1 + name_len:]
+    return name, CODECS[name][1](body)
 
 
 def default_claim_owner(tag: str = "") -> str:
@@ -165,10 +241,21 @@ class CellStore:
         share an epoch with the backend's modification timestamps; the
         default — and the only sensible production value — is
         ``time.time``.
+    codec:
+        Payload codec new entries are written with (``zlib`` | ``lzma``
+        | ``none``; default: ``REPRO_STORE_CODEC`` or ``zlib``).  Reads
+        are codec-agnostic — the per-entry envelope says how to decode —
+        so this only shapes *new* writes.
     """
 
     #: kind -> file extension of the durable representation.
     _EXT = {"cell": ".npz", "ratio": ".json"}
+
+    #: Pending-key count at or below which the batched probes pay
+    #: per-key round trips instead of a listing sweep, so steady-state
+    #: polling cost scales with *pending* work — never with how many
+    #: cells have already landed in the store.
+    PROBE_LIMIT = 16
 
     def __init__(
         self,
@@ -176,6 +263,7 @@ class CellStore:
         persist: bool = True,
         lease_ttl: float = DEFAULT_LEASE_TTL,
         clock: Callable[[], float] = time.time,
+        codec: str | None = None,
     ):
         self.backend = resolve_backend(root)
         #: Original constructor target, so a derived store (e.g. the
@@ -184,8 +272,39 @@ class CellStore:
         self.persist = bool(persist) and self.backend is not None
         self.lease_ttl = float(lease_ttl)
         self.clock = clock
+        self.codec_name = (codec or default_store_codec()).lower()
+        if self.codec_name not in CODECS:
+            raise ValueError(
+                f"unknown store codec {self.codec_name!r}; "
+                f"known: {sorted(CODECS)}"
+            )
         self._memory: dict[tuple[str, str], Any] = {}
-        self.stats = {"hits": 0, "misses": 0, "puts": 0, "reaped_claims": 0}
+        #: kind -> entry names this process has observed landed.  Valid
+        #: as a positive cache because results are immutable once
+        #: written — the only removal is corrupt-entry healing, which
+        #: evicts here too.  This is what keeps polling cost independent
+        #: of store size: known-landed keys never pay another round trip.
+        self._landed: dict[str, set[str]] = {}
+        self.probe_limit = self.PROBE_LIMIT
+        self.page_limit = StoreBackend.DEFAULT_PAGE_LIMIT
+        self.stats = self._fresh_stats()
+
+    def _fresh_stats(self) -> dict:
+        return {
+            "hits": 0,
+            "misses": 0,
+            "puts": 0,
+            "reaped_claims": 0,
+            # codec accounting (what this process wrote/read)
+            "codec": self.codec_name,
+            "encoded_raw_bytes": 0,
+            "encoded_stored_bytes": 0,
+            "decoded_by_codec": {},
+            "healed_entries": 0,
+            # pagination accounting (listing pages fetched / key probes)
+            "list_pages": 0,
+            "landed_probes": 0,
+        }
 
     @property
     def root(self) -> Path | None:
@@ -212,7 +331,7 @@ class CellStore:
 
     def reset_stats(self) -> None:
         """Zero the hit/miss/put counters (benchmark phase accounting)."""
-        self.stats = {"hits": 0, "misses": 0, "puts": 0, "reaped_claims": 0}
+        self.stats = self._fresh_stats()
 
     def get(self, kind: str, key: str) -> Any | None:
         """Look up ``key`` in memory, then durably; ``None`` on miss.
@@ -255,22 +374,46 @@ class CellStore:
     def filter_missing(self, kind: str, keys) -> list[str]:
         """Subset of ``keys`` with no entry in memory or durable storage.
 
-        The batched form of :meth:`has`: one backend listing answers the
-        whole batch, where per-key probes would cost one round trip each
-        — polling loops (the coordinator's grid wait, the workers'
-        pending scans) call this every few hundred milliseconds over
-        grids of hundreds of cells.  Same optimism as :meth:`has`: a
-        torn entry counts as present until a decode heals it.
+        The batched form of :meth:`has` — and a polling hot path: the
+        coordinator's grid wait and the workers' pending scans call this
+        every few hundred milliseconds.  Keys already observed landed
+        (the per-process delta cache, maintained by :meth:`put` and
+        every probe) cost nothing; the remaining *unknown* keys pay
+        per-key ``exists`` probes when few (≤ :attr:`probe_limit` —
+        steady-state cost then scales with pending work, never with how
+        many cells have landed), or one bounded-page listing sweep when
+        many (which also reseeds the cache).  Same optimism as
+        :meth:`has`: a torn entry counts as present until a decode heals
+        it — healing evicts it from the cache.
         """
         keys = list(keys)
         if not self.persist or kind not in self._EXT or self.backend is None:
             return [k for k in keys if (kind, k) not in self._memory]
-        landed = set(self.backend.list(prefix=f"{kind}-"))
-        return [
+        landed = self._landed.setdefault(kind, set())
+        unknown = [
             k for k in keys
             if (kind, k) not in self._memory
             and self._entry_name(kind, k) not in landed
         ]
+        if not unknown:
+            return []
+        if len(unknown) <= self.probe_limit:
+            missing = []
+            for key in unknown:
+                name = self._entry_name(kind, key)
+                self.stats["landed_probes"] += 1
+                if self.backend.exists(name):
+                    landed.add(name)
+                else:
+                    missing.append(key)
+            return missing
+        suffix = self._EXT[kind]
+        fresh = {
+            n for n in self._list_all(prefix=f"{kind}-")
+            if n.endswith(suffix)
+        }
+        self._landed[kind] = fresh
+        return [k for k in unknown if self._entry_name(kind, k) not in fresh]
 
     def verify(self, kind: str, key: str) -> bool:
         """:meth:`has`, but decode-checked and without memory caching.
@@ -308,11 +451,12 @@ class CellStore:
         """Delete every durable entry, claim and spool (memory survives)."""
         if self.backend is None:
             return
-        for name in self.backend.list():
+        for name in self._list_all():
             if name.endswith((".npz", ".json", ".claim")):
                 self.backend.delete(name)
         for name in self.backend.stray_spools():
             self.backend.delete(name)
+        self._landed.clear()
 
     def disk_entries(self) -> list:
         """Path-like names of all persisted entries (diagnostics, tests).
@@ -323,7 +467,7 @@ class CellStore:
         """
         if self.backend is None:
             return []
-        names = [n for n in self.backend.list() if n.endswith((".npz", ".json"))]
+        names = [n for n in self._list_all() if n.endswith((".npz", ".json"))]
         return entry_paths(self.backend, names)
 
     # -- claims / leases -----------------------------------------------
@@ -407,15 +551,25 @@ class CellStore:
     def any_live_claim(self, kind: str, keys) -> bool:
         """Whether any of ``keys`` holds an unexpired lease.
 
-        The batched form of :meth:`claim_is_live` for polling loops: one
-        backend listing finds the existing claims, and only those few
-        pay a timestamp probe — per-key probes would cost two round
-        trips per pending cell per poll round on object-store backends.
+        The batched form of :meth:`claim_is_live` for polling loops.
+        Few keys (≤ :attr:`probe_limit`) pay one ``mtime`` probe each —
+        cost proportional to pending work, independent of store size.
+        Many keys fall back to one bounded-page listing sweep, and only
+        the claims found pay a timestamp probe.
         """
         if self.backend is None:
             return False
+        keys = list(keys)
+        if len(keys) <= self.probe_limit:
+            for key in keys:
+                name = self.claim_name(kind, key)
+                self.stats["landed_probes"] += 1
+                mtime = self.backend.mtime(name)
+                if mtime is not None and self.clock() - mtime <= self.lease_ttl:
+                    return True
+            return False
         present = {
-            n for n in self.backend.list(prefix=f"{kind}-")
+            n for n in self._list_all(prefix=f"{kind}-")
             if n.endswith(".claim")
         }
         for key in keys:
@@ -440,7 +594,7 @@ class CellStore:
         """Entry names of every claim currently in the store."""
         if self.backend is None:
             return []
-        return [n for n in self.backend.list() if n.endswith(".claim")]
+        return [n for n in self._list_all() if n.endswith(".claim")]
 
     def claim_files(self) -> list:
         """Every claim in the store as path-like values (see
@@ -465,7 +619,7 @@ class CellStore:
             return 0
         reaped = 0
         stale_candidates = [
-            n for n in self.backend.list() if n.endswith(".claim")
+            n for n in self._list_all() if n.endswith(".claim")
         ] + self.backend.stray_spools()
         for name in stale_candidates:
             if self._is_stale(name):
@@ -511,29 +665,92 @@ class CellStore:
         """Filesystem path of an entry (filesystem-backed stores only)."""
         return self.backend.path(self._entry_name(kind, key))
 
+    def _list_all(self, prefix: str = "") -> list[str]:
+        """Full listing via bounded pages (one round trip per page)."""
+        names: list[str] = []
+        token = None
+        while True:
+            page, token = self.backend.list_page(
+                prefix=prefix, token=token, limit=self.page_limit
+            )
+            self.stats["list_pages"] += 1
+            names.extend(page)
+            if token is None:
+                return names
+
     def _read(self, kind: str, key: str) -> Any | None:
         name = self._entry_name(kind, key)
         payload = self.backend.get(name)
         if payload is None:
+            # The entry vanished (healed by a peer, cleared): the landed
+            # cache must forget it or pending scans would report it
+            # present forever while every verify fails.
+            self._landed.get(kind, set()).discard(name)
             return None
         try:
+            codec_name, raw = decode_envelope(payload)
             if kind == "cell":
-                return self._decode_cell(payload, key)
-            return self._decode_json(payload, key)
+                value = self._decode_cell(raw, key)
+            else:
+                value = self._decode_json(raw, key)
         except Exception:
             # Torn/corrupt/stale-format entry: heal by dropping it so the
             # caller recomputes and rewrites.
             self.backend.delete(name)
+            self._landed.get(kind, set()).discard(name)
+            self.stats["healed_entries"] += 1
             return None
+        label = codec_name or "legacy"
+        by_codec = self.stats["decoded_by_codec"]
+        by_codec[label] = by_codec.get(label, 0) + 1
+        return value
 
     def _write(self, kind: str, key: str, value: Any) -> None:
         if kind == "cell":
-            payload = self._encode_cell(key, value)
+            raw = self._encode_cell(key, value)
         else:
-            payload = json.dumps(
+            raw = json.dumps(
                 {"schema": SCHEMA_VERSION, "key": key, "value": value}
             ).encode("utf-8")
-        self.backend.put_atomic(self._entry_name(kind, key), payload)
+        payload = encode_envelope(self.codec_name, raw)
+        self.stats["encoded_raw_bytes"] += len(raw)
+        self.stats["encoded_stored_bytes"] += len(payload)
+        name = self._entry_name(kind, key)
+        self.backend.put_atomic(name, payload)
+        self._landed.setdefault(kind, set()).add(name)
+
+    def codec_report(self) -> dict:
+        """Stored-vs-raw byte accounting over every durable entry.
+
+        A full-store scan (one decode per entry) — incident tooling and
+        the bench harness call it once per run, never per poll.  Entries
+        whose envelope cannot be decoded are tallied as ``unreadable``
+        with zero raw bytes rather than raising.
+        """
+        report = {
+            "entries": 0,
+            "stored_bytes": 0,
+            "raw_bytes": 0,
+            "by_codec": {},
+        }
+        if self.backend is None:
+            return report
+        for name in self._list_all():
+            if not name.endswith((".npz", ".json")):
+                continue
+            payload = self.backend.get(name)
+            if payload is None:
+                continue
+            try:
+                codec_name, raw = decode_envelope(payload)
+                label = codec_name or "legacy"
+            except Exception:
+                label, raw = "unreadable", b""
+            report["entries"] += 1
+            report["stored_bytes"] += len(payload)
+            report["raw_bytes"] += len(raw)
+            report["by_codec"][label] = report["by_codec"].get(label, 0) + 1
+        return report
 
     # -- cell (CVResult) codec -----------------------------------------
 

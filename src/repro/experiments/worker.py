@@ -59,7 +59,13 @@ from repro.experiments.store import (
     default_claim_owner,
 )
 
-__all__ = ["claim_order_from", "default_owner", "worker_loop", "main"]
+__all__ = [
+    "LeastRecentlyAttempted",
+    "claim_order_from",
+    "default_owner",
+    "worker_loop",
+    "main",
+]
 
 #: Default seconds a worker keeps polling through a store outage before
 #: giving up (exit code 4).  Sized to ride out a typical object-store
@@ -72,16 +78,50 @@ def default_owner() -> str:
     return default_claim_owner()
 
 
+class LeastRecentlyAttempted:
+    """Work-stealing claim order: never-attempted cells first (by key),
+    then the one attempted longest ago.
+
+    The worker notes every claim attempt (win or conflict), so a cell a
+    peer is sitting on drifts to the *back* of this worker's list right
+    after the conflict and migrates forward again as other cells are
+    attempted — by the time the queue drains to stragglers, their cells
+    are at the front of every idle worker's list and get stolen the
+    moment the lease goes stale, instead of serialising the grid's tail
+    behind a fixed permutation.  Ticks are a process-local counter, not
+    wall-clock, so the order is deterministic for a given attempt
+    history.
+    """
+
+    def __init__(self):
+        self._tick = 0
+        self._last_attempt: dict[str, int] = {}
+
+    def note(self, key: str) -> None:
+        """Record a claim attempt on ``key`` (called by the worker)."""
+        self._tick += 1
+        self._last_attempt[key] = self._tick
+
+    def __call__(self, units):
+        return sorted(
+            units, key=lambda u: (self._last_attempt.get(u.key, 0), u.key)
+        )
+
+
 def claim_order_from(spec: str):
     """Resolve a ``--claim-order`` string into a list permutation.
 
     ``sorted`` (by unit key — the deterministic default), ``reversed``
-    (descending key) or ``rotate:N`` (sorted, then rotated left by N —
+    (descending key), ``rotate:N`` (sorted, then rotated left by N —
     gives each worker of a fleet a distinct starting point so they spread
-    over the grid instead of racing for the same first cell).
+    over the grid instead of racing for the same first cell) or ``lru``
+    (least-recently-attempted first — the work-stealing order elastic
+    fleets use so one straggler never serialises a grid's tail).
     """
     if spec == "sorted":
         return lambda units: sorted(units, key=lambda u: u.key)
+    if spec == "lru":
+        return LeastRecentlyAttempted()
     if spec == "reversed":
         return lambda units: sorted(units, key=lambda u: u.key, reverse=True)
     if spec.startswith("rotate:"):
@@ -110,6 +150,7 @@ def worker_loop(
     outage_grace: float = DEFAULT_OUTAGE_GRACE,
     units=None,
     log=None,
+    codec: str | None = None,
 ) -> dict:
     """Claim-and-execute until the manifests' grid is complete.
 
@@ -147,10 +188,11 @@ def worker_loop(
 
     owner = owner or default_owner()
     order = claim_order or claim_order_from("sorted")
+    note_attempt = getattr(order, "note", lambda key: None)
     interval = heartbeat_interval or max(lease_ttl / 4.0, 0.05)
     log = log or (lambda message: None)
 
-    store = CellStore(store_root, lease_ttl=lease_ttl)
+    store = CellStore(store_root, lease_ttl=lease_ttl, codec=codec)
     # The executor's serial payload path (datasets, SRS reference ratios)
     # resolves through the process-wide store: point it at the shared
     # directory so payload values are shared across the fleet too.
@@ -230,6 +272,7 @@ def worker_loop(
                 for unit in order(pending):
                     if unit.key not in still_missing:
                         continue  # landed while we worked through the list
+                    note_attempt(unit.key)
                     if not store.try_claim("cell", unit.key, owner):
                         stats["claim_conflicts"] += 1
                         continue
@@ -332,7 +375,12 @@ def main(argv: list[str] | None = None) -> int:
                              "many seconds before giving up (exit code 4)")
     parser.add_argument("--claim-order", default="sorted",
                         help="claim attempt order: sorted | reversed | "
-                             "rotate:N (deterministic interleaving seam)")
+                             "rotate:N | lru (deterministic interleaving "
+                             "seam; lru is the work-stealing order)")
+    parser.add_argument("--store-codec", default=None, metavar="CODEC",
+                        help="payload compression codec (zlib | lzma | "
+                             "none); every worker of a fleet must agree "
+                             "for byte-identical convergence")
     args = parser.parse_args(argv)
 
     def log(message: str) -> None:
@@ -352,6 +400,7 @@ def main(argv: list[str] | None = None) -> int:
             max_idle=args.max_idle,
             outage_grace=args.outage_grace,
             log=log,
+            codec=args.store_codec,
         )
     except StorePermanentError as exc:
         log(f"fatal: {exc}")

@@ -1,6 +1,8 @@
 """Tests for grid serialisation into distributed work manifests."""
 
 import json
+import sys
+import time
 
 import pytest
 
@@ -237,3 +239,88 @@ class TestWait:
             on_progress=lambda done, total: progress.append((done, total)),
         )
         assert progress == [(len(units), len(units))]
+
+    def test_on_poll_sees_queue_depth_every_round(self):
+        """The autoscaler's feed: every poll round reports the still-
+        pending units, including the final empty one."""
+        from tests.experiments.test_store import make_result
+
+        units = dispatch.plan_grid(TINY, ["table2"])
+        store = CellStore(None)
+        depths = []
+
+        def on_poll(remaining):
+            depths.append(len(remaining))
+            if remaining:  # land one cell per round
+                store.put("cell", remaining[0].key, make_result())
+
+        dispatch.wait_for_grid(store, units, poll=0.0, on_poll=on_poll)
+        assert depths == list(range(len(units), -1, -1))
+
+
+class TestElasticFleet:
+    """Queue-depth autoscaling on top of the supervisor."""
+
+    CMD = [sys.executable, "-c", "import time; time.sleep(60)"]
+
+    def make(self, **kwargs):
+        return dispatch.FleetSupervisor(
+            [list(self.CMD)],
+            command_factory=lambda index: list(self.CMD),
+            **kwargs,
+        )
+
+    def test_scales_up_with_queue_depth_and_clamps_at_ceiling(self):
+        sup = self.make(min_workers=1, max_workers=3, scale_threshold=2)
+        sup.start()
+        try:
+            sup.autoscale(1000)
+            assert sup.live_count() == 3
+            assert sup.scale_ups == 2
+            sup.autoscale(1000)  # already at the ceiling: no-op
+            assert sup.live_count() == 3
+            assert sup.scale_ups == 2
+        finally:
+            sup.terminate()
+
+    def test_shallow_queue_spawns_nothing(self):
+        sup = self.make(min_workers=1, max_workers=3, scale_threshold=4)
+        sup.start()
+        try:
+            sup.autoscale(4)  # exactly one worker's worth of depth
+            assert sup.live_count() == 1
+            assert sup.scale_ups == 0
+        finally:
+            sup.terminate()
+
+    def test_retires_newest_when_queue_drains(self):
+        sup = self.make(min_workers=1, max_workers=3, scale_threshold=1)
+        sup.start()
+        try:
+            sup.autoscale(3)
+            assert sup.live_count() == 3
+            sup.autoscale(0)
+            assert sup.scale_downs == 2
+            deadline = time.monotonic() + 10.0
+            while sup.live_count() > 1 and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert sup.live_count() == 1
+            sup.poll()  # observe the retirement exits
+            retired = [e for e in sup.summary() if e["retired"]]
+            assert len(retired) == 2
+            assert all(e["restarts"] == 0 for e in retired)
+            assert all(not e["running"] for e in retired)
+            # The floor worker keeps the fleet alive.
+            assert not sup.fleet_dead()
+        finally:
+            sup.terminate()
+
+    def test_autoscale_is_noop_on_fixed_fleets(self):
+        sup = dispatch.FleetSupervisor([list(self.CMD)])
+        sup.start()
+        try:
+            sup.autoscale(1000)
+            assert sup.live_count() == 1
+            assert sup.scale_ups == 0
+        finally:
+            sup.terminate()

@@ -8,7 +8,13 @@ import numpy as np
 import pytest
 
 from repro.evaluation.cross_validation import CVResult
-from repro.experiments.store import CellStore, stable_key
+from repro.experiments.store import (
+    CODECS,
+    CellStore,
+    decode_envelope,
+    encode_envelope,
+    stable_key,
+)
 
 
 def make_result(seed: int = 0) -> CVResult:
@@ -169,9 +175,12 @@ class TestCorruptionRecovery:
         store = CellStore(tmp_path)
         store.put("ratio", "k1", 0.7)
         (path,) = store.disk_entries()
-        payload = json.loads(path.read_text())
-        payload["key"] = "something-else"
-        path.write_text(json.dumps(payload))
+        codec, raw = decode_envelope(path.read_bytes())
+        doc = json.loads(raw)
+        doc["key"] = "something-else"
+        path.write_bytes(
+            encode_envelope(codec or "none", json.dumps(doc).encode("utf-8"))
+        )
         assert CellStore(tmp_path).get("ratio", "k1") is None
 
     def test_clear_disk(self, tmp_path):
@@ -320,3 +329,116 @@ class TestClaimSelfHeal:
         assert store.disk_entries() == []
         store.clear_disk()
         assert store.claim_files() == []
+
+
+class TestCodecs:
+    """The self-describing payload envelope: compress once, decode many."""
+
+    def test_unknown_codec_rejected_loudly(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown store codec"):
+            CellStore(tmp_path, codec="snappy")
+
+    @pytest.mark.parametrize("codec", sorted(CODECS))
+    def test_round_trip_under_every_codec(self, tmp_path, codec):
+        store = CellStore(tmp_path, codec=codec)
+        store.put("cell", "k", make_result())
+        store.put("ratio", "r", 0.25)
+        fresh = CellStore(tmp_path)  # reader codec is irrelevant
+        got = fresh.get("cell", "k")
+        np.testing.assert_array_equal(
+            got.metric_values["accuracy"], make_result().metric_values["accuracy"]
+        )
+        assert fresh.get("ratio", "r") == 0.25
+
+    def test_envelope_self_describes(self):
+        body = b"some payload bytes"
+        for codec in CODECS:
+            name, raw = decode_envelope(encode_envelope(codec, body))
+            assert (name, raw) == (codec, body)
+
+    def test_legacy_payload_passes_through(self):
+        for legacy in (b"PK\x03\x04npz-ish", b'{"json": true}'):
+            assert decode_envelope(legacy) == (None, legacy)
+
+    def test_legacy_uncompressed_store_is_read_and_resumed(self, tmp_path):
+        """Forward compat: a store written before envelopes existed keeps
+        working — reads byte-for-byte, and new writes join it."""
+        store = CellStore(tmp_path)
+        store.put("cell", "old", make_result(1))
+        store.put("ratio", "r", 0.5)
+        # Strip the envelopes in place: what a pre-codec writer left.
+        for path in store.disk_entries():
+            codec, raw = decode_envelope(path.read_bytes())
+            assert codec is not None
+            path.write_bytes(raw)
+
+        fresh = CellStore(tmp_path)
+        got = fresh.get("cell", "old")
+        np.testing.assert_array_equal(
+            got.metric_values["accuracy"], make_result(1).metric_values["accuracy"]
+        )
+        assert fresh.get("ratio", "r") == 0.5
+        assert fresh.stats["decoded_by_codec"].get("legacy") == 2
+        # Resuming writes new (enveloped) entries alongside the old ones.
+        fresh.put("cell", "new", make_result(2))
+        assert CellStore(tmp_path).get("cell", "new") is not None
+
+    def test_mixed_codec_entries_coexist(self, tmp_path):
+        CellStore(tmp_path, codec="zlib").put("ratio", "a", 0.1)
+        CellStore(tmp_path, codec="lzma").put("ratio", "b", 0.2)
+        CellStore(tmp_path, codec="none").put("ratio", "c", 0.3)
+        reader = CellStore(tmp_path)
+        assert [reader.get("ratio", k) for k in "abc"] == [0.1, 0.2, 0.3]
+        assert reader.stats["decoded_by_codec"] == {
+            "zlib": 1, "lzma": 1, "none": 1
+        }
+
+    def test_truncated_compressed_payload_heals_loudly_by_recompute(
+        self, tmp_path
+    ):
+        store = CellStore(tmp_path, codec="zlib")
+        store.put("cell", "k", make_result())
+        (path,) = store.disk_entries()
+        path.write_bytes(path.read_bytes()[:-10])  # torn mid-body
+
+        fresh = CellStore(tmp_path)
+        assert fresh.get("cell", "k") is None
+        assert not path.exists()
+        assert fresh.stats["healed_entries"] == 1
+        fresh.put("cell", "k", make_result())
+        assert CellStore(tmp_path).get("cell", "k") is not None
+
+    def test_garbage_envelope_body_heals(self, tmp_path):
+        store = CellStore(tmp_path, codec="zlib")
+        store.put("ratio", "k", 0.5)
+        (path,) = store.disk_entries()
+        path.write_bytes(encode_envelope("zlib", b"")[:7] + b"\xff\xfe\xfd")
+        assert CellStore(tmp_path).get("ratio", "k") is None
+        assert not path.exists()
+
+    def test_compression_shrinks_stored_bytes(self, tmp_path):
+        compressed = CellStore(tmp_path / "z", codec="zlib")
+        baseline = CellStore(tmp_path / "n", codec="none")
+        for i in range(4):
+            result = make_result(i)
+            compressed.put("cell", f"k{i}", result)
+            baseline.put("cell", f"k{i}", result)
+        assert (compressed.stats["encoded_stored_bytes"]
+                < 0.6 * baseline.stats["encoded_raw_bytes"])
+        assert (compressed.stats["encoded_raw_bytes"]
+                == baseline.stats["encoded_raw_bytes"])
+
+    def test_codec_report_accounts_for_every_entry(self, tmp_path):
+        store = CellStore(tmp_path, codec="zlib")
+        store.put("cell", "k", make_result())
+        CellStore(tmp_path, codec="none").put("ratio", "r", 0.5)
+        report = store.codec_report()
+        assert report["entries"] == 2
+        assert report["by_codec"] == {"zlib": 1, "none": 1}
+        assert 0 < report["stored_bytes"] < report["raw_bytes"]
+
+    def test_default_codec_comes_from_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_CODEC", "lzma")
+        assert CellStore(tmp_path).codec_name == "lzma"
+        monkeypatch.delenv("REPRO_STORE_CODEC")
+        assert CellStore(tmp_path).codec_name == "zlib"

@@ -104,6 +104,37 @@ class BackendContract:
         names = backend.list()
         assert names == ["a.json"]
 
+    def test_list_page_walk_covers_namespace_exactly_once(self, backend):
+        """Invariant 6: a full token walk is the listing — every name
+        exactly once, no page over the limit."""
+        for i in range(7):
+            backend.put_atomic(f"cell-{i}.npz", b"x")
+        backend.put_atomic("plan-1.plan", b"x")
+        walked, token, pages = [], None, 0
+        while True:
+            page, token = backend.list_page(token=token, limit=3)
+            assert len(page) <= 3
+            walked.extend(page)
+            pages += 1
+            if token is None:
+                break
+            assert pages < 100  # a looping token must not hang the suite
+        assert walked == backend.list()
+        assert len(walked) == len(set(walked))
+
+    def test_list_page_prefix_filters(self, backend):
+        for name in ("plan-1.plan", "plan-2.plan", "cell-1.npz"):
+            backend.put_atomic(name, b"x")
+        page, token = backend.list_page(prefix="plan-", limit=10)
+        assert page == ["plan-1.plan", "plan-2.plan"]
+        assert token is None
+
+    def test_list_page_small_namespace_is_one_page(self, backend):
+        backend.put_atomic("a.json", b"x")
+        page, token = backend.list_page()
+        assert page == ["a.json"]
+        assert token is None
+
     def test_exclusive_create_single_winner(self, backend):
         assert backend.try_claim_exclusive("k.claim", b"alice")
         assert not backend.try_claim_exclusive("k.claim", b"bob")
@@ -224,6 +255,21 @@ class TestPrefixedObjectContract(BackendContract):
         backend.put_atomic("a.json", b"x")
         assert backend.client.list_objects() == ["grids/run-1/a.json"]
         assert backend.list() == ["a.json"]
+
+    def test_foreign_keys_sharing_the_bucket_stay_invisible(self, backend):
+        """A key outside this store's prefix must never be mangled into
+        an entry name (regression: ``key[len(base):]`` blind slicing)."""
+        backend.put_atomic("a.json", b"x")
+        backend.client.put_object("grids/run-2/b.json", b"other run")
+        backend.client.put_object("unrelated.json", b"foreign tenant")
+        assert backend.list() == ["a.json"]
+        walked, token = [], None
+        while True:
+            page, token = backend.list_page(token=token, limit=2)
+            walked.extend(page)
+            if token is None:
+                break
+        assert walked == ["a.json"]
 
     def test_url_round_trips_to_same_storage(self, backend):
         # mem:// URLs cannot encode a key prefix; namespacing is covered
@@ -504,14 +550,37 @@ class TestBoto3Adapter:
         def delete_object(self, Bucket, Key):
             self.objects.pop(Key, None)
 
-        def list_objects_v2(self, Bucket, Prefix="", ContinuationToken=None):
+        def list_objects_v2(self, Bucket, Prefix="", ContinuationToken=None,
+                            MaxKeys=1000):
             keys = sorted(k for k in self.objects if k.startswith(Prefix))
-            return {"Contents": [{"Key": k} for k in keys],
-                    "IsTruncated": False}
+            if ContinuationToken is not None:
+                keys = [k for k in keys if k > ContinuationToken]
+            page = keys[:MaxKeys]
+            truncated = len(keys) > len(page)
+            reply = {"Contents": [{"Key": k} for k in page],
+                     "IsTruncated": truncated}
+            if truncated:
+                reply["NextContinuationToken"] = page[-1]
+            return reply
 
     def make_backend(self):
         client = Boto3ObjectStore("bucket", client=self._Scripted())
         return ObjectStoreBackend(client, url="s3://bucket/pre", prefix="pre")
+
+    def test_list_page_walks_truncated_pages(self):
+        """MaxKeys flows through list_objects_v2 and the continuation
+        token round-trips opaquely."""
+        backend = self.make_backend()
+        for i in range(5):
+            backend.put_atomic(f"k{i}.json", b"x")
+        walked, token = [], None
+        while True:
+            page, token = backend.list_page(token=token, limit=2)
+            assert len(page) <= 2
+            walked.extend(page)
+            if token is None:
+                break
+        assert walked == [f"k{i}.json" for i in range(5)]
 
     def test_round_trip_and_conditional_put(self):
         backend = self.make_backend()
@@ -524,3 +593,125 @@ class TestBoto3Adapter:
         assert backend.list() == ["a.json", "k.claim"]
         backend.delete("k.claim")
         assert backend.list() == ["a.json"]
+
+
+class TestFakeStorePagination:
+    """The fake client's truncated-page modelling and round-trip counters."""
+
+    def test_page_size_truncates_below_max_keys(self):
+        client = FakeObjectStore(MemoryBucket(), page_size=2)
+        for i in range(5):
+            client.put_object(f"k{i}", b"x")
+        page, token = client.list_objects_page(max_keys=100)
+        assert page == ["k0", "k1"]
+        assert token == "k1"
+
+    def test_token_walk_is_complete(self):
+        client = FakeObjectStore(MemoryBucket(), page_size=2)
+        for i in range(5):
+            client.put_object(f"k{i}", b"x")
+        walked, token = [], None
+        while True:
+            page, token = client.list_objects_page(token=token)
+            walked.extend(page)
+            if token is None:
+                break
+        assert walked == [f"k{i}" for i in range(5)]
+
+    def test_backend_walk_rides_provider_truncation(self):
+        """A backend page *request* larger than the provider's cap still
+        walks the namespace completely (real S3 may truncate harder than
+        MaxKeys asked)."""
+        client = FakeObjectStore(MemoryBucket(), page_size=2)
+        backend = ObjectStoreBackend(client, url="mem://trunc-test")
+        for i in range(5):
+            backend.put_atomic(f"k{i}.json", b"x")
+        walked, token = [], None
+        while True:
+            page, token = backend.list_page(token=token, limit=100)
+            walked.extend(page)
+            if token is None:
+                break
+        assert walked == backend.list()
+
+    def test_op_counts_observe_round_trips(self):
+        client = FakeObjectStore(MemoryBucket())
+        client.put_object("a", b"x")
+        client.get_object("a")
+        client.list_objects_page()
+        client.list_objects_page()
+        assert client.op_counts["put_object"] == 1
+        assert client.op_counts["get_object"] == 1
+        assert client.op_counts["list_objects_page"] == 2
+
+
+class TestBoundedPolling:
+    """Steady-state polling round trips must not scale with store size.
+
+    The regression behind the delta cache: every ``filter_missing`` poll
+    used to list the whole ``{kind}-`` prefix, so polling cost grew with
+    every landed cell.  With the cache, landed keys are free and the few
+    pending ones pay one metadata probe each.
+    """
+
+    def make_store(self):
+        client = FakeObjectStore(MemoryBucket())
+        backend = ObjectStoreBackend(client, url="mem://bounded-poll")
+        return client, CellStore(backend)
+
+    def test_pending_scan_cost_is_per_pending_not_per_landed(self):
+        client, store = self.make_store()
+        for i in range(40):
+            store.put("ratio", f"k{i}", float(i))
+        pending = [f"p{i}" for i in range(3)]
+
+        # A fresh process (empty memory layer, empty cache) queries the
+        # whole grid: one paged sweep reseeds the landed cache.
+        fresh = CellStore(store.backend)
+        keys = [f"k{i}" for i in range(40)] + pending
+        assert fresh.filter_missing("ratio", keys) == pending
+
+        client.op_counts.clear()
+        for _ in range(5):
+            assert fresh.filter_missing("ratio", keys) == pending
+        # Landed cells answer from the cache; only the 3 pending keys pay
+        # a probe per poll — and nothing lists the store again.
+        assert client.op_counts["list_objects"] == 0
+        assert client.op_counts["list_objects_page"] == 0
+        assert client.op_counts["head_object"] == 5 * len(pending)
+
+    def test_landing_more_cells_does_not_raise_poll_cost(self):
+        client, store = self.make_store()
+        pending = [f"p{i}" for i in range(3)]
+        poller = CellStore(store.backend)
+
+        def poll_cost(landed: int) -> int:
+            for i in range(landed):
+                store.put("ratio", f"k{i}", float(i))
+            keys = [f"k{i}" for i in range(landed)] + pending
+            poller.filter_missing("ratio", keys)  # warm the cache
+            client.op_counts.clear()
+            poller.filter_missing("ratio", keys)
+            return sum(client.op_counts.values())
+
+        assert poll_cost(10) == poll_cost(80)
+
+    def test_put_feeds_the_cache(self):
+        """A worker's own writes are known landed without any round trip."""
+        client, store = self.make_store()
+        store.put("ratio", "mine", 1.0)
+        store.clear_memory()
+        client.op_counts.clear()
+        assert store.filter_missing("ratio", ["mine"]) == []
+        assert sum(client.op_counts.values()) == 0
+
+    def test_healed_entry_leaves_the_cache(self):
+        """Heal-on-decode must evict, or the poller would report the cell
+        landed forever while verify keeps failing (a pending livelock)."""
+        client, store = self.make_store()
+        store.put("ratio", "k", 0.5)
+        store.clear_memory()
+        name = store._entry_name("ratio", "k")
+        client.put_object(name, b"\xabRS1\x00\x04zlibgarbage")
+        assert store.get("ratio", "k") is None  # healed by deletion
+        assert store.filter_missing("ratio", ["k"]) == ["k"]

@@ -38,6 +38,35 @@ class TestClaimOrder:
         with pytest.raises(ValueError, match="claim order"):
             worker.claim_order_from("random")
 
+    def test_lru_starts_sorted_then_backs_off_attempted(self):
+        class U:
+            def __init__(self, key):
+                self.key = key
+
+        units = [U("b"), U("a"), U("c")]
+        order = worker.claim_order_from("lru")
+        assert [u.key for u in order(units)] == ["a", "b", "c"]
+        # A conflicted (peer-held) cell drops to the back...
+        order.note("a")
+        assert [u.key for u in order(units)] == ["b", "c", "a"]
+        # ...and drifts forward again as later attempts pass it.
+        order.note("b")
+        order.note("c")
+        assert [u.key for u in order(units)] == ["a", "b", "c"]
+
+    def test_lru_instances_are_independent(self):
+        first = worker.claim_order_from("lru")
+        second = worker.claim_order_from("lru")
+        first.note("a")
+
+        class U:
+            def __init__(self, key):
+                self.key = key
+
+        units = [U("a"), U("b")]
+        assert [u.key for u in first(units)] == ["b", "a"]
+        assert [u.key for u in second(units)] == ["a", "b"]
+
 
 class TestWorkerLoop:
     def test_waits_for_a_manifest_then_times_out(self, tmp_path):
