@@ -12,6 +12,15 @@ Measures the two promises of the freeze/serve split:
   the concurrent single-row requests into one vectorised kernel pass per
   ~1 ms window; the benchmark gates on batched throughput at the highest
   concurrency being at least the unbatched figure.
+* **Wire formats** (``--binary``): the same serving matrix with JSON
+  bodies vs binary frames (``application/x-gbaf-batch``) carrying
+  multi-row requests — the ``wire_formats`` record in
+  ``BENCH_serve.json``.  Gates: binary throughput at least JSON's, and
+  binary p50 no worse than JSON's, at the highest concurrency.
+* **Multi-model routing** (``--models N``): one server routing N
+  independent artifacts with the client fleet split across
+  ``/models/<name>/predict`` — the ``multi_model`` record.  Gates: every
+  model answered its share, zero server errors.
 
 **Parity is the contract**: before timing anything, frozen predictions are
 compared bit-for-bit against ``GranularBallClassifier.predict`` and the
@@ -43,6 +52,7 @@ from repro.classifiers.gb_classifier import GranularBallClassifier
 from repro.datasets import load_dataset
 from repro.serving import FrozenPredictor, PredictorManager
 from repro.serving.client import PredictClient
+from repro.serving.router import ModelRouter
 from repro.serving.server import PredictServer
 
 OUTPUT_DIR = Path(__file__).parent / "output"
@@ -117,9 +127,11 @@ def bench_load(clf, tmp_dir: Path, repeats: int = 20) -> dict:
 
 
 async def _client_run(host: str, port: int, rows: list,
-                      n_requests: int) -> list[float]:
+                      n_requests: int, *, binary: bool = False,
+                      model: str | None = None) -> list[float]:
     """One keep-alive client firing sequential requests; returns latencies."""
-    client = await PredictClient.connect(host, port)
+    client = await PredictClient.connect(host, port, binary=binary,
+                                         model=model)
     latencies = []
     try:
         for _ in range(n_requests):
@@ -129,6 +141,21 @@ async def _client_run(host: str, port: int, rows: list,
     finally:
         await client.close()
     return latencies
+
+
+def _latency_record(per_client: list[list[float]], wall: float) -> dict:
+    latencies = np.array([lat for client in per_client for lat in client])
+    return {
+        "n_requests": int(latencies.size),
+        "wall_seconds": wall,
+        "throughput_rps": latencies.size / wall,
+        "latency_ms": {
+            "p50": float(np.percentile(latencies, 50) * 1e3),
+            "p99": float(np.percentile(latencies, 99) * 1e3),
+            "mean": float(latencies.mean() * 1e3),
+            "max": float(latencies.max() * 1e3),
+        },
+    }
 
 
 async def _measure_async(predictor, queries: np.ndarray, *, concurrency: int,
@@ -155,19 +182,10 @@ async def _measure_async(predictor, queries: np.ndarray, *, concurrency: int,
         stats = server.stats()
     finally:
         await server.shutdown()
-    latencies = np.array([lat for client in per_client for lat in client])
     record = {
         "concurrency": concurrency,
         "batching": batching,
-        "n_requests": int(latencies.size),
-        "wall_seconds": wall,
-        "throughput_rps": latencies.size / wall,
-        "latency_ms": {
-            "p50": float(np.percentile(latencies, 50) * 1e3),
-            "p99": float(np.percentile(latencies, 99) * 1e3),
-            "mean": float(latencies.mean() * 1e3),
-            "max": float(latencies.max() * 1e3),
-        },
+        **_latency_record(per_client, wall),
     }
     if batching:
         batch = stats["batch"]
@@ -190,6 +208,264 @@ def measure_serving(predictor, queries: np.ndarray, *, concurrency: int,
             requests_per_client=requests_per_client, batching=batching,
             batch_window=batch_window, max_batch=max_batch,
         )
+    )
+
+
+# ----------------------------------------------------------------------
+# wire formats: JSON float text vs binary frames
+# ----------------------------------------------------------------------
+
+
+async def _measure_wire_async(predictor, queries: np.ndarray, *,
+                              concurrency: int, requests_per_client: int,
+                              rows_per_request: int, batch_window: float,
+                              max_batch: int) -> dict:
+    """JSON vs binary predict bodies over one server, same rows.
+
+    Requests carry ``rows_per_request`` rows each — the regime the binary
+    frame exists for: past a handful of rows the JSON path spends more
+    time on float text than on the kernel.  Before timing, one request
+    per format must answer bit-identically (the parity contract extends
+    to the wire).
+    """
+    server = PredictServer(
+        predictor, port=0, batching=True,
+        batch_window=batch_window, max_batch=max_batch,
+    )
+    await server.start()
+    try:
+        rows = [
+            queries[
+                (i * rows_per_request) % len(queries):
+            ][:rows_per_request].tolist()
+            for i in range(concurrency)
+        ]
+        # Bit-parity across formats before any timing.
+        check_client = await PredictClient.connect(server.host, server.port)
+        check_binary = await PredictClient.connect(
+            server.host, server.port, binary=True
+        )
+        try:
+            parity = (
+                await check_client.predict(rows[0])
+                == await check_binary.predict(rows[0])
+            )
+        finally:
+            await check_client.close()
+            await check_binary.close()
+        if not parity:
+            return {"wire_bit_identical": False}
+
+        formats = {}
+        for fmt in ("json", "binary"):
+            start = time.perf_counter()
+            per_client = await asyncio.gather(
+                *[
+                    _client_run(server.host, server.port, rows[i],
+                                requests_per_client,
+                                binary=fmt == "binary")
+                    for i in range(concurrency)
+                ]
+            )
+            formats[fmt] = _latency_record(
+                per_client, time.perf_counter() - start
+            )
+        n_frames = server.n_binary_requests
+    finally:
+        await server.shutdown()
+    return {
+        "concurrency": concurrency,
+        "rows_per_request": rows_per_request,
+        "wire_bit_identical": True,
+        "json": formats["json"],
+        "binary": formats["binary"],
+        "n_binary_requests": n_frames,
+        "binary_vs_json": {
+            "rps_ratio": (
+                formats["binary"]["throughput_rps"]
+                / formats["json"]["throughput_rps"]
+            ),
+            "p50_ratio": (
+                formats["binary"]["latency_ms"]["p50"]
+                / formats["json"]["latency_ms"]["p50"]
+            ),
+        },
+    }
+
+
+def measure_wire_formats(predictor, queries: np.ndarray, *,
+                         concurrency: int, requests_per_client: int,
+                         rows_per_request: int = 64,
+                         batch_window: float = 0.001,
+                         max_batch: int = 256) -> dict:
+    return asyncio.run(
+        _measure_wire_async(
+            predictor, queries, concurrency=concurrency,
+            requests_per_client=requests_per_client,
+            rows_per_request=rows_per_request,
+            batch_window=batch_window, max_batch=max_batch,
+        )
+    )
+
+
+def run_wire_benchmark(*, dataset: str = "S5", size_factor: float = 1.0,
+                       rho: int = 5, seed: int = 0,
+                       concurrency_levels=(1, 8, 64),
+                       requests_per_client: int = 50,
+                       rows_per_request: int = 64) -> dict:
+    """The ``wire_formats`` record: JSON vs binary across concurrency."""
+    import tempfile
+
+    clf, x, _y = build_model(dataset, size_factor, rho, seed)
+    gen = np.random.default_rng(seed + 1)
+    queries = gen.normal(
+        x.mean(axis=0), x.std(axis=0) * 1.5, (1024, x.shape[1])
+    )
+    with tempfile.TemporaryDirectory() as td:
+        artifact_path = Path(td) / "wire-model.gba"
+        clf.freeze(artifact_path)
+        with FrozenPredictor.load(artifact_path) as predictor:
+            levels = [
+                measure_wire_formats(
+                    predictor, queries, concurrency=concurrency,
+                    requests_per_client=requests_per_client,
+                    rows_per_request=rows_per_request,
+                )
+                for concurrency in concurrency_levels
+            ]
+    top = max(concurrency_levels)
+    at_top = next(r for r in levels if r["concurrency"] == top)
+    return {
+        "rows_per_request": rows_per_request,
+        "requests_per_client": requests_per_client,
+        "levels": levels,
+        "binary_vs_json_at_max_concurrency": {
+            "concurrency": top,
+            "json_rps": at_top["json"]["throughput_rps"],
+            "binary_rps": at_top["binary"]["throughput_rps"],
+            "json_p50_ms": at_top["json"]["latency_ms"]["p50"],
+            "binary_p50_ms": at_top["binary"]["latency_ms"]["p50"],
+            "speedup": at_top["binary_vs_json"]["rps_ratio"],
+        },
+    }
+
+
+def format_wire_report(record: dict) -> str:
+    lines = [
+        f"wire formats — {record['rows_per_request']} rows/request, "
+        "JSON vs binary frames",
+        f"{'clients':>8s} {'format':>7s} {'p50 [ms]':>9s} {'p99 [ms]':>9s} "
+        f"{'req/s':>9s}",
+    ]
+    for level in record["levels"]:
+        for fmt in ("json", "binary"):
+            row = level[fmt]
+            lat = row["latency_ms"]
+            lines.append(
+                f"{level['concurrency']:8d} {fmt:>7s} {lat['p50']:9.3f} "
+                f"{lat['p99']:9.3f} {row['throughput_rps']:9.0f}"
+            )
+    gate = record["binary_vs_json_at_max_concurrency"]
+    lines.append(
+        f"at {gate['concurrency']} clients: binary {gate['binary_rps']:.0f} "
+        f"req/s vs JSON {gate['json_rps']:.0f} req/s "
+        f"({gate['speedup']:.2f}x), p50 {gate['binary_p50_ms']:.3f} ms vs "
+        f"{gate['json_p50_ms']:.3f} ms"
+    )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# multi-model routing: one listener, N independent artifacts
+# ----------------------------------------------------------------------
+
+
+async def _measure_multi_model_async(clf, queries: np.ndarray, *,
+                                     work_dir: Path, n_models: int,
+                                     concurrency: int,
+                                     requests_per_client: int) -> dict:
+    """A fleet split across ``/models/<name>/predict`` on one server."""
+    specs = {}
+    for i in range(n_models):
+        path = work_dir / f"routed-{i}.gba"
+        clf.freeze(path)
+        specs[f"m{i}"] = path
+    router = ModelRouter.from_specs(specs, "m0", poll_interval=600.0)
+    server = PredictServer(router, port=0, max_pending=max(64, concurrency))
+    await server.start()
+    try:
+        rows = [queries[i % len(queries)].tolist() for i in range(concurrency)]
+        start = time.perf_counter()
+        per_client = await asyncio.gather(
+            *[
+                _client_run(server.host, server.port, [rows[i]],
+                            requests_per_client, model=f"m{i % n_models}")
+                for i in range(concurrency)
+            ]
+        )
+        wall = time.perf_counter() - start
+        stats = server.stats()
+    finally:
+        await server.shutdown()
+        router.close()
+    per_model = {
+        name: batch["n_requests"]
+        for name, batch in stats["batch_by_model"].items()
+    }
+    return {
+        "n_models": n_models,
+        "concurrency": concurrency,
+        **_latency_record(per_client, wall),
+        "requests_by_model": per_model,
+        "server_errors": stats["admission"]["n_errors"],
+    }
+
+
+def measure_multi_model(clf, queries: np.ndarray, *, work_dir: Path,
+                        n_models: int, concurrency: int,
+                        requests_per_client: int) -> dict:
+    return asyncio.run(
+        _measure_multi_model_async(
+            clf, queries, work_dir=work_dir, n_models=n_models,
+            concurrency=concurrency,
+            requests_per_client=requests_per_client,
+        )
+    )
+
+
+def run_multi_model_benchmark(*, dataset: str = "S5",
+                              size_factor: float = 0.5, rho: int = 5,
+                              seed: int = 0, n_models: int = 2,
+                              concurrency: int = 8,
+                              requests_per_client: int = 50) -> dict:
+    """The ``multi_model`` record: routed serving over N artifacts."""
+    import tempfile
+
+    clf, x, _y = build_model(dataset, size_factor, rho, seed)
+    gen = np.random.default_rng(seed + 1)
+    queries = gen.normal(
+        x.mean(axis=0), x.std(axis=0) * 1.5, (256, x.shape[1])
+    )
+    with tempfile.TemporaryDirectory() as td:
+        return measure_multi_model(
+            clf, queries, work_dir=Path(td), n_models=n_models,
+            concurrency=concurrency,
+            requests_per_client=requests_per_client,
+        )
+
+
+def format_multi_model_report(record: dict) -> str:
+    shares = ", ".join(
+        f"{name}: {count}"
+        for name, count in sorted(record["requests_by_model"].items())
+    )
+    return (
+        f"multi-model: {record['n_models']} models / "
+        f"{record['concurrency']} clients — "
+        f"{record['n_requests']} requests at "
+        f"{record['throughput_rps']:.0f} req/s "
+        f"(p50 {record['latency_ms']['p50']:.3f} ms), "
+        f"per-model [{shares}], {record['server_errors']} errors"
     )
 
 
@@ -477,6 +753,37 @@ def test_reload_under_load_smoke():
     assert "failed" in format_reload_report(record)
 
 
+def test_wire_format_comparison_smoke():
+    record = run_wire_benchmark(
+        size_factor=0.2, concurrency_levels=(1, 4),
+        requests_per_client=10, rows_per_request=16,
+    )
+    assert len(record["levels"]) == 2
+    for level in record["levels"]:
+        assert level["wire_bit_identical"]
+        assert level["json"]["n_requests"] == level["binary"]["n_requests"]
+        assert level["n_binary_requests"] >= level["binary"]["n_requests"]
+        assert level["binary_vs_json"]["rps_ratio"] > 0
+    gate = record["binary_vs_json_at_max_concurrency"]
+    assert gate["concurrency"] == 4
+    assert "binary" in format_wire_report(record)
+
+
+def test_multi_model_benchmark_smoke():
+    record = run_multi_model_benchmark(
+        size_factor=0.1, n_models=2, concurrency=4,
+        requests_per_client=10,
+    )
+    assert record["n_models"] == 2
+    assert record["server_errors"] == 0
+    assert sorted(record["requests_by_model"]) == ["m0", "m1"]
+    # The fleet was split: every model answered its share.
+    assert all(
+        count == 2 * 10 for count in record["requests_by_model"].values()
+    )
+    assert "multi-model" in format_multi_model_report(record)
+
+
 def test_report_and_json_round_trip(tmp_path):
     record = run_benchmark(
         size_factor=0.1, concurrency_levels=(1, 4),
@@ -516,6 +823,17 @@ def main(argv=None) -> int:
                              "(default: 0 = skip)")
     parser.add_argument("--reload-clients", type=int, default=8,
                         help="streaming clients for --reloads (default: 8)")
+    parser.add_argument("--binary", action="store_true",
+                        help="also compare JSON vs binary wire formats and "
+                             "gate on binary being no slower at the top "
+                             "concurrency")
+    parser.add_argument("--rows-per-request", type=int, default=64,
+                        help="rows per request in the --binary comparison "
+                             "(default: 64)")
+    parser.add_argument("--models", type=int, default=0, metavar="N",
+                        help="also bench a router serving N models with "
+                             "the fleet split across them "
+                             "(default: 0 = skip)")
     args = parser.parse_args(argv)
 
     record = run_benchmark(
@@ -539,6 +857,27 @@ def main(argv=None) -> int:
         )
         record["reload_under_load"] = reload_record
         report += "\n" + format_reload_report(reload_record)
+
+    if args.binary:
+        wire_record = run_wire_benchmark(
+            dataset=args.dataset, size_factor=args.size_factor,
+            rho=args.rho, seed=args.seed,
+            concurrency_levels=tuple(args.concurrency),
+            requests_per_client=max(10, args.requests // 4),
+            rows_per_request=args.rows_per_request,
+        )
+        record["wire_formats"] = wire_record
+        report += "\n" + format_wire_report(wire_record)
+
+    if args.models > 1:
+        multi_record = run_multi_model_benchmark(
+            dataset=args.dataset, size_factor=args.size_factor,
+            rho=args.rho, seed=args.seed, n_models=args.models,
+            concurrency=max(args.concurrency),
+            requests_per_client=max(10, args.requests // 4),
+        )
+        record["multi_model"] = multi_record
+        report += "\n" + format_multi_model_report(multi_record)
 
     print(report)
 
@@ -566,6 +905,37 @@ def main(argv=None) -> int:
             return 1
         if not reload_record["post_swap_bit_identical"]:
             print("FAIL: post-swap predictions differ from a fresh predictor")
+            return 1
+    wire_record = record.get("wire_formats")
+    if wire_record is not None:
+        if not all(lv["wire_bit_identical"] for lv in wire_record["levels"]):
+            print("FAIL: JSON and binary predictions differ")
+            return 1
+        wgate = wire_record["binary_vs_json_at_max_concurrency"]
+        if wgate["binary_rps"] < wgate["json_rps"]:
+            print(
+                f"FAIL: binary throughput {wgate['binary_rps']:.0f} req/s "
+                f"below JSON {wgate['json_rps']:.0f} req/s at "
+                f"{wgate['concurrency']} clients"
+            )
+            return 1
+        if wgate["binary_p50_ms"] > wgate["json_p50_ms"]:
+            print(
+                f"FAIL: binary p50 {wgate['binary_p50_ms']:.3f} ms above "
+                f"JSON p50 {wgate['json_p50_ms']:.3f} ms at "
+                f"{wgate['concurrency']} clients"
+            )
+            return 1
+    multi_record = record.get("multi_model")
+    if multi_record is not None:
+        if multi_record["server_errors"] > 0:
+            print(
+                f"FAIL: {multi_record['server_errors']} server errors "
+                "during the multi-model run"
+            )
+            return 1
+        if len(multi_record["requests_by_model"]) != multi_record["n_models"]:
+            print("FAIL: not every routed model answered requests")
             return 1
     return 0
 

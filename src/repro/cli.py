@@ -197,6 +197,27 @@ def _cmd_freeze(args) -> int:
     return 0
 
 
+def _parse_model_specs(pairs) -> dict:
+    """``NAME=PATH`` tokens from repeated ``--model`` flags, validated."""
+    from repro.serving.router import validate_model_name
+
+    specs = {}
+    for pair in pairs:
+        name, sep, path = pair.partition("=")
+        if not sep or not path:
+            raise SystemExit(
+                f"serve: --model needs NAME=PATH, got {pair!r}"
+            )
+        try:
+            validate_model_name(name)
+        except ValueError as exc:
+            raise SystemExit(f"serve: {exc}")
+        if name in specs:
+            raise SystemExit(f"serve: model {name!r} given twice")
+        specs[name] = path
+    return specs
+
+
 def _cmd_serve(args) -> int:
     from repro.serving.server import run_server
 
@@ -208,9 +229,41 @@ def _cmd_serve(args) -> int:
         raise SystemExit("serve: --max-pending must be >= 1")
     if args.poll_interval_s <= 0:
         raise SystemExit("serve: --poll-interval-s must be > 0")
+    models = _parse_model_specs(args.model or [])
+    if args.artifact is None and not models:
+        raise SystemExit(
+            "serve: give an artifact path or at least one --model NAME=PATH"
+        )
+    if args.artifact is not None and models:
+        raise SystemExit(
+            "serve: pass either a positional artifact or --model "
+            "NAME=PATH flags, not both"
+        )
+    if models:
+        default_model = args.default_model
+        if default_model is None and len(models) == 1:
+            default_model = next(iter(models))
+        if default_model is None:
+            raise SystemExit(
+                "serve: --default-model is required with more than one "
+                "--model"
+            )
+        if default_model not in models:
+            raise SystemExit(
+                f"serve: --default-model {default_model!r} is not among "
+                f"the --model names ({', '.join(sorted(models))})"
+            )
+    else:
+        if args.default_model is not None:
+            raise SystemExit(
+                "serve: --default-model needs --model NAME=PATH flags"
+            )
+        default_model = None
     try:
         return run_server(
             args.artifact,
+            models=models or None,
+            default_model=default_model,
             host=args.host,
             port=args.port,
             batch_window=args.batch_window_ms / 1e3,
@@ -223,6 +276,7 @@ def _cmd_serve(args) -> int:
                 else args.request_timeout_s
             ),
             poll_interval=args.poll_interval_s,
+            binary=not args.no_binary,
             watch=not args.no_reload,
         )
     except (FileNotFoundError, ValueError) as exc:
@@ -295,9 +349,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_serve = sub.add_parser(
         "serve",
-        help="serve POST /predict over HTTP from a frozen artifact",
+        help="serve POST /predict over HTTP from frozen artifacts "
+             "(single artifact or --model NAME=PATH multi-model)",
     )
-    p_serve.add_argument("artifact", help="artifact written by `repro freeze`")
+    p_serve.add_argument("artifact", nargs="?", default=None,
+                         help="artifact written by `repro freeze` "
+                              "(single-model form; or use --model)")
+    p_serve.add_argument("--model", action="append", metavar="NAME=PATH",
+                         help="serve this artifact under /models/NAME/"
+                              "predict (repeatable; mutually exclusive "
+                              "with the positional artifact)")
+    p_serve.add_argument("--default-model", default=None, metavar="NAME",
+                         help="model that plain /predict aliases to "
+                              "(required with more than one --model)")
+    p_serve.add_argument("--no-binary", action="store_true",
+                         help="refuse the binary wire protocol "
+                              "(application/x-gbaf-batch gets 415; "
+                              "clients fall back to JSON)")
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8000,
                          help="TCP port (0 = ephemeral, printed on start)")

@@ -18,6 +18,13 @@ decode path is as fast as the hardware allows):
 * :mod:`repro.serving.manager` — :class:`PredictorManager`, hot artifact
   reload: watch the artifact path, validate the replacement, swap it
   atomically under live traffic, roll back on a corrupt publish.
+* :mod:`repro.serving.router` — :class:`ModelRouter`, one server process
+  routing many model names to independent managers
+  (``POST /models/<name>/predict``), with per-model reload and fault
+  isolation and all-models-ready aggregate readiness.
+* :mod:`repro.serving.wire` — the versioned binary request/response
+  codec (``Content-Type: application/x-gbaf-batch``): raw C-contiguous
+  array rows instead of JSON float text on the hot path.
 * :mod:`repro.serving.server` — the ``repro serve`` asyncio HTTP service
   with admission control, per-request deadlines, liveness/readiness
   endpoints and graceful SIGTERM drain.
@@ -42,6 +49,16 @@ from repro.serving.artifact import (
 from repro.serving.batching import BatcherClosedError, MicroBatcher
 from repro.serving.manager import PredictorManager
 from repro.serving.predictor import FrozenPredictor
+from repro.serving.router import ModelRouter, UnknownModelError
+from repro.serving.wire import (
+    WIRE_CONTENT_TYPE,
+    WIRE_VERSION,
+    WireError,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
 
 __all__ = [
     "Artifact",
@@ -49,7 +66,16 @@ __all__ = [
     "FORMAT_VERSION",
     "FrozenPredictor",
     "MicroBatcher",
+    "ModelRouter",
     "PredictorManager",
+    "UnknownModelError",
+    "WIRE_CONTENT_TYPE",
+    "WIRE_VERSION",
+    "WireError",
+    "decode_request",
+    "decode_response",
+    "encode_request",
+    "encode_response",
     "freeze_classifier",
     "load_artifact",
     "write_artifact",

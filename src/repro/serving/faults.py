@@ -12,8 +12,19 @@ real deployments actually break —
 * **before an artifact load** (:meth:`before_load`): fail the next N
   loads, as a torn copy or bad disk would (drives reload rollback);
 * **on a connection** (:meth:`take_connection_drop`,
-  :meth:`take_forced_close`): drop the socket without a response, or
-  answer with ``Connection: close`` (drives client reconnect/retry).
+  :meth:`take_forced_close`, :meth:`take_truncated_response`): drop the
+  socket without a response, answer with ``Connection: close``, or send
+  only a prefix of the response bytes before closing — a mid-body drop
+  (drives client reconnect/retry, including the retry-after-partial-read
+  path).
+
+Multi-model serving adds a second axis: faults can be armed **per
+model**.  :meth:`for_model` returns a scoped child injector that the
+:class:`~repro.serving.router.ModelRouter` hands to that model's
+manager and that the server consults for that model's predicts — so a
+test can make exactly one model's loads fail while its siblings stay
+healthy.  The parent's counters aggregate nothing; each scope counts
+its own fired faults.
 
 Armed faults are one-shot counters, so tests stay deterministic: arm
 exactly N faults, observe exactly N failures, and the system must be
@@ -53,12 +64,27 @@ class _FaultInjector:
         self._load_failures = 0
         self._connection_drops = 0
         self._forced_closes = 0
+        self._truncated_responses = 0
+        #: Per-model child injectors (see :meth:`for_model`).
+        self._models: dict[str, "_FaultInjector"] = {}
         # Counters of faults actually fired, asserted by the tests.
         self.n_delays = 0
         self.n_predict_failures = 0
         self.n_load_failures = 0
         self.n_connection_drops = 0
         self.n_forced_closes = 0
+        self.n_truncated_responses = 0
+
+    def for_model(self, name: str) -> "_FaultInjector":
+        """The scoped injector for one model (created on first use).
+
+        The router passes the scoped injector to that model's manager,
+        and the server consults it via ``before_predict(model=name)`` —
+        arming it therefore breaks exactly one model.
+        """
+        if name not in self._models:
+            self._models[name] = _FaultInjector()
+        return self._models[name]
 
     # -- arming ---------------------------------------------------------
 
@@ -82,10 +108,20 @@ class _FaultInjector:
         """The next ``n`` responses carry ``Connection: close``."""
         self._forced_closes += int(n)
 
+    def truncate_responses(self, n: int = 1) -> None:
+        """The next ``n`` responses are cut off mid-body, then closed."""
+        self._truncated_responses += int(n)
+
     # -- hooks consulted by server/manager ------------------------------
 
-    async def before_predict(self) -> None:
-        """Server hook: runs before each predict is submitted."""
+    async def before_predict(self, model: str | None = None) -> None:
+        """Server hook: runs before each predict is submitted.
+
+        ``model`` consults that model's scoped injector first (if one
+        was ever armed), then this injector's own faults.
+        """
+        if model is not None and model in self._models:
+            await self._models[model].before_predict()
         if self.predict_delay > 0:
             self.n_delays += 1
             await asyncio.sleep(self.predict_delay)
@@ -114,6 +150,14 @@ class _FaultInjector:
         if self._forced_closes > 0:
             self._forced_closes -= 1
             self.n_forced_closes += 1
+            return True
+        return False
+
+    def take_truncated_response(self) -> bool:
+        """Server hook: ``True`` = send half the response bytes, close."""
+        if self._truncated_responses > 0:
+            self._truncated_responses -= 1
+            self.n_truncated_responses += 1
             return True
         return False
 

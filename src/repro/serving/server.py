@@ -2,46 +2,65 @@
 
 A deliberately small HTTP/1.1 server on stdlib asyncio (this build has no
 third-party web framework, and needs none: the request surface is a
-handful of JSON endpoints).  Design points:
+handful of endpoints).  Design points:
 
-* **Micro-batched by default.**  ``POST /predict`` submits to a
-  :class:`~repro.serving.batching.MicroBatcher`; concurrent requests are
-  answered by one vectorised kernel pass per ~1 ms window.  ``--no-batch``
-  serves each request individually (the benchmark baseline).
-* **Hot artifact reload.**  The model lives behind a
-  :class:`~repro.serving.manager.PredictorManager`: republishing the
-  artifact file (or SIGHUP, or ``POST /admin/reload``) loads + validates
-  the new model in the background and swaps it atomically under traffic;
-  a corrupt replacement rolls back and the old model keeps serving.
-* **Admission control.**  At most ``max_pending`` predicts wait at once;
-  beyond that the server sheds with an explicit ``503`` +
-  ``Retry-After`` instead of queueing unboundedly toward collapse.
+* **Multi-model routing.**  The server holds a
+  :class:`~repro.serving.router.ModelRouter`: each model name maps to an
+  independent :class:`~repro.serving.manager.PredictorManager` (own
+  artifact, watcher, generation counter, swap history).
+  ``POST /models/<name>/predict`` routes explicitly; ``POST /predict``
+  aliases the configured default model, so single-model deployments and
+  old clients are unchanged.
+* **Binary wire protocol.**  A request with
+  ``Content-Type: application/x-gbaf-batch`` carries raw array rows
+  (:mod:`repro.serving.wire`) and is answered in kind — no JSON float
+  text on the hot path.  JSON stays the default; error bodies are always
+  JSON; a server started with ``binary=False`` answers ``415`` and the
+  client falls back.
+* **Micro-batched by default.**  Each model has its own
+  :class:`~repro.serving.batching.MicroBatcher`; concurrent requests for
+  one model are answered by one vectorised kernel pass per ~1 ms window.
+  ``--no-batch`` serves each request individually (the benchmark
+  baseline).
+* **Hot artifact reload, per model.**  Republishing any model's artifact
+  (or SIGHUP, or ``POST /admin/reload``) loads + validates the new model
+  in the background and swaps it atomically under traffic; a corrupt
+  replacement rolls back that model while its siblings keep serving.
+* **Admission control.**  At most ``max_pending`` predicts wait at once
+  (across all models); beyond that the server sheds with an explicit
+  ``503`` + ``Retry-After`` instead of queueing unboundedly toward
+  collapse.
 * **Bounded waits.**  Every predict carries a deadline
   (``request_timeout``); expiry answers ``504`` and the workspace stays
   consistent for the next request.
 * **Liveness vs readiness.**  ``GET /healthz`` answers whenever the
-  process is alive (plus model info, serving stats and the swap
-  history); ``GET /readyz`` is the load-balancer gate — 503 while
-  draining, after a failed reload, or with the pending queue above its
-  high-water mark.
+  process is alive (plus per-model info, serving stats and swap
+  histories); ``GET /readyz`` is the load-balancer gate — 503 while
+  draining, while **any** model's last reload failed, or with the
+  pending queue above its high-water mark.
 * **Keep-alive.**  Connections serve any number of sequential requests;
   serving fleets and the benchmark client reuse sockets.
-* **Graceful drain.**  SIGTERM/SIGINT stop the listener, flush the pending
-  batch so every in-flight request gets its answer, wait for open
-  connections to finish their current request, then exit 0.  No request
-  that was accepted is ever dropped; late requests on established
-  keep-alive sockets get ``503`` + ``Connection: close``.
+* **Graceful drain.**  SIGTERM/SIGINT stop the listener, flush every
+  model's pending batch so in-flight requests get their answers, wait
+  for open connections to finish their current request, then exit 0.  No
+  request that was accepted is ever dropped; late requests on
+  established keep-alive sockets get ``503`` + ``Connection: close``.
 
 Endpoints::
 
-    POST /predict       {"x": [[...], ...]}  ->  {"labels": [...], "n": N}
-    GET  /healthz                            ->  liveness + model + stats
-    GET  /readyz                             ->  readiness gate (200/503)
-    POST /admin/reload                       ->  explicit artifact reload
+    POST /predict                 {"x": [[...], ...]} -> {"labels": [...], "n": N}
+    POST /models/<name>/predict   same, routed to the named model
+    GET  /healthz                 -> liveness + per-model detail + stats
+    GET  /readyz                  -> readiness gate (200/503)
+    POST /admin/reload            {"model": name?} -> reload one/all models
+    POST /models/<name>/admin/reload -> reload exactly that model
 
-Errors are JSON too: 400 for malformed bodies, 404 for unknown routes,
-413 for oversized bodies, 500 (with a logged ``error_id``) for predictor
-failures, 503 while draining/overloaded, 504 past the deadline.
+Both predict routes speak JSON or the binary frame, negotiated by the
+request ``Content-Type``.  Errors are JSON: 400 for malformed bodies,
+404 for unknown routes or model names, 413 for oversized bodies, 415
+for the binary content type when disabled, 500 (with a logged
+``error_id``) for predictor failures, 503 while draining/overloaded,
+504 past the deadline.
 """
 
 from __future__ import annotations
@@ -55,16 +74,18 @@ import uuid
 
 import numpy as np
 
+from repro.serving import wire
 from repro.serving.batching import BatcherClosedError, MicroBatcher
 from repro.serving.manager import PredictorManager
 from repro.serving.predictor import FrozenPredictor
+from repro.serving.router import ModelRouter, UnknownModelError
 
 __all__ = ["PredictServer", "run_server"]
 
 log = logging.getLogger("repro.serving")
 
-#: Hard cap on request bodies; a predict row is ~tens of floats, so even
-#: generous batches sit far below this.
+#: Hard cap on request bodies; a predict row is ~tens of floats (JSON) or
+#: 8 bytes per feature (binary), so even generous batches sit far below.
 MAX_BODY_BYTES = 16 * 1024 * 1024
 
 #: Delta-seconds hint sent with shed (503 overloaded) responses.
@@ -73,6 +94,11 @@ RETRY_AFTER_SECONDS = 1
 
 class _BadRequest(ValueError):
     """Client-side error mapped to a 400 response."""
+
+
+class _RequestTooLarge(ValueError):
+    """Oversized body mapped to a 413 response (connection closes: the
+    unread body cannot be skipped safely on a keep-alive socket)."""
 
 
 async def _read_request(reader: asyncio.StreamReader):
@@ -100,7 +126,9 @@ async def _read_request(reader: asyncio.StreamReader):
     except ValueError:
         raise _BadRequest("malformed Content-Length")
     if length > MAX_BODY_BYTES:
-        raise _BadRequest(f"body exceeds {MAX_BODY_BYTES} bytes")
+        raise _RequestTooLarge(
+            f"body of {length} bytes exceeds the {MAX_BODY_BYTES}-byte cap"
+        )
     body = await reader.readexactly(length) if length else b""
     return method, target, headers, body
 
@@ -108,9 +136,16 @@ async def _read_request(reader: asyncio.StreamReader):
 def _response(status: int, reason: str, payload: dict, keep_alive: bool,
               extra_headers: dict | None = None) -> bytes:
     body = json.dumps(payload).encode("utf-8")
+    return _raw_response(status, reason, body, "application/json",
+                         keep_alive, extra_headers)
+
+
+def _raw_response(status: int, reason: str, body: bytes, content_type: str,
+                  keep_alive: bool,
+                  extra_headers: dict | None = None) -> bytes:
     head = [
         f"HTTP/1.1 {status} {reason}",
-        "Content-Type: application/json",
+        f"Content-Type: {content_type}",
         f"Content-Length: {len(body)}",
         f"Connection: {'keep-alive' if keep_alive else 'close'}",
     ]
@@ -119,16 +154,21 @@ def _response(status: int, reason: str, payload: dict, keep_alive: bool,
     return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
 
 
+def _content_type_of(headers: dict) -> str:
+    """The media type of a request, lower-cased, parameters stripped."""
+    return headers.get("content-type", "").partition(";")[0].strip().lower()
+
+
 class PredictServer:
-    """The serving loop: listener + router + batcher + reload manager.
+    """The serving loop: listener + router + per-model batchers + reload.
 
     Parameters
     ----------
     predictor:
-        A loaded :class:`~repro.serving.predictor.FrozenPredictor`
-        (wrapped in a non-watching
-        :class:`~repro.serving.manager.PredictorManager`) or a manager
-        built by the caller (``run_server`` does this, with watching).
+        What to serve: a :class:`~repro.serving.router.ModelRouter`
+        (multi-model), a :class:`~repro.serving.manager.PredictorManager`
+        or a bare :class:`~repro.serving.predictor.FrozenPredictor` (both
+        wrapped as a single-model router under the name ``"default"``).
     host, port:
         Bind address; ``port=0`` picks an ephemeral port (see
         :attr:`port` after :meth:`start`).
@@ -140,14 +180,19 @@ class PredictServer:
         ``False`` answers each request with its own kernel pass (the
         benchmark's unbatched baseline).
     max_pending:
-        Admission limit: predicts allowed to wait at once before the
-        server sheds with 503 + ``Retry-After``.
+        Admission limit: predicts allowed to wait at once — across all
+        models — before the server sheds with 503 + ``Retry-After``.
     request_timeout:
         Per-predict deadline in seconds (``None`` = unbounded).  Expiry
         answers 504; the workspace stays consistent.
     ready_fraction:
         ``/readyz`` degrades once the pending queue exceeds this
         fraction of ``max_pending`` (shedding is imminent).
+    binary:
+        Accept the binary wire protocol
+        (``Content-Type: application/x-gbaf-batch``).  ``False`` answers
+        such requests 415, which is also how pre-binary servers behave —
+        the client's fallback path is tested against it.
     fault_injector:
         Optional :class:`~repro.serving.faults._FaultInjector` chaos
         hook (tests/bench only).
@@ -158,23 +203,30 @@ class PredictServer:
                  max_batch: int = 256, batching: bool = True,
                  max_pending: int = 64,
                  request_timeout: float | None = None,
-                 ready_fraction: float = 0.8, fault_injector=None):
-        if isinstance(predictor, PredictorManager):
-            self.manager = predictor
+                 ready_fraction: float = 0.8, binary: bool = True,
+                 fault_injector=None):
+        if isinstance(predictor, ModelRouter):
+            self.router = predictor
+        elif isinstance(predictor, PredictorManager):
+            self.router = ModelRouter.adopt(predictor)
         elif isinstance(predictor, FrozenPredictor):
-            self.manager = PredictorManager.adopt(predictor)
+            self.router = ModelRouter.adopt(PredictorManager.adopt(predictor))
         else:
             raise TypeError(
-                "predictor must be a FrozenPredictor or a PredictorManager"
+                "predictor must be a FrozenPredictor, a PredictorManager "
+                "or a ModelRouter"
             )
         self.host = host
         self.port = int(port)
         self.batching = bool(batching)
-        self.batcher = (
-            MicroBatcher(self.manager.predict, window=batch_window,
-                         max_batch=max_batch)
+        self.batchers: dict[str, MicroBatcher] = (
+            {
+                name: MicroBatcher(manager.predict, window=batch_window,
+                                   max_batch=max_batch)
+                for name, manager in self.router.items()
+            }
             if batching
-            else None
+            else {}
         )
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
@@ -183,6 +235,7 @@ class PredictServer:
             None if request_timeout is None else float(request_timeout)
         )
         self.high_water = max(1, int(ready_fraction * self.max_pending))
+        self.binary = bool(binary)
         self._faults = fault_injector
         self._server: asyncio.AbstractServer | None = None
         self._connections: set[asyncio.Task] = set()
@@ -190,6 +243,7 @@ class PredictServer:
         self._draining = False
         self._started = time.time()
         self.n_http_requests = 0
+        self.n_binary_requests = 0
         self._pending = 0
         self.pending_high_water = 0
         self.n_shed = 0
@@ -197,9 +251,19 @@ class PredictServer:
         self.n_errors = 0
 
     @property
+    def manager(self) -> PredictorManager:
+        """The default model's manager (single-model back-compat)."""
+        return self.router.get()
+
+    @property
     def predictor(self) -> FrozenPredictor:
-        """The live predictor (changes across hot reloads)."""
-        return self.manager.current
+        """The default model's live predictor (changes across reloads)."""
+        return self.router.get().current
+
+    @property
+    def batcher(self) -> MicroBatcher | None:
+        """The default model's batcher (single-model back-compat)."""
+        return self.batchers.get(self.router.default)
 
     # -- lifecycle ------------------------------------------------------
 
@@ -216,9 +280,9 @@ class PredictServer:
         await self.shutdown()
 
     async def shutdown(self, grace: float = 1.0) -> None:
-        """Stop accepting, flush the batcher, wait for open connections.
+        """Stop accepting, flush the batchers, wait for open connections.
 
-        In-flight requests finish normally (the batcher flush resolves
+        In-flight requests finish normally (each batcher flush resolves
         every accepted predict); connections still idle after ``grace``
         seconds are keep-alive sockets with no request in flight and are
         closed outright.
@@ -227,8 +291,8 @@ class PredictServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        if self.batcher is not None:
-            await self.batcher.aclose()
+        for batcher in self.batchers.values():
+            await batcher.aclose()
         if self._connections:
             _done, pending = await asyncio.wait(
                 set(self._connections), timeout=grace
@@ -242,7 +306,9 @@ class PredictServer:
         record = {
             "uptime_seconds": time.time() - self._started,
             "n_http_requests": self.n_http_requests,
+            "n_binary_requests": self.n_binary_requests,
             "batching": self.batching,
+            "binary": self.binary,
             "admission": {
                 "pending": self._pending,
                 "max_pending": self.max_pending,
@@ -253,18 +319,29 @@ class PredictServer:
                 "n_errors": self.n_errors,
             },
             "reload": self.manager.stats(),
+            "router": self.router.stats(),
         }
-        if self.batcher is not None:
-            record["batch"] = self.batcher.stats.as_dict()
+        default_batcher = self.batcher
+        if default_batcher is not None:
+            record["batch"] = default_batcher.stats.as_dict()
+        if self.batchers:
+            record["batch_by_model"] = {
+                name: batcher.stats.as_dict()
+                for name, batcher in sorted(self.batchers.items())
+            }
         return record
 
     def readiness(self) -> tuple[bool, list[str]]:
-        """The ``/readyz`` verdict: ``(ready, reasons-if-not)``."""
+        """The ``/readyz`` verdict: ``(ready, reasons-if-not)``.
+
+        Aggregate readiness is all-models-ready: a load balancer must
+        not route to a server that would fail one of its models.
+        """
         reasons = []
         if self._draining:
             reasons.append("draining")
-        if not self.manager.healthy:
-            reasons.append(f"last reload failed: {self.manager.last_error}")
+        for name, error in sorted(self.router.unhealthy_models().items()):
+            reasons.append(f"model {name!r}: last reload failed: {error}")
         if self._pending >= self.high_water:
             reasons.append(
                 f"pending {self._pending} >= high-water {self.high_water}"
@@ -284,6 +361,11 @@ class PredictServer:
             while True:
                 try:
                     request = await _read_request(reader)
+                except _RequestTooLarge as exc:
+                    writer.write(_response(413, "Payload Too Large",
+                                           {"error": str(exc)}, False))
+                    await writer.drain()
+                    break
                 except _BadRequest as exc:
                     # Flush before closing: without the drain the error
                     # body can be lost in the close.
@@ -302,17 +384,24 @@ class PredictServer:
                     headers.get("connection", "keep-alive").lower() != "close"
                     and not self._draining
                 )
-                status, reason, payload, extra = await self._route(
-                    method, target, body
-                )
+                raw = await self._route(method, target, headers, body,
+                                        keep_alive)
                 if self._faults is not None \
                         and self._faults.take_forced_close():
                     keep_alive = False  # chaos: answer, then hang up
                 if self._draining:
                     keep_alive = False  # drained mid-request
-                writer.write(
-                    _response(status, reason, payload, keep_alive, extra)
-                )
+                if not keep_alive and b"Connection: keep-alive" in raw:
+                    raw = raw.replace(b"Connection: keep-alive",
+                                      b"Connection: close", 1)
+                if self._faults is not None \
+                        and self._faults.take_truncated_response():
+                    # chaos: a mid-body drop — send a strict prefix of
+                    # the response, then hang up.
+                    writer.write(raw[: max(1, len(raw) // 2)])
+                    await writer.drain()
+                    break
+                writer.write(raw)
                 await writer.drain()
                 if not keep_alive:
                     break
@@ -327,130 +416,198 @@ class PredictServer:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
-    async def _route(self, method: str, target: str,
-                     body: bytes) -> tuple[int, str, dict, dict | None]:
+    async def _route(self, method: str, target: str, headers: dict,
+                     body: bytes, keep_alive: bool) -> bytes:
+        """Dispatch one request; returns the full response bytes."""
         path = target.partition("?")[0]
+        model_name: str | None = None
+        if path.startswith("/models/"):
+            rest = path[len("/models/"):]
+            model_name, _, subpath = rest.partition("/")
+            path = "/" + subpath
+            if not model_name or not subpath:
+                return _response(404, "Not Found", {
+                    "error": f"no route {method} {target}"
+                }, keep_alive)
         if path == "/predict" and method == "POST":
-            return await self._handle_predict(body)
-        if path == "/healthz" and method == "GET":
-            predictor = self.manager.current
-            meta = predictor.meta
+            return await self._handle_predict(
+                body, _content_type_of(headers), model_name, keep_alive
+            )
+        if path == "/healthz" and method == "GET" and model_name is None:
             ready, _reasons = self.readiness()
-            return 200, "OK", {
+            default = self.router.get()
+            predictor = default.current
+            meta = predictor.meta
+            return _response(200, "OK", {
                 "status": "draining" if self._draining else "ok",
                 "ready": ready,
-                "generation": self.manager.generation,
+                "default_model": self.router.default,
+                "generation": default.generation,
                 "model": {
+                    "name": self.router.default,
                     "path": str(predictor.path),
                     "n_balls": predictor.n_balls,
                     "n_features": predictor.n_features,
                     "n_source_samples": meta.get("n_source_samples"),
                     "params": meta.get("params"),
                 },
-                "swaps": self.manager.history(),
+                "models": self.router.describe_models(),
+                "swaps": default.history(),
                 "stats": self.stats(),
-            }, None
-        if path == "/readyz" and method == "GET":
+            }, keep_alive)
+        if path == "/readyz" and method == "GET" and model_name is None:
             ready, reasons = self.readiness()
             if ready:
-                return 200, "OK", {"ready": True}, None
-            return 503, "Service Unavailable", {
+                return _response(200, "OK", {"ready": True}, keep_alive)
+            return _response(503, "Service Unavailable", {
                 "ready": False, "reasons": reasons,
-            }, None
+            }, keep_alive)
         if path == "/admin/reload" and method == "POST":
-            entry = await self.manager.reload(reason="admin")
-            if entry["status"] == "swapped":
-                return 200, "OK", entry, None
-            # The old model keeps serving; 409 tells the deploy script
-            # its publish was refused without looking like a predict 5xx.
-            return 409, "Conflict", entry, None
-        return 404, "Not Found", {"error": f"no route {method} {path}"}, None
+            return await self._handle_reload(body, model_name, keep_alive)
+        return _response(404, "Not Found", {
+            "error": f"no route {method} {target}"
+        }, keep_alive)
 
-    async def _submit(self, x: np.ndarray) -> np.ndarray:
+    async def _handle_reload(self, body: bytes, model_name: str | None,
+                             keep_alive: bool) -> bytes:
+        """``POST /admin/reload``: one model by name, or every model.
+
+        The name comes from the ``/models/<name>/admin/reload`` path or
+        a ``{"model": name}`` JSON body; with neither, all models reload
+        and the aggregate status is ``"swapped"`` only if every one
+        swapped.
+        """
+        if model_name is None and body:
+            try:
+                payload = json.loads(body.decode("utf-8"))
+                model_name = payload.get("model")
+            except (ValueError, AttributeError):
+                return _response(400, "Bad Request", {
+                    "error": 'reload body must be JSON {"model": name?}'
+                }, keep_alive)
+        try:
+            entry = await self.router.reload(model_name, reason="admin")
+        except UnknownModelError as exc:
+            return _response(404, "Not Found", {"error": str(exc)},
+                             keep_alive)
+        if entry["status"] == "swapped":
+            return _response(200, "OK", entry, keep_alive)
+        # The old model keeps serving; 409 tells the deploy script its
+        # publish was refused without looking like a predict 5xx.
+        return _response(409, "Conflict", entry, keep_alive)
+
+    async def _submit(self, x: np.ndarray, model_name: str) -> np.ndarray:
         """One predict through the chaos hook and batcher/manager."""
         if self._faults is not None:
-            await self._faults.before_predict()
-        if self.batcher is not None:
-            return await self.batcher.submit(x)
-        return self.manager.predict(x)
+            await self._faults.before_predict(model=model_name)
+        batcher = self.batchers.get(model_name)
+        if batcher is not None:
+            return await batcher.submit(x)
+        return self.router.get(model_name).predict(x)
 
-    async def _handle_predict(
-        self, body: bytes
-    ) -> tuple[int, str, dict, dict | None]:
+    async def _handle_predict(self, body: bytes, content_type: str,
+                              model_name: str | None,
+                              keep_alive: bool) -> bytes:
         if self._draining:
-            return 503, "Service Unavailable", {
+            return _response(503, "Service Unavailable", {
                 "error": "server draining"
-            }, None
+            }, keep_alive)
         try:
-            payload = json.loads(body.decode("utf-8"))
-            x = np.asarray(payload["x"], dtype=np.float64)
-        except (ValueError, KeyError, TypeError):
-            return 400, "Bad Request", {
-                "error": 'body must be JSON {"x": [[...], ...]}'
-            }, None
+            manager = self.router.get(model_name)
+        except UnknownModelError as exc:
+            return _response(404, "Not Found", {"error": str(exc)},
+                             keep_alive)
+        resolved = model_name if model_name is not None else self.router.default
+        binary = content_type == wire.WIRE_CONTENT_TYPE
+        if binary:
+            if not self.binary:
+                return _response(415, "Unsupported Media Type", {
+                    "error": f"{wire.WIRE_CONTENT_TYPE} is not enabled on "
+                             "this server; send application/json"
+                }, keep_alive)
+            self.n_binary_requests += 1
+            try:
+                x = wire.decode_request(body)
+            except ValueError as exc:
+                return _response(400, "Bad Request", {
+                    "error": f"bad wire frame: {exc}"
+                }, keep_alive)
+        else:
+            try:
+                payload = json.loads(body.decode("utf-8"))
+                x = np.asarray(payload["x"], dtype=np.float64)
+            except (ValueError, KeyError, TypeError):
+                return _response(400, "Bad Request", {
+                    "error": 'body must be JSON {"x": [[...], ...]}'
+                }, keep_alive)
         if x.ndim not in (1, 2) or x.size == 0:
-            return 400, "Bad Request", {
+            return _response(400, "Bad Request", {
                 "error": "x must be one sample or a non-empty matrix"
-            }, None
+            }, keep_alive)
         x = np.atleast_2d(x)
-        n_features = self.manager.current.n_features
+        n_features = manager.current.n_features
         if x.shape[1] != n_features:
-            return 400, "Bad Request", {
-                "error": f"x has {x.shape[1]} features, model expects "
-                         f"{n_features}"
-            }, None
+            return _response(400, "Bad Request", {
+                "error": f"x has {x.shape[1]} features, model "
+                         f"{resolved!r} expects {n_features}"
+            }, keep_alive)
         if self._pending >= self.max_pending:
             # Shed instead of queueing unboundedly: the client backs off
             # and retries, the server stays answerable.
             self.n_shed += 1
-            return 503, "Service Unavailable", {
+            return _response(503, "Service Unavailable", {
                 "error": f"server overloaded ({self._pending} requests "
                          "pending); retry later",
-            }, {"Retry-After": str(RETRY_AFTER_SECONDS)}
+            }, keep_alive, {"Retry-After": str(RETRY_AFTER_SECONDS)})
         self._pending += 1
         self.pending_high_water = max(self.pending_high_water, self._pending)
         try:
             if self.request_timeout is not None:
                 labels = await asyncio.wait_for(
-                    self._submit(x), self.request_timeout
+                    self._submit(x, resolved), self.request_timeout
                 )
             else:
-                labels = await self._submit(x)
+                labels = await self._submit(x, resolved)
         except asyncio.TimeoutError:
             self.n_timeouts += 1
-            return 504, "Gateway Timeout", {
+            return _response(504, "Gateway Timeout", {
                 "error": f"predict exceeded the {self.request_timeout:g}s "
                          "deadline"
-            }, None
+            }, keep_alive)
         except BatcherClosedError:
             # The drain race: accepted before shutdown, submitted after
             # the batcher closed.  A retryable condition, not a failure.
-            return 503, "Service Unavailable", {
+            return _response(503, "Service Unavailable", {
                 "error": "server draining"
-            }, None
+            }, keep_alive)
         except Exception:
             error_id = uuid.uuid4().hex[:12]
             self.n_errors += 1
             log.exception("predict failed [error_id %s]", error_id)
-            return 500, "Internal Server Error", {
+            return _response(500, "Internal Server Error", {
                 "error": "internal predictor error",
                 "error_id": error_id,
-            }, None
+            }, keep_alive)
         finally:
             self._pending -= 1
-        return 200, "OK", {
+        if binary:
+            return _raw_response(
+                200, "OK", wire.encode_response(labels),
+                wire.WIRE_CONTENT_TYPE, keep_alive,
+            )
+        return _response(200, "OK", {
             "labels": labels.tolist(), "n": int(x.shape[0])
-        }, None
+        }, keep_alive)
 
 
-async def _serve_async(manager: PredictorManager, host: str, port: int, *,
+async def _serve_async(router: ModelRouter, host: str, port: int, *,
                        batch_window: float, max_batch: int, batching: bool,
                        max_pending: int, request_timeout: float | None,
-                       watch: bool) -> dict:
+                       binary: bool, watch: bool) -> dict:
     server = PredictServer(
-        manager, host, port, batch_window=batch_window,
+        router, host, port, batch_window=batch_window,
         max_batch=max_batch, batching=batching, max_pending=max_pending,
-        request_timeout=request_timeout,
+        request_timeout=request_timeout, binary=binary,
     )
     await server.start()
     mode = (
@@ -459,57 +616,79 @@ async def _serve_async(manager: PredictorManager, host: str, port: int, *,
         if batching
         else "unbatched"
     )
-    predictor = manager.current
-    print(
-        f"serving {predictor.path} on http://{server.host}:{server.port} "
-        f"[{mode}; {predictor.n_balls} balls, "
-        f"{predictor.n_features} features]",
-        flush=True,
-    )
+    if len(router) == 1:
+        predictor = router.get().current
+        what = (
+            f"{predictor.path} on http://{server.host}:{server.port} "
+            f"[{mode}; {predictor.n_balls} balls, "
+            f"{predictor.n_features} features]"
+        )
+    else:
+        what = (
+            f"{len(router)} models on http://{server.host}:{server.port} "
+            f"[{mode}; models: {', '.join(router.names)}; "
+            f"default: {router.default}]"
+        )
+    print(f"serving {what}", flush=True)
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
     for sig in (signal.SIGTERM, signal.SIGINT):
         loop.add_signal_handler(sig, stop.set)
     loop.add_signal_handler(
         signal.SIGHUP,
-        lambda: asyncio.ensure_future(manager.reload(reason="sighup")),
+        lambda: asyncio.ensure_future(router.reload(None, reason="sighup")),
     )
     if watch:
-        await manager.start_watching()
+        await router.start_watching()
     try:
         await server.serve_until(stop)
     finally:
-        await manager.stop_watching()
+        await router.stop_watching()
     stats = server.stats()
     print(f"drained cleanly after {stats['n_http_requests']} requests",
           flush=True)
     return stats
 
 
-def run_server(artifact_path, host: str = "127.0.0.1", port: int = 8000, *,
+def run_server(artifact_path=None, host: str = "127.0.0.1",
+               port: int = 8000, *, models: dict | None = None,
+               default_model: str | None = None,
                batch_window: float = 0.001, max_batch: int = 256,
                batching: bool = True, verify: bool = True,
                max_pending: int = 64, request_timeout: float | None = 30.0,
-               poll_interval: float = 2.0, watch: bool = True) -> int:
+               poll_interval: float = 2.0, binary: bool = True,
+               watch: bool = True) -> int:
     """Blocking entry point used by ``repro serve``.
 
-    Loads the artifact (mmap, optionally checksum-verified) behind a
+    Serve either one artifact (``artifact_path``, the historical form —
+    registered under the model name ``"default"``) or several
+    (``models``: name → artifact path, with ``default_model`` naming the
+    ``/predict`` alias).  Loads every artifact (mmap, optionally
+    checksum-verified) behind its own
     :class:`~repro.serving.manager.PredictorManager`, serves until
-    SIGTERM/SIGINT (reloading on artifact change, SIGHUP or
+    SIGTERM/SIGINT (reloading per model on artifact change, SIGHUP or
     ``POST /admin/reload``), drains, and returns 0 on a clean exit.
     """
-    manager = PredictorManager(
-        artifact_path, verify=verify, poll_interval=poll_interval
+    if models:
+        if artifact_path is not None:
+            raise ValueError("pass either artifact_path or models, not both")
+        specs = dict(models)
+    else:
+        if artifact_path is None:
+            raise ValueError("either artifact_path or models is required")
+        specs = {"default": artifact_path}
+    router = ModelRouter.from_specs(
+        specs, default_model, verify=verify, poll_interval=poll_interval
     )
     try:
         asyncio.run(
             _serve_async(
-                manager, host, port, batch_window=batch_window,
+                router, host, port, batch_window=batch_window,
                 max_batch=max_batch, batching=batching,
                 max_pending=max_pending, request_timeout=request_timeout,
-                watch=watch,
+                binary=binary, watch=watch,
             )
         )
     finally:
-        manager.close()
+        router.close()
     return 0

@@ -1,0 +1,180 @@
+"""The binary wire protocol: raw array rows instead of JSON float text.
+
+At high concurrency the serving hot path spends more time encoding and
+decoding JSON float literals than running the predict kernel
+(``BENCH_serve.json`` → ``wire_formats``).  This module defines the
+negotiated alternative: a tiny versioned binary frame that carries the
+query rows (and the label response) as raw C-contiguous array bytes, so
+both sides do one ``np.frombuffer`` instead of a float-text round trip.
+
+Negotiation is plain HTTP content typing: a client that POSTs
+``Content-Type: application/x-gbaf-batch`` gets a binary response body
+with the same content type; JSON remains the default and error bodies
+are always JSON (an error payload is human-facing and tiny).  A server
+that does not speak the format answers ``415 Unsupported Media Type``
+and :class:`~repro.serving.client.PredictClient` falls back to JSON
+transparently.
+
+The frame (all integers little-endian)::
+
+    offset 0   magic  b"GBWB"                  (4 bytes)
+    offset 4   protocol version, uint8 = 1     (1 byte)
+    offset 5   frame kind, uint8               (1 byte)  1=request 2=response
+    offset 6   dtype code, uint8               (1 byte)  see DTYPE_CODES
+    offset 7   reserved, uint8 = 0             (1 byte)
+    offset 8   n_rows, uint32                  (4 bytes)
+    offset 12  n_cols, uint32                  (4 bytes)
+    offset 16  payload: n_rows * n_cols raw C-order elements
+
+Like the artifact container, the decoder **fails loudly**: bad magic, a
+future version, an unknown kind/dtype, a payload shorter or longer than
+the header promises — each raises :class:`WireError` naming the problem.
+A frame is either exactly right or rejected; nothing is ever silently
+reinterpreted.  Empty batches (``n_rows == 0``) are valid frames at this
+layer — rejecting them is the server's admission decision, not the
+codec's.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+__all__ = [
+    "WIRE_CONTENT_TYPE",
+    "WIRE_MAGIC",
+    "WIRE_VERSION",
+    "KIND_REQUEST",
+    "KIND_RESPONSE",
+    "DTYPE_CODES",
+    "WireError",
+    "encode_frame",
+    "decode_frame",
+    "encode_request",
+    "decode_request",
+    "encode_response",
+    "decode_response",
+]
+
+#: The negotiated content type; anything else is served as JSON.
+WIRE_CONTENT_TYPE = "application/x-gbaf-batch"
+
+WIRE_MAGIC = b"GBWB"
+WIRE_VERSION = 1
+
+KIND_REQUEST = 1
+KIND_RESPONSE = 2
+
+#: Wire dtype codes.  Requests carry float rows (float32 is accepted and
+#: widened to float64 server-side); responses carry integer labels.
+DTYPE_CODES: dict[int, np.dtype] = {
+    1: np.dtype("<f8"),
+    2: np.dtype("<f4"),
+    3: np.dtype("<i8"),
+    4: np.dtype("<i4"),
+}
+_CODE_FOR_DTYPE = {dtype: code for code, dtype in DTYPE_CODES.items()}
+
+_HEADER = struct.Struct("<4sBBBBII")
+HEADER_BYTES = _HEADER.size  # 16
+
+
+class WireError(ValueError):
+    """A malformed wire frame (bad magic/version/kind/dtype/size).
+
+    Subclasses :class:`ValueError` so generic bad-input handling — the
+    server's 400 path, callers that predate the binary protocol — keeps
+    working without knowing the new type.
+    """
+
+
+def encode_frame(array: np.ndarray, kind: int) -> bytes:
+    """Serialise a 2-D array as one wire frame (header + raw bytes)."""
+    array = np.ascontiguousarray(array)
+    if array.ndim != 2:
+        raise WireError(f"wire frames carry 2-D arrays, got {array.ndim}-D")
+    dtype = array.dtype.newbyteorder("<")
+    code = _CODE_FOR_DTYPE.get(dtype)
+    if code is None:
+        raise WireError(
+            f"dtype {array.dtype} is not wire-encodable "
+            f"(supported: {sorted(str(d) for d in _CODE_FOR_DTYPE)})"
+        )
+    header = _HEADER.pack(
+        WIRE_MAGIC, WIRE_VERSION, kind, code, 0,
+        array.shape[0], array.shape[1],
+    )
+    return header + array.astype(dtype, copy=False).tobytes(order="C")
+
+
+def decode_frame(buf: bytes, expect_kind: int | None = None) -> np.ndarray:
+    """Parse one wire frame back into a read-only 2-D array.
+
+    The returned array is a zero-copy view over ``buf`` whenever the
+    payload is non-empty.
+    """
+    if len(buf) < HEADER_BYTES:
+        raise WireError(
+            f"frame is {len(buf)} bytes, shorter than the "
+            f"{HEADER_BYTES}-byte header"
+        )
+    magic, version, kind, code, _reserved, n_rows, n_cols = _HEADER.unpack(
+        buf[:HEADER_BYTES]
+    )
+    if magic != WIRE_MAGIC:
+        raise WireError(f"bad magic {magic!r} (expected {WIRE_MAGIC!r})")
+    if version != WIRE_VERSION:
+        raise WireError(
+            f"wire protocol version {version} is not supported "
+            f"(this build speaks version {WIRE_VERSION})"
+        )
+    if expect_kind is not None and kind != expect_kind:
+        raise WireError(
+            f"frame kind {kind} where kind {expect_kind} was expected"
+        )
+    if kind not in (KIND_REQUEST, KIND_RESPONSE):
+        raise WireError(f"unknown frame kind {kind}")
+    dtype = DTYPE_CODES.get(code)
+    if dtype is None:
+        raise WireError(f"unknown wire dtype code {code}")
+    expected = HEADER_BYTES + n_rows * n_cols * dtype.itemsize
+    if len(buf) != expected:
+        raise WireError(
+            f"frame is {len(buf)} bytes but the header promises "
+            f"{expected} ({n_rows}x{n_cols} {dtype})"
+        )
+    payload = np.frombuffer(buf, dtype=dtype, offset=HEADER_BYTES)
+    array = payload.reshape(n_rows, n_cols)
+    array.flags.writeable = False
+    return array
+
+
+def encode_request(x: np.ndarray) -> bytes:
+    """Encode a query batch; accepts anything array-like, keeps float32."""
+    x = np.asarray(x)
+    if x.dtype not in (np.dtype("<f4"), np.dtype("float32")):
+        x = np.asarray(x, dtype=np.float64)
+    return encode_frame(np.atleast_2d(x), KIND_REQUEST)
+
+
+def decode_request(buf: bytes) -> np.ndarray:
+    """Decode a request frame into the float64 rows the kernel expects."""
+    x = decode_frame(buf, expect_kind=KIND_REQUEST)
+    return np.ascontiguousarray(x, dtype=np.float64)
+
+
+def encode_response(labels: np.ndarray) -> bytes:
+    """Encode a label vector as a single-column int64 response frame."""
+    labels = np.asarray(labels, dtype=np.int64).reshape(-1, 1)
+    return encode_frame(labels, KIND_RESPONSE)
+
+
+def decode_response(buf: bytes) -> np.ndarray:
+    """Decode a response frame back into the 1-D int64 label vector."""
+    labels = decode_frame(buf, expect_kind=KIND_RESPONSE)
+    if labels.shape[1] != 1:
+        raise WireError(
+            f"response frames carry one label column, got {labels.shape[1]}"
+        )
+    return np.ascontiguousarray(labels[:, 0], dtype=np.int64)

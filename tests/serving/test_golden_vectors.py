@@ -1,0 +1,192 @@
+"""Golden wire vectors: checked-in bytes the serving surface must speak.
+
+Round-trip tests prove the encoder and decoder agree *with each other* —
+they cannot catch both sides drifting together (a silent field reorder,
+a changed dtype code, an extra JSON key).  The golden fixtures under
+``tests/serving/fixtures/`` pin the actual bytes:
+
+* ``golden_request.bin`` / ``golden_response.bin`` — one canonical
+  binary predict request (3 probe rows) and the exact response frame a
+  server built from the deterministic ``moons`` model must answer;
+* ``golden_request.json`` / ``golden_response.json`` — the same
+  exchange in the JSON wire format, byte-for-byte as the server emits
+  it;
+* ``manifest.json`` — the human-readable contents (probe rows, expected
+  labels, protocol constants) so a reviewer can see what the opaque
+  bytes encode.
+
+Every test replays fixture bytes against the *live* HTTP surface and
+compares raw bytes, not parsed structures — any change to the frame
+layout, the JSON shape, or the model's predictions for the canonical
+probe shows up as a diff against a committed file.
+
+To regenerate after a *deliberate* protocol or model change::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/serving/test_golden_vectors.py
+
+and commit the rewritten fixtures with the change that motivated them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.serving import wire
+from repro.serving.client import PredictClient
+
+from .test_resilience import running_server
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+REGEN = os.environ.get("REPRO_REGEN_GOLDEN") == "1"
+
+#: The canonical probe: 3 rows of exact literal floats (no RNG, no
+#: rounding) spanning both moons and the gap between them.
+PROBE = np.array([
+    [0.0, 1.0],
+    [1.0, -0.5],
+    [0.5, 0.25],
+], dtype=np.float64)
+
+
+def _golden(name: str, actual: bytes) -> bytes:
+    """The committed fixture bytes (or, under REGEN, rewrite them)."""
+    path = FIXTURES / name
+    if REGEN:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(actual)
+        return actual
+    assert path.exists(), (
+        f"missing golden fixture {path}; generate with "
+        "REPRO_REGEN_GOLDEN=1 and commit it"
+    )
+    return path.read_bytes()
+
+
+async def _exchange(server, body: bytes, content_type: str) -> bytes:
+    """POST raw bytes at a live server, return the raw response body."""
+    client = await PredictClient.connect(server.host, server.port)
+    try:
+        status, raw = await client.request_bytes(
+            "POST", "/predict", body, content_type
+        )
+    finally:
+        await client.close()
+    assert status == 200, raw
+    return raw
+
+
+class TestGoldenBinaryVectors:
+    def test_request_encoding_matches_the_committed_frame(self):
+        actual = wire.encode_request(PROBE)
+        assert actual == _golden("golden_request.bin", actual)
+
+    def test_committed_request_decodes_to_the_probe(self):
+        frame = _golden("golden_request.bin", wire.encode_request(PROBE))
+        np.testing.assert_array_equal(wire.decode_request(frame), PROBE)
+
+    def test_live_server_answers_the_committed_response(
+        self, artifact_path
+    ):
+        request = _golden("golden_request.bin", wire.encode_request(PROBE))
+
+        async def run():
+            async with running_server(artifact_path) as (server, _manager):
+                return await _exchange(
+                    server, request, wire.WIRE_CONTENT_TYPE
+                )
+
+        actual = asyncio.run(run())
+        assert actual == _golden("golden_response.bin", actual), (
+            "binary response bytes drifted from the committed vector"
+        )
+
+    def test_committed_response_decodes_to_the_model_labels(
+        self, fitted_clf
+    ):
+        expected = fitted_clf.predict(PROBE)
+        frame = _golden(
+            "golden_response.bin", wire.encode_response(expected)
+        )
+        np.testing.assert_array_equal(wire.decode_response(frame), expected)
+
+
+class TestGoldenJsonVectors:
+    def _request_body(self) -> bytes:
+        return json.dumps({"x": PROBE.tolist()}).encode("utf-8")
+
+    def test_request_encoding_matches_the_committed_body(self):
+        actual = self._request_body()
+        assert actual == _golden("golden_request.json", actual)
+
+    def test_live_server_answers_the_committed_response(
+        self, artifact_path
+    ):
+        request = _golden("golden_request.json", self._request_body())
+
+        async def run():
+            async with running_server(artifact_path) as (server, _manager):
+                return await _exchange(server, request, "application/json")
+
+        actual = asyncio.run(run())
+        assert actual == _golden("golden_response.json", actual), (
+            "JSON response bytes drifted from the committed vector"
+        )
+
+    def test_committed_response_parses_to_the_model_labels(
+        self, fitted_clf
+    ):
+        expected = fitted_clf.predict(PROBE).tolist()
+        raw = _golden(
+            "golden_response.json",
+            json.dumps(
+                {"labels": expected, "n": len(expected)}
+            ).encode("utf-8"),
+        )
+        payload = json.loads(raw)
+        assert payload["labels"] == expected
+        assert payload["n"] == PROBE.shape[0]
+
+
+class TestGoldenCrossFormatAgreement:
+    def test_binary_and_json_vectors_carry_the_same_labels(self):
+        """The two committed response vectors must agree with each other
+        — a regen that changed one format but not the other is caught
+        even without a live model."""
+        bin_frame = _golden(
+            "golden_response.bin", b""
+        ) if not REGEN else None
+        json_body = _golden(
+            "golden_response.json", b""
+        ) if not REGEN else None
+        if REGEN:
+            pytest.skip("fixtures are being regenerated by the other tests")
+        via_binary = wire.decode_response(bin_frame).tolist()
+        via_json = json.loads(json_body)["labels"]
+        assert via_binary == via_json
+
+    def test_manifest_documents_the_vectors(self, fitted_clf):
+        expected = fitted_clf.predict(PROBE).tolist()
+        manifest = {
+            "probe": PROBE.tolist(),
+            "labels": expected,
+            "wire": {
+                "content_type": wire.WIRE_CONTENT_TYPE,
+                "magic": wire.WIRE_MAGIC.decode("latin-1"),
+                "version": wire.WIRE_VERSION,
+                "header_bytes": wire.HEADER_BYTES,
+            },
+            "model": {
+                "fixture": "moons (tests/conftest.py, rng seed 2, n=300)",
+                "params": {"rho": 5, "random_state": 0},
+            },
+        }
+        actual = (json.dumps(manifest, indent=2) + "\n").encode("utf-8")
+        committed = _golden("manifest.json", actual)
+        assert json.loads(committed) == manifest

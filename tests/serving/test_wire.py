@@ -1,0 +1,443 @@
+"""The binary wire protocol: codec invariants, negotiation, parity.
+
+What this suite pins:
+
+* **Round-trip identity.**  ``decode(encode(x))`` reproduces every
+  supported dtype/shape bit-for-bit, including the empty batch — checked
+  exhaustively for the corner cases and property-based (hypothesis) over
+  random dtypes, shapes and values.
+* **The decoder fails loudly.**  Bad magic, a future version, a wrong or
+  unknown kind, an unknown dtype code, a payload that is shorter or
+  longer than the header promises — each is a :class:`WireError` naming
+  the problem, never a silently reinterpreted array.
+* **Negotiation over HTTP.**  A binary predict answers binary, a JSON
+  predict answers JSON, and the two label vectors are bit-identical for
+  the same rows (the serving parity contract extends to the wire).
+* **The body cap is 413.**  A request claiming more than
+  ``MAX_BODY_BYTES`` is refused with ``413 Payload Too Large`` before
+  the server reads (or the client sends) the oversized body.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.serving import wire
+from repro.serving.client import PredictClient
+from repro.serving.server import MAX_BODY_BYTES
+from repro.serving.wire import (
+    DTYPE_CODES,
+    HEADER_BYTES,
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    WIRE_MAGIC,
+    WIRE_VERSION,
+    WireError,
+    decode_frame,
+    decode_request,
+    decode_response,
+    encode_frame,
+    encode_request,
+    encode_response,
+)
+
+from .test_resilience import running_server
+
+
+# ----------------------------------------------------------------------
+# frame layout
+# ----------------------------------------------------------------------
+
+
+class TestFrameLayout:
+    def test_header_is_16_bytes_and_little_endian(self):
+        frame = encode_frame(np.zeros((2, 3)), KIND_REQUEST)
+        assert HEADER_BYTES == 16
+        assert frame[:4] == WIRE_MAGIC == b"GBWB"
+        assert frame[4] == WIRE_VERSION == 1
+        assert frame[5] == KIND_REQUEST
+        assert frame[6] == 1  # float64 dtype code
+        assert frame[7] == 0  # reserved
+        assert int.from_bytes(frame[8:12], "little") == 2   # n_rows
+        assert int.from_bytes(frame[12:16], "little") == 3  # n_cols
+        assert len(frame) == 16 + 2 * 3 * 8
+
+    def test_payload_is_raw_c_order_bytes(self):
+        x = np.arange(6, dtype=np.float64).reshape(2, 3)
+        frame = encode_frame(x, KIND_REQUEST)
+        assert frame[HEADER_BYTES:] == x.tobytes(order="C")
+
+    def test_fortran_order_input_is_c_normalised(self):
+        x = np.asfortranarray(np.arange(6, dtype=np.float64).reshape(2, 3))
+        decoded = decode_frame(encode_frame(x, KIND_REQUEST))
+        np.testing.assert_array_equal(decoded, x)
+
+    @pytest.mark.parametrize("code,dtype", sorted(DTYPE_CODES.items()))
+    def test_every_wire_dtype_round_trips(self, code, dtype):
+        x = np.arange(12).reshape(3, 4).astype(dtype)
+        frame = encode_frame(x, KIND_RESPONSE)
+        assert frame[6] == code
+        decoded = decode_frame(frame, expect_kind=KIND_RESPONSE)
+        assert decoded.dtype == dtype
+        np.testing.assert_array_equal(decoded, x)
+
+    def test_empty_batch_is_a_valid_frame(self):
+        decoded = decode_frame(
+            encode_frame(np.empty((0, 5)), KIND_REQUEST)
+        )
+        assert decoded.shape == (0, 5)
+
+    def test_decoded_view_is_read_only(self):
+        decoded = decode_frame(encode_frame(np.ones((2, 2)), KIND_REQUEST))
+        with pytest.raises(ValueError):
+            decoded[0, 0] = 9.0
+
+
+# ----------------------------------------------------------------------
+# the decoder fails loudly
+# ----------------------------------------------------------------------
+
+
+class TestDecoderRejects:
+    def _frame(self):
+        return bytearray(encode_frame(np.ones((2, 3)), KIND_REQUEST))
+
+    def test_truncated_header(self):
+        with pytest.raises(WireError, match="shorter than"):
+            decode_frame(b"GBW")
+
+    def test_bad_magic(self):
+        frame = self._frame()
+        frame[:4] = b"NOPE"
+        with pytest.raises(WireError, match="bad magic"):
+            decode_frame(bytes(frame))
+
+    def test_future_version(self):
+        frame = self._frame()
+        frame[4] = WIRE_VERSION + 1
+        with pytest.raises(WireError, match="version"):
+            decode_frame(bytes(frame))
+
+    def test_unknown_kind(self):
+        frame = self._frame()
+        frame[5] = 9
+        with pytest.raises(WireError, match="kind"):
+            decode_frame(bytes(frame))
+
+    def test_kind_mismatch(self):
+        frame = encode_frame(np.ones((1, 1)), KIND_RESPONSE)
+        with pytest.raises(WireError, match="kind"):
+            decode_frame(frame, expect_kind=KIND_REQUEST)
+
+    def test_unknown_dtype_code(self):
+        frame = self._frame()
+        frame[6] = 200
+        with pytest.raises(WireError, match="dtype code"):
+            decode_frame(bytes(frame))
+
+    def test_short_payload(self):
+        frame = self._frame()
+        with pytest.raises(WireError, match="promises"):
+            decode_frame(bytes(frame[:-1]))
+
+    def test_long_payload(self):
+        frame = self._frame()
+        with pytest.raises(WireError, match="promises"):
+            decode_frame(bytes(frame) + b"\x00")
+
+    def test_header_row_count_lie(self):
+        frame = self._frame()
+        frame[8:12] = (3).to_bytes(4, "little")  # claims 3 rows, carries 2
+        with pytest.raises(WireError, match="promises"):
+            decode_frame(bytes(frame))
+
+    def test_encode_rejects_non_2d(self):
+        with pytest.raises(WireError, match="2-D"):
+            encode_frame(np.zeros((2, 2, 2)), KIND_REQUEST)
+
+    def test_encode_rejects_unsupported_dtype(self):
+        with pytest.raises(WireError, match="not wire-encodable"):
+            encode_frame(np.zeros((1, 1), dtype=np.float16), KIND_REQUEST)
+
+    def test_response_must_be_single_column(self):
+        frame = encode_frame(
+            np.zeros((2, 2), dtype=np.int64), KIND_RESPONSE
+        )
+        with pytest.raises(WireError, match="one label column"):
+            decode_response(frame)
+
+
+# ----------------------------------------------------------------------
+# request/response helpers
+# ----------------------------------------------------------------------
+
+
+class TestRequestResponseHelpers:
+    def test_request_round_trip_is_float64_c_contiguous(self):
+        x = np.random.default_rng(0).normal(size=(7, 3))
+        decoded = decode_request(encode_request(x))
+        assert decoded.dtype == np.float64
+        assert decoded.flags["C_CONTIGUOUS"]
+        np.testing.assert_array_equal(decoded, x)
+
+    def test_float32_requests_stay_compact_then_widen(self):
+        x = np.random.default_rng(1).normal(size=(4, 2)).astype(np.float32)
+        frame = encode_request(x)
+        assert len(frame) == HEADER_BYTES + 4 * 2 * 4  # 4-byte elements
+        decoded = decode_request(frame)
+        assert decoded.dtype == np.float64
+        np.testing.assert_array_equal(decoded, x.astype(np.float64))
+
+    def test_single_sample_becomes_one_row(self):
+        decoded = decode_request(encode_request([1.0, 2.0]))
+        assert decoded.shape == (1, 2)
+
+    def test_response_round_trip(self):
+        labels = np.array([0, 1, 1, 0, 2], dtype=np.int64)
+        decoded = decode_response(encode_response(labels))
+        assert decoded.dtype == np.int64 and decoded.ndim == 1
+        np.testing.assert_array_equal(decoded, labels)
+
+    def test_empty_response_round_trip(self):
+        assert decode_response(
+            encode_response(np.empty(0, dtype=np.int64))
+        ).shape == (0,)
+
+
+# ----------------------------------------------------------------------
+# property-based round trips
+# ----------------------------------------------------------------------
+
+
+def wire_arrays():
+    """Random arrays over every wire dtype and shape, empty rows included."""
+    def build(spec):
+        code, n_rows, n_cols = spec
+        dtype = DTYPE_CODES[code]
+        if dtype.kind == "f":
+            elements = st.floats(
+                min_value=-1e6, max_value=1e6, allow_nan=False,
+                width=dtype.itemsize * 8,
+            )
+        else:
+            bound = 2 ** (dtype.itemsize * 8 - 1) - 1
+            elements = st.integers(min_value=-bound, max_value=bound)
+        return arrays(dtype, (n_rows, n_cols), elements=elements)
+
+    return st.tuples(
+        st.sampled_from(sorted(DTYPE_CODES)),
+        st.integers(min_value=0, max_value=32),
+        st.integers(min_value=0, max_value=8),
+    ).flatmap(build)
+
+
+@given(wire_arrays(), st.sampled_from([KIND_REQUEST, KIND_RESPONSE]))
+@settings(max_examples=120, deadline=None)
+def test_frame_round_trip_is_identity(x, kind):
+    decoded = decode_frame(encode_frame(x, kind), expect_kind=kind)
+    assert decoded.dtype == x.dtype.newbyteorder("<")
+    assert decoded.shape == x.shape
+    np.testing.assert_array_equal(decoded, x)
+
+
+@given(wire_arrays())
+@settings(max_examples=60, deadline=None)
+def test_re_encoding_a_decoded_frame_is_byte_identical(x):
+    frame = encode_frame(x, KIND_REQUEST)
+    assert encode_frame(decode_frame(frame), KIND_REQUEST) == frame
+
+
+@given(
+    st.integers(min_value=1, max_value=16),
+    st.integers(min_value=1, max_value=6),
+    st.booleans(),
+)
+@settings(max_examples=40, deadline=None)
+def test_request_helper_round_trip(n_rows, n_cols, as_f32):
+    gen = np.random.default_rng(n_rows * 31 + n_cols)
+    x = gen.normal(size=(n_rows, n_cols))
+    if as_f32:
+        x = x.astype(np.float32)
+    decoded = decode_request(encode_request(x))
+    np.testing.assert_array_equal(decoded, x.astype(np.float64))
+
+
+@given(st.lists(st.integers(min_value=-5, max_value=5), max_size=64))
+@settings(max_examples=40, deadline=None)
+def test_response_helper_round_trip(labels):
+    decoded = decode_response(encode_response(np.asarray(labels, np.int64)))
+    assert decoded.tolist() == labels
+
+
+# ----------------------------------------------------------------------
+# over HTTP: negotiation, parity, the body cap
+# ----------------------------------------------------------------------
+
+
+class TestWireOverHttp:
+    def test_json_and_binary_predictions_are_bit_identical(
+        self, fitted_clf, artifact_path, queries
+    ):
+        expected = fitted_clf.predict(queries).tolist()
+
+        async def run():
+            async with running_server(artifact_path) as (server, _manager):
+                json_client = await PredictClient.connect(
+                    server.host, server.port
+                )
+                bin_client = await PredictClient.connect(
+                    server.host, server.port, binary=True
+                )
+                try:
+                    via_json = await json_client.predict(queries)
+                    via_binary = await bin_client.predict(queries)
+                finally:
+                    await json_client.close()
+                    await bin_client.close()
+                return via_json, via_binary, server.n_binary_requests
+
+        via_json, via_binary, n_binary = asyncio.run(run())
+        assert via_json == expected
+        assert via_binary == expected
+        assert n_binary == 1  # only the binary client used the frame
+        # no downgrade happened: the binary client stayed binary
+
+    def test_binary_response_carries_the_wire_content_type(
+        self, artifact_path, queries
+    ):
+        async def run():
+            async with running_server(artifact_path) as (server, _manager):
+                client = await PredictClient.connect(
+                    server.host, server.port, binary=True
+                )
+                try:
+                    await client.predict(queries[:3])
+                    return dict(client.last_headers)
+                finally:
+                    await client.close()
+
+        headers = asyncio.run(run())
+        assert headers["content-type"] == wire.WIRE_CONTENT_TYPE
+
+    def test_malformed_binary_body_is_400_not_500(self, artifact_path):
+        async def run():
+            async with running_server(artifact_path) as (server, _manager):
+                client = await PredictClient.connect(
+                    server.host, server.port
+                )
+                try:
+                    status, raw = await client.request_bytes(
+                        "POST", "/predict", b"not a frame at all",
+                        wire.WIRE_CONTENT_TYPE,
+                    )
+                finally:
+                    await client.close()
+                return status, json.loads(raw), server.n_errors
+
+        status, payload, n_errors = asyncio.run(run())
+        assert status == 400
+        assert "bad wire frame" in payload["error"]
+        assert n_errors == 0  # classified client error, not a 500
+
+    def test_empty_binary_batch_is_rejected_as_400(self, artifact_path):
+        frame = wire.encode_request(np.empty((0, 2)))
+
+        async def run():
+            async with running_server(artifact_path) as (server, _manager):
+                client = await PredictClient.connect(
+                    server.host, server.port
+                )
+                try:
+                    status, raw = await client.request_bytes(
+                        "POST", "/predict", frame, wire.WIRE_CONTENT_TYPE
+                    )
+                finally:
+                    await client.close()
+                return status, json.loads(raw)
+
+        status, payload = asyncio.run(run())
+        assert status == 400  # valid at the codec layer, refused at admission
+        assert "non-empty" in payload["error"]
+
+    def test_binary_disabled_server_answers_415(self, artifact_path,
+                                                queries):
+        async def run():
+            async with running_server(
+                artifact_path, binary=False
+            ) as (server, _manager):
+                client = await PredictClient.connect(
+                    server.host, server.port
+                )
+                try:
+                    status, raw = await client.request_bytes(
+                        "POST", "/predict", wire.encode_request(queries[:2]),
+                        wire.WIRE_CONTENT_TYPE,
+                    )
+                finally:
+                    await client.close()
+                return status, json.loads(raw)
+
+        status, payload = asyncio.run(run())
+        assert status == 415
+        assert "application/json" in payload["error"]
+
+    def test_oversized_body_claim_is_413_and_close(self, artifact_path):
+        """A Content-Length over the cap is refused before any body bytes
+        are read — the client never has to ship 16 MiB to find out."""
+
+        async def run():
+            async with running_server(artifact_path) as (server, _manager):
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                head = (
+                    "POST /predict HTTP/1.1\r\n"
+                    "Host: predict\r\n"
+                    "Content-Type: application/json\r\n"
+                    f"Content-Length: {MAX_BODY_BYTES + 1}\r\n"
+                    "\r\n"
+                )
+                writer.write(head.encode("latin-1"))
+                await writer.drain()
+                status_line = await reader.readline()
+                raw = await reader.read()  # headers + body until close
+                writer.close()
+                await writer.wait_closed()
+                return status_line, raw
+
+        status_line, raw = asyncio.run(run())
+        assert b"413" in status_line
+        assert b"Connection: close" in raw
+        assert str(MAX_BODY_BYTES).encode() in raw
+
+    def test_body_at_the_cap_is_served(self, artifact_path):
+        """Exactly MAX_BODY_BYTES is legal — the cap is exclusive."""
+
+        # A padded-but-valid JSON body: whitespace is free in JSON.
+        body = json.dumps({"x": [[0.0, 0.0]]}).encode()
+        body += b" " * (MAX_BODY_BYTES - len(body))
+        assert len(body) == MAX_BODY_BYTES
+
+        async def run():
+            async with running_server(artifact_path) as (server, _manager):
+                client = await PredictClient.connect(
+                    server.host, server.port
+                )
+                try:
+                    status, raw = await client.request_bytes(
+                        "POST", "/predict", body
+                    )
+                finally:
+                    await client.close()
+                return status, json.loads(raw)
+
+        status, payload = asyncio.run(run())
+        assert status == 200
+        assert payload["n"] == 1
